@@ -1,0 +1,49 @@
+// Fig. 10: ICON with recursive-doubling vs ring Allreduce across scales.
+// One trace per scale is re-scheduled under both algorithms; the harness
+// prints runtime forecasts over the ΔL sweep, λ_L and ρ_L at 100 us, and
+// the 5% tolerance.  The reproduced shape: the ring's λ_L far exceeds
+// recursive doubling's, the gap widens with scale, and the tolerance ratio
+// reaches several x at the largest scale (4x at 256 nodes in the paper).
+
+#include <cstdio>
+
+#include "bench_support.hpp"
+#include "core/analyzer.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace llamp;
+
+  Table summary({"ranks", "allreduce", "T(0)", "lambda_L@100us",
+                 "rho_L@100us", "5% tol ΔL"});
+  std::vector<double> tolerance_by_algo;
+
+  for (const int ranks : {16, 32, 64}) {
+    const auto trace = apps::make_app_trace("icon", ranks, 0.3);
+    const auto params = loggops::NetworkConfig::piz_daint(
+        ranks <= 16 ? 8'500.0 : (ranks <= 32 ? 8'500.0 : 7'400.0));
+    for (const auto algo : {schedgen::AllreduceAlgo::kRecursiveDoubling,
+                            schedgen::AllreduceAlgo::kRing}) {
+      schedgen::Options opt;
+      opt.allreduce = algo;
+      const auto g = schedgen::build_graph(trace, opt);
+      core::LatencyAnalyzer an(g, params);
+      const double tol5 = an.tolerance_delta(5.0);
+      tolerance_by_algo.push_back(tol5);
+      summary.add_row({strformat("%d", ranks),
+                       std::string(schedgen::to_string(algo)),
+                       human_time_ns(an.base_runtime()),
+                       strformat("%.0f", an.lambda_L(us(100.0))),
+                       strformat("%.1f%%", 100.0 * an.rho_L(us(100.0))),
+                       human_time_ns(tol5)});
+    }
+  }
+  std::printf("ICON proxy, Piz Daint parameters, one trace per scale\n\n%s\n",
+              summary.to_string().c_str());
+  // Tolerance ratio recursive-doubling : ring at the largest scale.
+  const double ratio = tolerance_by_algo[tolerance_by_algo.size() - 2] /
+                       tolerance_by_algo.back();
+  std::printf("5%% tolerance ratio (recursive doubling / ring) at 64 ranks: "
+              "%.1fx   (paper: 4x at 256 nodes)\n", ratio);
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Fig. 11: impact of Fat Tree vs Dragonfly on ICON when every wire's
+// latency is a decision variable.  The harness sweeps l_wire over the
+// paper's FEC-motivated interval 274..424 ns, prints the forecast runtime
+// under both topologies, and computes the per-wire latency at which ICON
+// first degrades by 1% — the paper finds this beyond 3000 ns for both
+// topologies, with Dragonfly marginally more tolerant (fewer hops).
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "bench_support.hpp"
+#include "lp/parametric.hpp"
+#include "topo/spaces.hpp"
+#include "topo/topology.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace llamp;
+
+  const int ranks = 64;
+  const auto g = schedgen::build_graph(apps::make_app_trace("icon", ranks, 0.3));
+  const auto params = loggops::NetworkConfig::piz_daint(7'400.0);
+  const double d_switch = 108.0;
+  const auto placement = topo::identity_placement(ranks);
+
+  const topo::FatTree fat_tree(16);       // three-tier, k = 16 (paper)
+  const topo::Dragonfly dragonfly(8, 4, 8);  // g=8, a=4, p=8 (paper)
+
+  struct TopoCase {
+    const topo::Topology* topo;
+    std::shared_ptr<lp::LinkClassParamSpace> space;
+  };
+  std::vector<TopoCase> cases;
+  for (const topo::Topology* t :
+       std::initializer_list<const topo::Topology*>{&fat_tree, &dragonfly}) {
+    cases.push_back({t, std::make_shared<lp::LinkClassParamSpace>(
+                            topo::make_wire_latency_space(
+                                params, *t, placement, 274.0, d_switch))});
+  }
+
+  Table sweep({"l_wire [ns]", "T fat-tree", "T dragonfly", "lam ft",
+               "lam df"});
+  for (double lw = 274.0; lw <= 424.0 + 1e-9; lw += 30.0) {
+    std::vector<std::string> row{strformat("%.0f", lw)};
+    std::vector<std::string> lams;
+    for (const auto& c : cases) {
+      lp::ParametricSolver solver(g, c.space);
+      const auto sol = solver.solve(0, lw);
+      row.push_back(human_time_ns(sol.value));
+      lams.push_back(strformat("%.0f", sol.gradient[0]));
+    }
+    row.insert(row.end(), lams.begin(), lams.end());
+    sweep.add_row(row);
+  }
+  std::printf("ICON proxy, %d ranks; wire-latency sweep (FEC interval of "
+              "the paper)\n\n%s\n", ranks, sweep.to_string().c_str());
+
+  for (const auto& c : cases) {
+    lp::ParametricSolver solver(g, c.space);
+    const double T0 = solver.solve(0, 274.0).value;
+    const double tol = solver.max_param_for_budget(0, T0 * 1.01);
+    std::printf("%-28s 1%% degradation at l_wire = %s\n",
+                c.topo->name().c_str(),
+                std::isfinite(tol) ? human_time_ns(tol).c_str() : "unbounded");
+  }
+  std::printf("\nPaper's takeaway: both topologies tolerate far more than "
+              "the anticipated FEC increase\n(per-link latency must exceed "
+              "~3000 ns before ICON degrades 1%%), Dragonfly slightly "
+              "ahead.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Fig. 12: NAMD / charm++ adaptivity.  The message-driven runtime reorders
+// work under latency, so a trace recorded at ΔL = X already "contains" the
+// overlap the runtime achieved at X.  The harness records the NAMD proxy at
+// several ΔL values, forecasts each trace across the injected-latency
+// sweep, and compares against emulator measurements of the corresponding
+// adapted schedule — reproducing the fan of curves in the paper's figure
+// (traces recorded at higher ΔL are flatter / more tolerant).
+
+#include <cmath>
+#include <cstdio>
+
+#include "apps/namd.hpp"
+#include "core/analyzer.hpp"
+#include "injector/cluster_emulator.hpp"
+#include "schedgen/schedgen.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace llamp;
+
+  const auto params = loggops::NetworkConfig::cscs_testbed(5'000.0);
+  const std::vector<double> traced_dls = {0.0, us(250.0), us(1000.0)};
+
+  Table table({"ΔL injected", "traced@0", "traced@250us", "traced@1ms"});
+  std::vector<core::LatencyAnalyzer> analyzers;
+  std::vector<graph::Graph> graphs;
+  graphs.reserve(traced_dls.size());
+  for (const double traced : traced_dls) {
+    apps::NamdConfig cfg;
+    cfg.nranks = 16;
+    cfg.steps = 25;
+    cfg.traced_delta_L = traced;
+    graphs.push_back(schedgen::build_graph(apps::make_namd_trace(cfg)));
+  }
+  for (const auto& g : graphs) analyzers.emplace_back(g, params);
+
+  for (const double dl_us : {0.0, 100.0, 250.0, 500.0, 1000.0, 2000.0}) {
+    std::vector<std::string> row{human_time_ns(us(dl_us))};
+    for (const auto& an : analyzers) {
+      row.push_back(human_time_ns(an.predict_runtime(us(dl_us))));
+    }
+    table.add_row(row);
+  }
+  std::printf("NAMD proxy forecast runtime by recording latency of the "
+              "trace\n\n%s\n", table.to_string().c_str());
+
+  // Validation against the emulator for the adapted schedules.
+  Table val({"traced ΔL", "5% tolerance ΔL", "RRMSE vs emulator [%]"});
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    injector::ClusterEmulator emulator(graphs[i], params);
+    std::vector<double> measured, predicted;
+    for (const double dl_us : {0.0, 250.0, 500.0, 1000.0}) {
+      measured.push_back(emulator.measure(us(dl_us), 5));
+      predicted.push_back(analyzers[i].predict_runtime(us(dl_us)));
+    }
+    val.add_row({human_time_ns(traced_dls[i]),
+                 human_time_ns(analyzers[i].tolerance_delta(5.0)),
+                 strformat("%.2f", rrmse_percent(measured, predicted))});
+  }
+  std::printf("%s\n", val.to_string().c_str());
+  std::printf("Traces recorded at higher latency defer waits behind more "
+              "compute, so their curves\nstay flat longer — charm++'s "
+              "adaptivity as seen through static traces (Fig. 12).\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Fig. 20: rank placement on ICON — default block mapping vs the Scotch-like
+// volume-greedy baseline vs LLAMP's Algorithm 3.  The paper reports
+// differences under 1% on ICON (its communication is already balanced);
+// the harness prints the LP-predicted runtime of each mapping and a
+// simulated "measured" runtime under the HLogGP wire matrices, plus an
+// adversarial-start variant where Algorithm 3 has real room to improve.
+
+#include <cstdio>
+#include <numeric>
+
+#include "apps/registry.hpp"
+#include "core/placement.hpp"
+#include "loggops/wire_model.hpp"
+#include "schedgen/schedgen.hpp"
+#include "sim/simulator.hpp"
+#include "topo/spaces.hpp"
+#include "topo/topology.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace llamp;
+
+  const auto params = loggops::NetworkConfig::piz_daint(8'500.0);
+  const core::WireCost wire{};
+
+  for (const int ranks : {32, 64}) {
+    const auto g =
+        schedgen::build_graph(apps::make_app_trace("icon", ranks, 0.25));
+    const topo::FatTree ft(8);  // 128 nodes
+    sim::Simulator sim(g);
+
+    const auto simulate_mapping = [&](const std::vector<int>& placement) {
+      const auto mats = topo::make_pairwise_matrices(params, ft, placement,
+                                                     wire.l_wire,
+                                                     wire.d_switch);
+      const loggops::MatrixWire mw(ranks, mats.latency, mats.gap);
+      return sim.run(params, mw).makespan;
+    };
+
+    const auto block = core::block_placement(g, params, ft, wire);
+    const auto volume = core::volume_greedy_placement(g, params, ft, wire);
+    const auto llamp_res = core::optimize_placement(g, params, ft, wire);
+
+    std::printf("=== ICON proxy, %d ranks on %s ===\n", ranks,
+                ft.name().c_str());
+    Table t({"strategy", "LP-predicted", "simulated", "vs block"});
+    const double base = simulate_mapping(block.placement);
+    const auto row = [&](const std::string& name,
+                         const core::PlacementResult& r) {
+      const double simulated = simulate_mapping(r.placement);
+      t.add_row({name, human_time_ns(r.predicted_runtime),
+                 human_time_ns(simulated),
+                 strformat("%+.2f%%", 100.0 * (simulated - base) / base)});
+    };
+    row("block (default)", block);
+    row("Scotch-like (volume)", volume);
+    row(strformat("LLAMP Alg. 3 (%d swaps)", llamp_res.swaps), llamp_res);
+    std::printf("%s\n", t.to_string().c_str());
+
+    // Adversarial start: neighbors deliberately scattered across pods.
+    std::vector<int> adversarial(static_cast<std::size_t>(ranks));
+    std::iota(adversarial.begin(), adversarial.end(), 0);
+    for (int i = 0; i < ranks; ++i) {
+      adversarial[static_cast<std::size_t>(i)] =
+          (i * 37) % ft.nnodes();  // coprime stride = pod-scattered
+    }
+    // De-duplicate by mapping collisions to free nodes.
+    std::vector<bool> used(static_cast<std::size_t>(ft.nnodes()), false);
+    for (auto& node : adversarial) {
+      while (used[static_cast<std::size_t>(node)]) {
+        node = (node + 1) % ft.nnodes();
+      }
+      used[static_cast<std::size_t>(node)] = true;
+    }
+    const double adv_before =
+        core::placement_runtime(g, params, ft, wire, adversarial);
+    const auto fixed =
+        core::optimize_placement(g, params, ft, wire, adversarial);
+    std::printf("adversarial start: %s -> %s after %d swaps (%.2f%% "
+                "improvement)\n\n",
+                human_time_ns(adv_before).c_str(),
+                human_time_ns(fixed.predicted_runtime).c_str(), fixed.swaps,
+                100.0 * (adv_before - fixed.predicted_runtime) / adv_before);
+  }
+  std::printf("Paper's Fig. 20: all three strategies within ~1%% on ICON — "
+              "placement has little to exploit\nwhen communication is "
+              "already balanced; the adversarial rows show Algorithm 3 "
+              "does work\nwhen the mapping is genuinely bad.\n");
+  return 0;
+}

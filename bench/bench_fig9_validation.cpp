@@ -1,0 +1,112 @@
+// Fig. 9 + Table II: the validation experiment.  For each application and
+// scale, sweep the injected latency ΔL, compare cluster-emulator
+// "measurements" (10-run averages in the paper, 5 here) against LLAMP's LP
+// forecast, and report RRMSE plus the λ_L / ρ_L curves and tolerance bands.
+// A systematic-bias variant reproduces the MILC persistent-ops mismatch the
+// paper observes at 32/64 nodes.  A noise-σ sweep at the end quantifies how
+// much measurement noise the <2% RRMSE headline survives (DESIGN.md §5).
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "bench_support.hpp"
+#include "core/analyzer.hpp"
+#include "injector/cluster_emulator.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace llamp;
+
+  Table summary({"app", "ranks", "o [us]", "events", "RMSE [ms]",
+                 "RRMSE [%]", "1% tol", "2% tol", "5% tol"});
+
+  std::filesystem::create_directories("results");
+
+  auto run_config = [&](const bench::AppScale& cfg, double bias) {
+    const auto g = bench::app_graph(cfg);
+    const auto params = bench::params_for(cfg.app, cfg.ranks);
+    core::LatencyAnalyzer an(g, params);
+    injector::ClusterEmulator::Config emu_cfg;
+    emu_cfg.systematic_bias = bias;
+    injector::ClusterEmulator emulator(g, params, emu_cfg);
+
+    std::printf("--- %s %d ranks (ΔL 0..%g us) ---\n", cfg.app.c_str(),
+                cfg.ranks, cfg.dl_max_us);
+    Table curve({"ΔL", "measured", "predicted", "lambda_L", "rho_L"});
+    Table csv({"delta_l_ns", "measured_ns", "predicted_ns", "lambda_l",
+               "rho_l"});
+    std::vector<double> measured, predicted;
+    const int points = 11;
+    for (int i = 0; i < points; ++i) {
+      const double d = us(cfg.dl_max_us) * i / (points - 1);
+      const double m = emulator.measure(d, 5);
+      const double f = an.predict_runtime(d);
+      measured.push_back(m);
+      predicted.push_back(f);
+      curve.add_row({human_time_ns(d), human_time_ns(m), human_time_ns(f),
+                     strformat("%.0f", an.lambda_L(d)),
+                     strformat("%.1f%%", 100.0 * an.rho_L(d))});
+      csv.add_row({strformat("%.1f", d), strformat("%.1f", m),
+                   strformat("%.1f", f), strformat("%.0f", an.lambda_L(d)),
+                   strformat("%.6f", an.rho_L(d))});
+    }
+    std::printf("%s", curve.to_string().c_str());
+    std::ofstream(strformat("results/fig9_%s_%d.csv", cfg.app.c_str(),
+                            cfg.ranks))
+        << csv.to_csv();
+    const double rmse_v = rmse(measured, predicted);
+    const double rrmse_v = rrmse_percent(measured, predicted);
+    std::printf("RRMSE %.2f%%%s\n\n", rrmse_v,
+                bias != 0.0 ? " (with the MILC-style systematic bias)" : "");
+    summary.add_row({cfg.app, strformat("%d", cfg.ranks),
+                     strformat("%.1f", to_us(params.o)),
+                     human_count(static_cast<double>(g.num_vertices())),
+                     strformat("%.3f", to_ms(rmse_v)),
+                     strformat("%.2f", rrmse_v),
+                     human_time_ns(an.tolerance_delta(1.0)),
+                     human_time_ns(an.tolerance_delta(2.0)),
+                     human_time_ns(an.tolerance_delta(5.0))});
+  };
+
+  for (const auto& cfg : bench::fig9_configs()) {
+    // The paper observes a small systematic bias for MILC at 32/64 nodes
+    // from persistent-operation overheads; model it for those configs.
+    const double bias =
+        (cfg.app == "milc" && cfg.ranks >= 32) ? 0.004 : 0.0;
+    run_config(cfg, bias);
+  }
+  for (const auto& cfg : bench::table2_extra_configs()) {
+    run_config(cfg, 0.0);
+  }
+
+  std::printf("=== Table II analogue (validation summary) ===\n%s\n",
+              summary.to_string().c_str());
+  std::ofstream("results/table2_summary.csv") << summary.to_csv();
+  std::printf("(CSV series written to results/fig9_*.csv and "
+              "results/table2_summary.csv)\n\n");
+
+  // Noise ablation: how does RRMSE respond to the emulator's noise level?
+  std::printf("=== Noise ablation (LULESH, 27 ranks) ===\n");
+  const bench::AppScale cfg{"lulesh", 27, 0.25, 100.0};
+  const auto g = bench::app_graph(cfg);
+  const auto params = bench::params_for(cfg.app, cfg.ranks);
+  core::LatencyAnalyzer an(g, params);
+  Table noise_table({"noise sigma", "RRMSE [%]"});
+  for (const double sigma : {0.0, 0.001, 0.003, 0.005, 0.01, 0.02}) {
+    injector::ClusterEmulator::Config emu_cfg;
+    emu_cfg.noise_sigma = sigma;
+    injector::ClusterEmulator emulator(g, params, emu_cfg);
+    std::vector<double> measured, predicted;
+    for (int i = 0; i < 6; ++i) {
+      const double d = us(cfg.dl_max_us) * i / 5;
+      measured.push_back(emulator.measure(d, 5));
+      predicted.push_back(an.predict_runtime(d));
+    }
+    noise_table.add_row({strformat("%.3f", sigma),
+                         strformat("%.2f", rrmse_percent(measured, predicted))});
+  }
+  std::printf("%s", noise_table.to_string().c_str());
+  return 0;
+}

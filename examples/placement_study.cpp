@@ -1,0 +1,55 @@
+// Rank-placement study (Appendix J): compare the MPI default block mapping,
+// a Scotch-like volume-greedy mapping, and LLAMP's sensitivity-guided
+// iterative placement (Algorithm 3) on a Fat Tree.
+//
+//   $ ./placement_study [--app=icon] [--ranks=32] [--scale=0.2]
+
+#include <cstdio>
+
+#include "apps/registry.hpp"
+#include "core/placement.hpp"
+#include "schedgen/schedgen.hpp"
+#include "topo/topology.hpp"
+#include "util/cli.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace llamp;
+  const Cli cli(argc, argv);
+  const std::string app = cli.get("app", "icon");
+  const int ranks = apps::supported_ranks(
+      app, static_cast<int>(cli.get_int("ranks", 32)));
+  const double scale = cli.get_double("scale", 0.2);
+
+  const auto g = schedgen::build_graph(apps::make_app_trace(app, ranks, scale));
+  const loggops::Params params = loggops::NetworkConfig::piz_daint(8'500.0);
+  const topo::FatTree ft(8);  // 128 nodes
+  const core::WireCost wire{};
+
+  const auto block = core::block_placement(g, params, ft, wire);
+  const auto volume = core::volume_greedy_placement(g, params, ft, wire);
+  const auto llamp_placement =
+      core::optimize_placement(g, params, ft, wire);
+
+  Table table({"strategy", "predicted runtime", "vs block"});
+  const auto pct = [&](double t) {
+    return strformat("%+.2f%%", 100.0 * (t - block.predicted_runtime) /
+                                    block.predicted_runtime);
+  };
+  table.add_row({"block (default)", human_time_ns(block.predicted_runtime),
+                 "+0.00%"});
+  table.add_row({"volume-greedy (Scotch-like)",
+                 human_time_ns(volume.predicted_runtime),
+                 pct(volume.predicted_runtime)});
+  table.add_row({strformat("LLAMP Algorithm 3 (%d swaps)",
+                           llamp_placement.swaps),
+                 human_time_ns(llamp_placement.predicted_runtime),
+                 pct(llamp_placement.predicted_runtime)});
+  std::printf("%s proxy, %d ranks on %s\n\n%s\n", app.c_str(), ranks,
+              ft.name().c_str(), table.to_string().c_str());
+  std::printf("The paper's preliminary results (Fig. 20) likewise show "
+              "sub-1%% differences on ICON:\nits communication is already "
+              "well balanced, so placement has little to exploit.\n");
+  return 0;
+}

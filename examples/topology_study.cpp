@@ -1,0 +1,76 @@
+// Network-topology case study (§IV-2 / Appendix H): express per-rank-pair
+// latency as wire-class decision variables and ask how sensitive an
+// application is to per-wire latency (e.g. future FEC overheads) under
+// Fat Tree vs Dragonfly, plus the per-class tolerance breakdown on the
+// Dragonfly (terminal / intra-group / inter-group wires).
+//
+//   $ ./topology_study [--ranks=64] [--scale=0.2]
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "apps/registry.hpp"
+#include "lp/parametric.hpp"
+#include "schedgen/schedgen.hpp"
+#include "topo/spaces.hpp"
+#include "topo/topology.hpp"
+#include "util/cli.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace llamp;
+  const Cli cli(argc, argv);
+  const int ranks = static_cast<int>(cli.get_int("ranks", 64));
+  const double scale = cli.get_double("scale", 0.2);
+
+  const auto trace = apps::make_app_trace("icon", ranks, scale);
+  const auto g = schedgen::build_graph(trace);
+  const loggops::Params params = loggops::NetworkConfig::piz_daint(8'500.0);
+
+  // Zambre et al. values used by the paper: 274 ns per wire, 108 ns per
+  // switch.
+  const double l_wire = 274.0;
+  const double d_switch = 108.0;
+  const auto placement = topo::identity_placement(ranks);
+
+  const topo::FatTree fat_tree(16);
+  const topo::Dragonfly dragonfly(8, 4, 8);
+
+  std::printf("ICON proxy, %d ranks: per-wire latency sensitivity\n\n", ranks);
+  Table table({"topology", "T(l_wire=274ns)", "dT/dl_wire",
+               "1% degradation at l_wire"});
+  for (const topo::Topology* topo :
+       std::initializer_list<const topo::Topology*>{&fat_tree, &dragonfly}) {
+    auto space = std::make_shared<lp::LinkClassParamSpace>(
+        topo::make_wire_latency_space(params, *topo, placement, l_wire,
+                                      d_switch));
+    lp::ParametricSolver solver(g, space);
+    const auto sol = solver.solve(0, l_wire);
+    const double budget = sol.value * 1.01;
+    const double tol = solver.max_param_for_budget(0, budget);
+    table.add_row({topo->name(), human_time_ns(sol.value),
+                   strformat("%.0f", sol.gradient[0]),
+                   std::isfinite(tol) ? human_time_ns(tol) : "unbounded"});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  // Dragonfly per-class analysis (Fig. 19): tolerance of each wire class
+  // with the other two held at their base values.
+  auto df_space = std::make_shared<lp::LinkClassParamSpace>(
+      topo::make_dragonfly_class_space(params, dragonfly, placement, l_wire,
+                                       l_wire, l_wire, d_switch));
+  lp::ParametricSolver df_solver(g, df_space);
+  const double T0 = df_solver.solve(0, l_wire).value;
+  std::printf("Dragonfly wire classes (budget = 1%% over T = %s):\n",
+              human_time_ns(T0).c_str());
+  for (int k = 0; k < df_space->num_params(); ++k) {
+    const double tol = df_solver.max_param_for_budget(k, T0 * 1.01);
+    std::printf("  %-8s lambda = %5.0f   tolerance = %s\n",
+                df_space->param_name(k).c_str(),
+                df_solver.solve(k, l_wire).gradient[static_cast<std::size_t>(k)],
+                std::isfinite(tol) ? human_time_ns(tol).c_str() : "unbounded");
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// llamp-style command-line analyzer: read a trace file (liballprof-like
+// format, see src/trace/trace_io.hpp), build the execution graph, and print
+// the full latency-tolerance report.  When no trace is given, a demo trace
+// of the HPCG proxy is generated, saved, and analyzed so the tool is
+// runnable out of the box.
+//
+//   $ ./trace_analyze [trace.txt] [--L=3000] [--o=5000] [--G=0.018]
+//                     [--S=262144] [--allreduce=rd|ring]
+//                     [--dl-max-us=100] [--points=11]
+
+#include <cmath>
+#include <cstdio>
+
+#include "apps/registry.hpp"
+#include "core/analyzer.hpp"
+#include "core/report.hpp"
+#include "schedgen/schedgen.hpp"
+#include "trace/profile.hpp"
+#include "trace/trace_io.hpp"
+#include "util/cli.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace llamp;
+  const Cli cli(argc, argv);
+
+  trace::Trace trace;
+  if (cli.positional().empty()) {
+    std::printf("no trace given; generating the HPCG proxy demo trace\n");
+    trace = apps::make_app_trace("hpcg", 16, 0.2);
+    trace::save_trace("hpcg_demo.trace", trace);
+    std::printf("saved to hpcg_demo.trace\n\n");
+  } else {
+    trace = trace::load_trace(cli.positional().front());
+  }
+
+  loggops::Params params;
+  params.L = cli.get_double("L", 3'000.0);
+  params.o = cli.get_double("o", 5'000.0);
+  params.G = cli.get_double("G", 0.018);
+  params.S = static_cast<std::uint64_t>(cli.get_int("S", 256 * 1024));
+
+  schedgen::Options opts;
+  opts.rendezvous_threshold = params.S;
+  if (cli.get("allreduce", "rd") == "ring") {
+    opts.allreduce = schedgen::AllreduceAlgo::kRing;
+  }
+
+  std::printf("%s\n", trace::profile_trace(trace).to_string().c_str());
+  const graph::Graph g = schedgen::build_graph(trace, opts);
+  std::printf("%s\n", g.stats_string().c_str());
+
+  core::ReportOptions report_opts;
+  report_opts.sweep_max = us(cli.get_double("dl-max-us", 100.0));
+  report_opts.sweep_points = static_cast<int>(cli.get_int("points", 11));
+  const core::ToleranceReport report =
+      core::make_report(g, params, report_opts);
+  std::printf("%s", report.to_string().c_str());
+  return 0;
+}

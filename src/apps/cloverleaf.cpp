@@ -1,0 +1,32 @@
+#include "apps/cloverleaf.hpp"
+
+#include <cmath>
+
+#include "apps/common.hpp"
+
+namespace llamp::apps {
+
+trace::Trace make_cloverleaf_trace(const CloverleafConfig& cfg) {
+  Grid<2> grid = make_grid2(cfg.nranks);
+  trace::TraceBuilder tb(cfg.nranks);
+
+  const double cells = static_cast<double>(cfg.cells_per_rank);
+  const TimeNs kernel_ns = cells * cfg.compute_ns_per_cell;
+  const auto edge_bytes = static_cast<std::uint64_t>(
+      std::max(16.0, std::sqrt(cells) * 2 * 8));  // 2 halo layers of doubles
+
+  for (int step = 0; step < cfg.steps; ++step) {
+    for (int fe = 0; fe < cfg.field_exchanges; ++fe) {
+      for (int r = 0; r < cfg.nranks; ++r) {
+        halo_exchange(tb, grid, r, {edge_bytes, edge_bytes}, /*tag=*/1 + fe);
+        tb.compute(r,
+                   jittered_compute(kernel_ns / cfg.field_exchanges,
+                                    cfg.jitter, cfg.seed, r, step * 8 + fe));
+      }
+    }
+    tb.allreduce_all(8);  // dt control
+  }
+  return tb.finish();
+}
+
+}  // namespace llamp::apps

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstdint>
+
+#include "trace/trace.hpp"
+
+namespace llamp::apps {
+
+/// CloverLeaf proxy (2-D structured compressible Euler, Mallinson et al.):
+/// each hydro step exchanges several field halos with the four mesh
+/// neighbors interleaved with kernel compute (advection, PdV, fluxes) and
+/// finishes with the dt-control reduction (8-byte Allreduce), mirroring the
+/// reference code's `timestep` driver.
+struct CloverleafConfig {
+  int nranks = 32;
+  int steps = 40;
+  int cells_per_rank = 3600;  ///< local cells (e.g. 60x60)
+  int field_exchanges = 3;    ///< halo'd field groups per step
+  double compute_ns_per_cell = 120.0;
+  double jitter = 0.01;
+  std::uint64_t seed = 7;
+};
+
+trace::Trace make_cloverleaf_trace(const CloverleafConfig& cfg);
+
+}  // namespace llamp::apps

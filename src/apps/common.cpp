@@ -1,0 +1,62 @@
+#include "apps/common.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace llamp::apps {
+
+std::vector<int> dims_create(int nranks, int ndims) {
+  if (nranks < 1 || ndims < 1) throw Error("dims_create: bad arguments");
+  std::vector<int> dims(static_cast<std::size_t>(ndims), 1);
+  // Repeatedly peel the smallest prime factor onto the smallest dimension.
+  int n = nranks;
+  std::vector<int> factors;
+  for (int f = 2; f * f <= n; ++f) {
+    while (n % f == 0) {
+      factors.push_back(f);
+      n /= f;
+    }
+  }
+  if (n > 1) factors.push_back(n);
+  std::sort(factors.rbegin(), factors.rend());
+  for (const int f : factors) {
+    *std::min_element(dims.begin(), dims.end()) *= f;
+  }
+  std::sort(dims.rbegin(), dims.rend());
+  return dims;
+}
+
+int exact_cube_side(int nranks) {
+  for (int s = 1; s * s * s <= nranks; ++s) {
+    if (s * s * s == nranks) return s;
+  }
+  throw Error(strformat("%d is not a perfect cube", nranks));
+}
+
+Grid<2> make_grid2(int nranks) {
+  const auto d = dims_create(nranks, 2);
+  return Grid<2>{{d[0], d[1]}};
+}
+
+Grid<3> make_grid3(int nranks) {
+  const auto d = dims_create(nranks, 3);
+  return Grid<3>{{d[0], d[1], d[2]}};
+}
+
+Grid<4> make_grid4(int nranks) {
+  const auto d = dims_create(nranks, 4);
+  return Grid<4>{{d[0], d[1], d[2], d[3]}};
+}
+
+TimeNs jittered_compute(TimeNs base, double jitter, std::uint64_t seed,
+                        int rank, long step) {
+  if (jitter == 0.0) return base;
+  Rng rng(seed ^ (static_cast<std::uint64_t>(rank) << 32) ^
+          static_cast<std::uint64_t>(step));
+  const double u = rng.uniform(-1.0, 1.0);
+  return std::max(0.0, base * (1.0 + jitter * u));
+}
+
+}  // namespace llamp::apps

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "trace/builder.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace llamp::apps {
+
+/// Cartesian process-grid helpers shared by the proxy applications.  The
+/// proxies drive trace::TraceBuilder through these, i.e. they play the role
+/// of the real applications + liballprof in the paper's pipeline.
+
+/// Near-uniform d-dimensional factorization of nranks (largest factors
+/// first), like MPI_Dims_create.
+std::vector<int> dims_create(int nranks, int ndims);
+
+/// Exact integer cube root; throws if nranks is not a perfect cube.
+int exact_cube_side(int nranks);
+
+template <std::size_t N>
+struct Grid {
+  std::array<int, N> dims{};
+
+  int size() const {
+    int s = 1;
+    for (const int d : dims) s *= d;
+    return s;
+  }
+
+  std::array<int, N> coords(int rank) const {
+    std::array<int, N> c{};
+    for (std::size_t d = N; d-- > 0;) {
+      c[d] = rank % dims[d];
+      rank /= dims[d];
+    }
+    return c;
+  }
+
+  int rank(const std::array<int, N>& c) const {
+    int r = 0;
+    for (std::size_t d = 0; d < N; ++d) {
+      r = r * dims[d] + c[d];
+    }
+    return r;
+  }
+
+  /// Neighbor along dimension `dim` in direction `dir` (+1/-1), periodic.
+  int neighbor(int from, std::size_t dim, int dir) const {
+    auto c = coords(from);
+    const int extent = dims[dim];
+    c[dim] = (c[dim] + dir + extent) % extent;
+    return rank(c);
+  }
+
+  /// True if the step stays inside the (non-periodic) grid.
+  bool has_neighbor(int from, std::size_t dim, int dir) const {
+    const auto c = coords(from);
+    const int v = c[dim] + dir;
+    return v >= 0 && v < dims[dim];
+  }
+};
+
+Grid<2> make_grid2(int nranks);
+Grid<3> make_grid3(int nranks);
+Grid<4> make_grid4(int nranks);
+
+/// Nonblocking halo exchange along every dimension of a grid: posts all
+/// irecvs, all isends, then waits (receives first).  `bytes_per_dim[d]` is
+/// the per-direction message size in dimension d.
+template <std::size_t N>
+void halo_exchange(trace::TraceBuilder& tb, const Grid<N>& grid, int rank,
+                   const std::array<std::uint64_t, N>& bytes_per_dim,
+                   int tag = 0) {
+  std::vector<std::int64_t> recvs, sends;
+  for (std::size_t d = 0; d < N; ++d) {
+    const std::uint64_t bytes = bytes_per_dim[d];
+    if (bytes == 0 || grid.dims[d] < 2) continue;
+    for (const int dir : {-1, +1}) {
+      recvs.push_back(tb.irecv(rank, grid.neighbor(rank, d, dir), bytes, tag));
+    }
+  }
+  for (std::size_t d = 0; d < N; ++d) {
+    const std::uint64_t bytes = bytes_per_dim[d];
+    if (bytes == 0 || grid.dims[d] < 2) continue;
+    for (const int dir : {-1, +1}) {
+      sends.push_back(tb.isend(rank, grid.neighbor(rank, d, dir), bytes, tag));
+    }
+  }
+  tb.waitall(rank, recvs);
+  tb.waitall(rank, sends);
+}
+
+/// Per-rank compute grain with deterministic pseudo-random imbalance:
+/// duration = base · (1 + jitter·u) with u in [-1, 1) derived from
+/// (seed, rank, step).
+TimeNs jittered_compute(TimeNs base, double jitter, std::uint64_t seed,
+                        int rank, long step);
+
+}  // namespace llamp::apps

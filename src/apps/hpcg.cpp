@@ -1,0 +1,47 @@
+#include "apps/hpcg.hpp"
+
+#include "apps/common.hpp"
+
+namespace llamp::apps {
+
+trace::Trace make_hpcg_trace(const HpcgConfig& cfg) {
+  Grid<3> grid = make_grid3(cfg.nranks);
+  trace::TraceBuilder tb(cfg.nranks);
+
+  const auto nx = static_cast<std::uint64_t>(cfg.nx);
+  const double points = static_cast<double>(nx * nx * nx);
+  const TimeNs spmv_ns = points * cfg.compute_ns_per_point;
+
+  for (int it = 0; it < cfg.iterations; ++it) {
+    // SpMV with its halo.
+    for (int r = 0; r < cfg.nranks; ++r) {
+      const std::uint64_t face = nx * nx * 8;
+      halo_exchange(tb, grid, r, {face, face, face}, /*tag=*/1);
+      tb.compute(r, jittered_compute(spmv_ns, cfg.jitter, cfg.seed, r, it));
+    }
+    // MG V-cycle: geometrically shrinking halos and smoother work.
+    for (int level = 1; level <= cfg.mg_levels; ++level) {
+      const auto scale = static_cast<std::uint64_t>(1) << level;  // 2^level
+      const std::uint64_t face =
+          std::max<std::uint64_t>((nx / scale) * (nx / scale) * 8, 8);
+      const TimeNs smooth_ns =
+          spmv_ns / static_cast<double>(scale * scale * scale);
+      for (int r = 0; r < cfg.nranks; ++r) {
+        halo_exchange(tb, grid, r, {face, face, face}, /*tag=*/10 + level);
+        tb.compute(r, jittered_compute(smooth_ns, cfg.jitter, cfg.seed, r,
+                                       it * 16 + level));
+      }
+    }
+    // Dot products: the two global reductions of CG.
+    for (int dot = 0; dot < 2; ++dot) {
+      for (int r = 0; r < cfg.nranks; ++r) {
+        tb.compute(r, jittered_compute(spmv_ns * 0.05, cfg.jitter, cfg.seed, r,
+                                       it * 32 + dot));
+      }
+      tb.allreduce_all(8);
+    }
+  }
+  return tb.finish();
+}
+
+}  // namespace llamp::apps

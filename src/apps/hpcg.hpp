@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+
+#include "trace/trace.hpp"
+
+namespace llamp::apps {
+
+/// HPCG proxy (Heroux & Dongarra): preconditioned conjugate gradient on a
+/// 3-D 27-point stencil with a multigrid V-cycle preconditioner.  Each CG
+/// iteration performs:
+///
+///   1. SpMV halo exchange + SpMV compute,
+///   2. the MG preconditioner: `mg_levels` coarsening levels, each with its
+///      own (smaller) halo exchange and smoother compute,
+///   3. two dot products, each an 8-byte Allreduce — the latency-critical
+///      global synchronizations of CG.
+///
+/// Weak scaling: `nx` grid points per rank per dimension (the paper runs
+/// `xhpcg 48 48 48`).  The posting of halos before the smoother compute
+/// gives HPCG the communication/computation overlap the paper credits for
+/// its improving latency tolerance at scale.
+struct HpcgConfig {
+  int nranks = 32;
+  int iterations = 40;      ///< CG iterations
+  int nx = 32;              ///< local grid points per dimension
+  int mg_levels = 3;
+  double compute_ns_per_point = 60.0;
+  double jitter = 0.01;
+  std::uint64_t seed = 2;
+};
+
+trace::Trace make_hpcg_trace(const HpcgConfig& cfg);
+
+}  // namespace llamp::apps

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+
+#include "trace/trace.hpp"
+
+namespace llamp::apps {
+
+/// ICON proxy (icosahedral nonhydrostatic weather/climate model, Zängl et
+/// al.): the nonhydrostatic dynamical core advances `steps` time steps; each
+/// step runs several dycore substeps (halo exchange on the 2-D-decomposed
+/// icosahedral grid + heavy solver compute) and the physics parameterization
+/// (long compute, no communication), closing with an 8-byte Allreduce for
+/// global diagnostics/CFL.  Strong scaling over a fixed global grid (the
+/// paper's R02B04, 160 km): per-rank compute is large at small scale, giving
+/// ICON the highest latency tolerance of the evaluated applications, and
+/// shrinks as ranks grow.
+struct IconConfig {
+  int nranks = 32;
+  int steps = 30;            ///< model time steps
+  int dyn_substeps = 5;      ///< dynamics substeps per step
+  long global_cells = 20480; ///< R02B04-like cell count
+  double compute_ns_per_cell_substep = 1'600.0;
+  double physics_factor = 6.0;  ///< physics compute vs one dyn substep
+  double jitter = 0.015;
+  std::uint64_t seed = 4;
+};
+
+trace::Trace make_icon_trace(const IconConfig& cfg);
+
+}  // namespace llamp::apps

@@ -1,0 +1,49 @@
+#include "apps/lammps.hpp"
+
+#include <cmath>
+
+#include "apps/common.hpp"
+
+namespace llamp::apps {
+
+trace::Trace make_lammps_trace(const LammpsConfig& cfg) {
+  Grid<3> grid = make_grid3(cfg.nranks);
+  trace::TraceBuilder tb(cfg.nranks);
+
+  const double atoms = static_cast<double>(cfg.atoms_per_rank);
+  const TimeNs force_ns = atoms * cfg.compute_ns_per_atom;
+  // Ghost shell: atoms near the surface, ~ atoms^(2/3) per face, 3 doubles
+  // of position each.
+  const auto ghost_bytes = static_cast<std::uint64_t>(
+      std::max(64.0, std::pow(atoms, 2.0 / 3.0) * 24.0));
+
+  for (int step = 0; step < cfg.steps; ++step) {
+    for (int r = 0; r < cfg.nranks; ++r) {
+      // Position ghost exchange.
+      halo_exchange(tb, grid, r, {ghost_bytes, ghost_bytes, ghost_bytes},
+                    /*tag=*/1);
+      // EAM pass 1: embedding density.
+      tb.compute(r, jittered_compute(force_ns * 0.45, cfg.jitter, cfg.seed, r,
+                                     step * 4));
+      // Density ghost exchange (one double per ghost atom).
+      const std::uint64_t rho_bytes = ghost_bytes / 3;
+      halo_exchange(tb, grid, r, {rho_bytes, rho_bytes, rho_bytes},
+                    /*tag=*/2);
+      // EAM pass 2 + integration.
+      tb.compute(r, jittered_compute(force_ns * 0.55, cfg.jitter, cfg.seed, r,
+                                     step * 4 + 1));
+    }
+    if ((step + 1) % cfg.reneighbor_every == 0) {
+      for (int r = 0; r < cfg.nranks; ++r) {
+        const std::uint64_t border = ghost_bytes * 2;
+        halo_exchange(tb, grid, r, {border, border, border}, /*tag=*/3);
+        tb.compute(r, jittered_compute(force_ns * 0.1, cfg.jitter, cfg.seed, r,
+                                       step * 4 + 2));
+      }
+      tb.allreduce_all(8);  // global migration / thermo check
+    }
+  }
+  return tb.finish();
+}
+
+}  // namespace llamp::apps

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdint>
+
+#include "trace/trace.hpp"
+
+namespace llamp::apps {
+
+/// LAMMPS proxy (EAM metallic-solid benchmark, Thompson et al.): molecular
+/// dynamics with 3-D spatial decomposition.  Each time step ghost-exchanges
+/// atom positions with the six face neighbors, computes EAM forces (two
+/// passes with an intermediate density exchange, as in the real pair style),
+/// and integrates.  Every `reneighbor_every` steps, neighbor lists are
+/// rebuilt: border atoms are re-exchanged and a small Allreduce checks
+/// migration.  Weak scaling with `atoms_per_rank` (the paper uses 256000).
+struct LammpsConfig {
+  int nranks = 32;
+  int steps = 30;
+  long atoms_per_rank = 4000;
+  int reneighbor_every = 10;
+  double compute_ns_per_atom = 55.0;  ///< EAM force work per atom per step
+  double jitter = 0.01;
+  std::uint64_t seed = 5;
+};
+
+trace::Trace make_lammps_trace(const LammpsConfig& cfg);
+
+}  // namespace llamp::apps

@@ -1,0 +1,37 @@
+#include "apps/lulesh.hpp"
+
+#include "apps/common.hpp"
+#include "util/error.hpp"
+
+namespace llamp::apps {
+
+trace::Trace make_lulesh_trace(const LuleshConfig& cfg) {
+  const int side = exact_cube_side(cfg.nranks);
+  Grid<3> grid{{side, side, side}};
+  trace::TraceBuilder tb(cfg.nranks);
+
+  const auto s = static_cast<std::uint64_t>(cfg.side_elems);
+  // Face messages carry 3 fields of 8 bytes per boundary element.
+  const std::uint64_t face_bytes = s * s * 3 * 8;
+  const std::uint64_t thin_face_bytes = s * s * 8;
+  const double elements = static_cast<double>(s * s * s);
+  const TimeNs hydro_ns = elements * cfg.compute_ns_per_element;
+  const TimeNs update_ns = hydro_ns * 0.35;
+
+  for (int it = 0; it < cfg.iterations; ++it) {
+    for (int r = 0; r < cfg.nranks; ++r) {
+      halo_exchange(tb, grid, r, {face_bytes, face_bytes, face_bytes},
+                    /*tag=*/1);
+      tb.compute(r, jittered_compute(hydro_ns, cfg.jitter, cfg.seed, r, it));
+      halo_exchange(tb, grid, r,
+                    {thin_face_bytes, thin_face_bytes, thin_face_bytes},
+                    /*tag=*/2);
+      tb.compute(r,
+                 jittered_compute(update_ns, cfg.jitter, cfg.seed, r, it + 7));
+    }
+    tb.allreduce_all(8);  // global dt constraint
+  }
+  return tb.finish();
+}
+
+}  // namespace llamp::apps

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+
+#include "trace/trace.hpp"
+
+namespace llamp::apps {
+
+/// LULESH 2.0 proxy (Livermore unstructured Lagrangian hydrodynamics,
+/// Karlin et al.): 3-D domain decomposition over a cubic process grid.
+/// Each time step performs the code's characteristic pattern:
+///
+///   1. nonblocking face halo exchange (fields for the force calculation),
+///   2. a large hydrodynamics compute phase,
+///   3. a second, thinner halo exchange (nodal mass / gradient sync),
+///   4. position/velocity update compute,
+///   5. an 8-byte Allreduce for the global time-step constraint (dtcourant).
+///
+/// Weak scaling: `side_elems` elements per rank per dimension regardless of
+/// rank count, matching the paper's `-s` parameter.
+struct LuleshConfig {
+  int nranks = 27;           ///< must be a perfect cube
+  int iterations = 40;       ///< time steps (`-i`)
+  int side_elems = 16;       ///< elements per rank per dimension (`-s`)
+  double compute_ns_per_element = 500.0;  ///< hydro work per element per step
+  double jitter = 0.01;      ///< relative load imbalance
+  std::uint64_t seed = 1;
+};
+
+trace::Trace make_lulesh_trace(const LuleshConfig& cfg);
+
+}  // namespace llamp::apps

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+
+#include "trace/trace.hpp"
+
+namespace llamp::apps {
+
+/// MILC su3_rmd proxy (lattice QCD, Bernard et al.): a conjugate-gradient
+/// Dirac-operator solve on a 4-D space-time lattice decomposed over a 4-D
+/// process grid.  Each CG iteration applies the Dslash operator — halo
+/// exchanges in all 8 directions (4 dims x 2) of thin hypersurface messages
+/// — with only a small matrix-vector compute in between, followed by an
+/// 8-byte Allreduce for the residual norm.  The global lattice is fixed
+/// (strong scaling; the paper uses 16^4), so per-rank compute shrinks with
+/// rank count and the frequent tiny reductions dominate: MILC is the least
+/// latency-tolerant application in the paper (Fig. 1, Fig. 9).
+struct MilcConfig {
+  int nranks = 32;
+  int cg_iterations = 300;
+  int lattice = 16;          ///< global lattice extent per dimension
+  double compute_ns_per_site = 90.0;  ///< SU(3) matvec work per local site
+  double jitter = 0.005;
+  std::uint64_t seed = 3;
+};
+
+trace::Trace make_milc_trace(const MilcConfig& cfg);
+
+}  // namespace llamp::apps

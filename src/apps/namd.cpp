@@ -1,0 +1,68 @@
+#include "apps/namd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "apps/common.hpp"
+
+namespace llamp::apps {
+
+trace::Trace make_namd_trace(const NamdConfig& cfg) {
+  trace::TraceBuilder tb(cfg.nranks);
+  const int K = cfg.objects;
+  // How many patch computes the scheduler slides between posting a receive
+  // and needing its data, as observed at the recording latency.
+  const int defer = std::min<int>(
+      K - 1,
+      static_cast<int>(std::ceil(cfg.traced_delta_L /
+                                 std::max(cfg.patch_compute, 1.0))));
+
+  for (int step = 0; step < cfg.steps; ++step) {
+    // Requests per rank, posted up front (message-driven runtime).
+    std::vector<std::vector<std::int64_t>> recv_req(
+        static_cast<std::size_t>(cfg.nranks));
+    std::vector<std::vector<std::int64_t>> send_req(
+        static_cast<std::size_t>(cfg.nranks));
+    for (int r = 0; r < cfg.nranks; ++r) {
+      for (int k = 0; k < K; ++k) {
+        const int peer = (r + 1 + k) % cfg.nranks;
+        if (peer == r) continue;
+        recv_req[static_cast<std::size_t>(r)].push_back(
+            tb.irecv(r, peer, cfg.message_bytes, k));
+      }
+      for (int k = 0; k < K; ++k) {
+        const int peer = ((r - 1 - k) % cfg.nranks + cfg.nranks) % cfg.nranks;
+        if (peer == r) continue;
+        send_req[static_cast<std::size_t>(r)].push_back(
+            tb.isend(r, peer, cfg.message_bytes, k));
+      }
+    }
+    // Message-driven patch processing: the wait for message k lands after
+    // patch compute min(K-1, k + defer).
+    for (int r = 0; r < cfg.nranks; ++r) {
+      const auto& recvs = recv_req[static_cast<std::size_t>(r)];
+      std::size_t next_wait = 0;
+      for (int k = 0; k < K; ++k) {
+        tb.compute(r, jittered_compute(cfg.patch_compute, cfg.jitter, cfg.seed,
+                                       r, step * 64 + k));
+        while (next_wait < recvs.size() &&
+               static_cast<int>(next_wait) + defer <= k) {
+          tb.wait(r, recvs[next_wait]);
+          ++next_wait;
+        }
+      }
+      while (next_wait < recvs.size()) {
+        tb.wait(r, recvs[next_wait]);
+        ++next_wait;
+      }
+      tb.waitall(r, send_req[static_cast<std::size_t>(r)]);
+      // Integration after all contributions arrive.
+      tb.compute(r, jittered_compute(cfg.patch_compute * 0.3, cfg.jitter,
+                                     cfg.seed, r, step * 64 + 63));
+    }
+  }
+  return tb.finish();
+}
+
+}  // namespace llamp::apps

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+
+#include "trace/trace.hpp"
+#include "util/time.hpp"
+
+namespace llamp::apps {
+
+/// NAMD/charm++ proxy (Fig. 12): molecular dynamics on an over-decomposed,
+/// message-driven runtime.  Each rank owns `objects` patches per step; their
+/// remote force contributions are posted as nonblocking receives at the
+/// start of the step, and the message-driven scheduler interleaves patch
+/// computes with message completion.
+///
+/// The key charm++ behaviour the paper observes is that *the recorded trace
+/// depends on the latency at which it was recorded*: at higher ΔL the
+/// runtime reorders work so that more compute separates posting from
+/// waiting.  `traced_delta_L` models this: the wait for each message is
+/// deferred by ceil(traced_delta_L / patch_compute) patch computations, so
+/// traces recorded at higher latency show more overlap (flatter
+/// measured-vs-predicted curves, exactly Fig. 12's effect).
+struct NamdConfig {
+  int nranks = 16;
+  int steps = 40;
+  int objects = 8;             ///< patches per rank (over-decomposition)
+  TimeNs patch_compute = 250'000.0;  ///< ns per patch per step
+  std::uint64_t message_bytes = 4096;
+  TimeNs traced_delta_L = 0.0; ///< ΔL at which the trace was "recorded"
+  double jitter = 0.01;
+  std::uint64_t seed = 9;
+};
+
+trace::Trace make_namd_trace(const NamdConfig& cfg);
+
+}  // namespace llamp::apps

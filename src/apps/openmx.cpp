@@ -1,0 +1,42 @@
+#include "apps/openmx.hpp"
+
+#include "apps/common.hpp"
+
+namespace llamp::apps {
+
+trace::Trace make_openmx_trace(const OpenmxConfig& cfg) {
+  trace::TraceBuilder tb(cfg.nranks);
+
+  const double basis = static_cast<double>(cfg.basis_per_rank);
+  const TimeNs hamiltonian_ns = basis * cfg.compute_ns_per_basis;
+  const auto block_bytes =
+      static_cast<std::uint64_t>(basis * 16.0);  // complex block row
+
+  for (int it = 0; it < cfg.scf_iterations; ++it) {
+    // Hamiltonian construction: long local compute.
+    for (int r = 0; r < cfg.nranks; ++r) {
+      tb.compute(r, jittered_compute(hamiltonian_ns, cfg.jitter, cfg.seed, r,
+                                     it * 64));
+    }
+    // Block diagonalization sweeps: bcast the panel, reduce the updates.
+    for (int blk = 0; blk < cfg.eig_blocks; ++blk) {
+      const int root = blk % cfg.nranks;
+      tb.bcast_all(block_bytes, root);
+      for (int r = 0; r < cfg.nranks; ++r) {
+        tb.compute(r, jittered_compute(hamiltonian_ns * 0.08, cfg.jitter,
+                                       cfg.seed, r, it * 64 + blk));
+      }
+      tb.reduce_all(block_bytes, root);
+    }
+    // Eigenvector redistribution + density mixing.
+    tb.allgather_all(block_bytes / 4);
+    for (int r = 0; r < cfg.nranks; ++r) {
+      tb.compute(r, jittered_compute(hamiltonian_ns * 0.2, cfg.jitter,
+                                     cfg.seed, r, it * 64 + 33));
+    }
+    tb.allreduce_all(64);  // charge-density residual
+  }
+  return tb.finish();
+}
+
+}  // namespace llamp::apps

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstdint>
+
+#include "trace/trace.hpp"
+
+namespace llamp::apps {
+
+/// OpenMX proxy (DFT, bulk diamond DIA64 example): each SCF iteration
+/// builds the Hamiltonian (large local compute), diagonalizes with
+/// collective-heavy linear algebra (Bcast/Reduce sweeps over eigenvalue
+/// blocks plus an Allgather of eigenvectors), and mixes densities with an
+/// Allreduce.  Collective-dominated with long compute phases.
+struct OpenmxConfig {
+  int nranks = 32;
+  int scf_iterations = 12;
+  int eig_blocks = 8;        ///< diagonalization block sweeps per SCF step
+  long basis_per_rank = 600; ///< local basis functions
+  double compute_ns_per_basis = 4'000.0;
+  double jitter = 0.01;
+  std::uint64_t seed = 6;
+};
+
+trace::Trace make_openmx_trace(const OpenmxConfig& cfg);
+
+}  // namespace llamp::apps

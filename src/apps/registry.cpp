@@ -1,0 +1,113 @@
+#include "apps/registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "apps/cloverleaf.hpp"
+#include "apps/hpcg.hpp"
+#include "apps/icon.hpp"
+#include "apps/lammps.hpp"
+#include "apps/lulesh.hpp"
+#include "apps/milc.hpp"
+#include "apps/namd.hpp"
+#include "apps/npb.hpp"
+#include "apps/openmx.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace llamp::apps {
+
+namespace {
+
+int scaled(int base, double scale) {
+  return std::max(1, static_cast<int>(std::lround(base * scale)));
+}
+
+}  // namespace
+
+trace::Trace make_app_trace(const std::string& name, int nranks, double scale,
+                            std::uint64_t seed) {
+  if (name == "lulesh") {
+    LuleshConfig c;
+    c.nranks = nranks;
+    c.iterations = scaled(c.iterations, scale);
+    c.seed = seed;
+    return make_lulesh_trace(c);
+  }
+  if (name == "hpcg") {
+    HpcgConfig c;
+    c.nranks = nranks;
+    c.iterations = scaled(c.iterations, scale);
+    c.seed = seed;
+    return make_hpcg_trace(c);
+  }
+  if (name == "milc") {
+    MilcConfig c;
+    c.nranks = nranks;
+    c.cg_iterations = scaled(c.cg_iterations, scale);
+    c.seed = seed;
+    return make_milc_trace(c);
+  }
+  if (name == "icon") {
+    IconConfig c;
+    c.nranks = nranks;
+    c.steps = scaled(c.steps, scale);
+    c.seed = seed;
+    return make_icon_trace(c);
+  }
+  if (name == "lammps") {
+    LammpsConfig c;
+    c.nranks = nranks;
+    c.steps = scaled(c.steps, scale);
+    c.seed = seed;
+    return make_lammps_trace(c);
+  }
+  if (name == "openmx") {
+    OpenmxConfig c;
+    c.nranks = nranks;
+    c.scf_iterations = scaled(c.scf_iterations, scale);
+    c.seed = seed;
+    return make_openmx_trace(c);
+  }
+  if (name == "cloverleaf") {
+    CloverleafConfig c;
+    c.nranks = nranks;
+    c.steps = scaled(c.steps, scale);
+    c.seed = seed;
+    return make_cloverleaf_trace(c);
+  }
+  if (name == "namd") {
+    NamdConfig c;
+    c.nranks = nranks;
+    c.steps = scaled(c.steps, scale);
+    c.seed = seed;
+    return make_namd_trace(c);
+  }
+  if (starts_with(name, "npb-")) {
+    NpbConfig c;
+    c.kernel = npb_kernel_from_name(name.substr(4));
+    c.nranks = nranks;
+    c.iterations = scaled(c.iterations, scale);
+    c.seed = seed;
+    return make_npb_trace(c);
+  }
+  throw Error("unknown application '" + name + "'");
+}
+
+std::vector<std::string> app_names() {
+  return {"lulesh", "hpcg",   "milc",   "icon",   "lammps",
+          "openmx", "cloverleaf", "npb-bt", "npb-cg", "npb-ep",
+          "npb-ft", "npb-lu", "npb-mg", "npb-sp", "namd"};
+}
+
+int supported_ranks(const std::string& name, int want) {
+  if (want < 1) throw Error("supported_ranks: want >= 1");
+  if (name == "lulesh") {
+    int side = 1;
+    while ((side + 1) * (side + 1) * (side + 1) <= want) ++side;
+    return side * side * side;
+  }
+  return want;
+}
+
+}  // namespace llamp::apps

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace llamp::apps {
+
+/// Uniform factory over every proxy application, used by the benchmark
+/// harnesses and integration tests.  `scale` multiplies the default
+/// iteration/step count (1.0 = the proxy's default size).
+///
+/// Names: "lulesh", "hpcg", "milc", "icon", "lammps", "openmx",
+/// "cloverleaf", "npb-bt", "npb-cg", "npb-ep", "npb-ft", "npb-lu",
+/// "npb-mg", "npb-sp", "namd".
+trace::Trace make_app_trace(const std::string& name, int nranks,
+                            double scale = 1.0, std::uint64_t seed = 1);
+
+std::vector<std::string> app_names();
+
+/// Nearest rank count supported by an app at or below `want` (e.g. LULESH
+/// needs a perfect cube).
+int supported_ranks(const std::string& name, int want);
+
+}  // namespace llamp::apps

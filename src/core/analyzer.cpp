@@ -1,0 +1,127 @@
+#include "core/analyzer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <mutex>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace llamp::core {
+
+LatencyAnalyzer::LatencyAnalyzer(const graph::Graph& g, loggops::Params p)
+    : g_(g),
+      params_(p),
+      space_(std::make_shared<lp::LatencyParamSpace>(p)),
+      solver_(g, space_) {
+  base_runtime_ = solver_.solve(0, params_.L).value;
+}
+
+TimeNs LatencyAnalyzer::predict_runtime(TimeNs delta_L) const {
+  return solver_.solve(0, params_.L + delta_L).value;
+}
+
+double LatencyAnalyzer::lambda_L(TimeNs delta_L) const {
+  return solver_.solve(0, params_.L + delta_L).gradient[0];
+}
+
+double LatencyAnalyzer::rho_L(TimeNs delta_L) const {
+  const auto sol = solver_.solve(0, params_.L + delta_L);
+  if (sol.value <= 0.0) return 0.0;
+  return (params_.L + delta_L) * sol.gradient[0] / sol.value;
+}
+
+TimeNs LatencyAnalyzer::tolerance(double percent) const {
+  if (percent < 0.0) throw Error("tolerance: negative percentage");
+  const double budget = base_runtime_ * (1.0 + percent / 100.0);
+  return solver_.max_param_for_budget(0, budget);
+}
+
+TimeNs LatencyAnalyzer::tolerance_delta(double percent) const {
+  const TimeNs tol = tolerance(percent);
+  if (!std::isfinite(tol)) return tol;
+  return tol - params_.L;
+}
+
+std::vector<TimeNs> LatencyAnalyzer::critical_latencies(TimeNs lo,
+                                                        TimeNs hi) const {
+  return solver_.critical_values(0, lo, hi);
+}
+
+std::vector<lp::ParametricSolver::Segment> LatencyAnalyzer::runtime_curve(
+    TimeNs lo, TimeNs hi) const {
+  return solver_.piecewise(0, lo, hi);
+}
+
+double LatencyAnalyzer::lambda_G() const {
+  const auto space =
+      std::make_shared<lp::LatencyBandwidthParamSpace>(params_);
+  lp::ParametricSolver s(g_, space);
+  return s.solve(1, params_.G).gradient[1];
+}
+
+std::vector<LatencyAnalyzer::SweepPoint> LatencyAnalyzer::sweep(
+    const std::vector<TimeNs>& delta_Ls, int threads) const {
+  std::vector<SweepPoint> out(delta_Ls.size());
+  const auto eval = [&](std::size_t i) {
+    const TimeNs d = delta_Ls[i];
+    if (d < 0.0) throw Error("sweep: negative latency injection");
+    const auto sol = solver_.solve(0, params_.L + d);
+    out[i] = {d, sol.value, sol.gradient[0],
+              sol.value > 0.0 ? (params_.L + d) * sol.gradient[0] / sol.value
+                              : 0.0};
+  };
+  int nthreads = threads > 0
+                     ? threads
+                     : static_cast<int>(std::thread::hardware_concurrency());
+  nthreads = std::max(1, std::min<int>(nthreads,
+                                       static_cast<int>(delta_Ls.size())));
+  if (nthreads == 1) {
+    for (std::size_t i = 0; i < delta_Ls.size(); ++i) eval(i);
+    return out;
+  }
+  std::vector<std::thread> pool;
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  for (int t = 0; t < nthreads; ++t) {
+    pool.emplace_back([&, t] {
+      try {
+        for (std::size_t i = static_cast<std::size_t>(t); i < delta_Ls.size();
+             i += static_cast<std::size_t>(nthreads)) {
+          eval(i);
+        }
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  if (error) std::rethrow_exception(error);
+  return out;
+}
+
+std::vector<double> LatencyAnalyzer::pairwise_lambda_L() const {
+  const int n = g_.nranks();
+  const auto space =
+      std::make_shared<lp::PairwiseLatencyParamSpace>(params_, n);
+  lp::ParametricSolver s(g_, space);
+  const auto sol = s.solve(0, space->base_value(0));
+  std::vector<double> mat(static_cast<std::size_t>(n) *
+                              static_cast<std::size_t>(n),
+                          0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const double v =
+          sol.gradient[static_cast<std::size_t>(space->pair_index(i, j))];
+      mat[static_cast<std::size_t>(i) * static_cast<std::size_t>(n) +
+          static_cast<std::size_t>(j)] = v;
+      mat[static_cast<std::size_t>(j) * static_cast<std::size_t>(n) +
+          static_cast<std::size_t>(i)] = v;
+    }
+  }
+  return mat;
+}
+
+}  // namespace llamp::core

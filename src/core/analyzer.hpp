@@ -1,0 +1,94 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "loggops/params.hpp"
+#include "lp/param_space.hpp"
+#include "lp/parametric.hpp"
+
+namespace llamp::core {
+
+/// LLAMP's primary user-facing interface: network latency sensitivity and
+/// tolerance analysis of one execution graph under a LogGPS configuration.
+///
+/// All latency arguments are expressed as injected deltas ΔL over the
+/// measured base latency (the x-axis of Figs. 1, 9, 10) unless the name
+/// says otherwise.
+class LatencyAnalyzer {
+ public:
+  LatencyAnalyzer(const graph::Graph& g, loggops::Params p);
+  /// The analyzer keeps a reference; a temporary graph would dangle.
+  LatencyAnalyzer(graph::Graph&&, loggops::Params) = delete;
+
+  const loggops::Params& params() const { return params_; }
+
+  /// Forecast runtime at base latency + delta_L (Fig. 9 top panels).
+  TimeNs predict_runtime(TimeNs delta_L = 0.0) const;
+
+  /// Runtime at the measured base latency (the 0-injection point).
+  TimeNs base_runtime() const { return base_runtime_; }
+
+  /// Latency sensitivity λ_L = ∂T/∂L at the given injection (Fig. 9 bottom
+  /// panels): the number of latency units on the critical path.
+  double lambda_L(TimeNs delta_L = 0.0) const;
+
+  /// L ratio: the fraction of critical-path time attributable to network
+  /// latency, (L·λ_L)/T at the given injection.  (§II-D1 prints the
+  /// reciprocal in its defining formula, but the quantity it describes and
+  /// plots — "what fraction of the critical path's execution time is due to
+  /// network latency", axis 0..50% — is this fraction.)
+  double rho_L(TimeNs delta_L = 0.0) const;
+
+  /// x% L tolerance (§II-D2): the largest *absolute* network latency L such
+  /// that runtime stays within (1 + percent/100) of base_runtime().
+  /// Returns +inf when latency never limits the program.
+  TimeNs tolerance(double percent) const;
+
+  /// Same tolerance expressed as an injection ΔL over the base latency.
+  TimeNs tolerance_delta(double percent) const;
+
+  /// Critical latencies (Algorithm 2): absolute L values in [lo, hi] where
+  /// λ_L changes.
+  std::vector<TimeNs> critical_latencies(TimeNs lo, TimeNs hi) const;
+
+  /// Exact piecewise-linear runtime curve over absolute L in [lo, hi].
+  std::vector<lp::ParametricSolver::Segment> runtime_curve(TimeNs lo,
+                                                           TimeNs hi) const;
+
+  /// Bandwidth sensitivity λ_G = ∂T/∂G at the base configuration (§II-B1).
+  double lambda_G() const;
+
+  /// Per-pair HLogGP latency sensitivities λ_L^{i,j} (Appendix I) at the
+  /// base configuration with uniform pairwise latency matrices.  Entry
+  /// (i, j) of the returned row-major nranks x nranks matrix is the number
+  /// of latency units between ranks i and j on the critical path.
+  std::vector<double> pairwise_lambda_L() const;
+
+  /// One evaluated point of a latency sweep.
+  struct SweepPoint {
+    TimeNs delta_L = 0.0;
+    TimeNs runtime = 0.0;
+    double lambda_L = 0.0;
+    double rho_L = 0.0;
+  };
+
+  /// Evaluate runtime/λ_L/ρ_L at many injections in parallel (the LP solves
+  /// are independent, mirroring how the paper parallelizes its sweeps via
+  /// the barrier method).  `threads` <= 0 uses the hardware concurrency.
+  std::vector<SweepPoint> sweep(const std::vector<TimeNs>& delta_Ls,
+                                int threads = 0) const;
+
+  /// Access to the underlying solver for advanced (multi-parameter) use.
+  const lp::ParametricSolver& solver() const { return solver_; }
+
+ private:
+  const graph::Graph& g_;
+  loggops::Params params_;
+  std::shared_ptr<const lp::LatencyParamSpace> space_;
+  lp::ParametricSolver solver_;
+  TimeNs base_runtime_ = 0.0;
+};
+
+}  // namespace llamp::core

@@ -1,0 +1,74 @@
+#include "core/report.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace llamp::core {
+
+ToleranceReport make_report(const graph::Graph& g, const loggops::Params& p,
+                            const ReportOptions& opts) {
+  if (opts.sweep_points < 2) throw Error("report: need >= 2 sweep points");
+  LatencyAnalyzer an(g, p);
+  ToleranceReport rep;
+  rep.params = p;
+  rep.base_runtime = an.base_runtime();
+  rep.lambda_L_base = an.lambda_L();
+  rep.lambda_G = an.lambda_G();
+  for (const double pct : opts.band_percents) {
+    rep.bands.push_back({pct, an.tolerance_delta(pct)});
+  }
+  std::vector<TimeNs> grid;
+  for (int i = 0; i < opts.sweep_points; ++i) {
+    grid.push_back(opts.sweep_max * i / (opts.sweep_points - 1));
+  }
+  rep.curve = an.sweep(grid, opts.threads);
+  // Application graphs can have thousands of basis changes; bound the scan
+  // with Algorithm 2's step knob at the resolution a report can display.
+  const double step =
+      opts.sweep_max / (4.0 * static_cast<double>(opts.max_critical));
+  rep.critical_latencies = an.solver().critical_values_algorithm2(
+      0, p.L, p.L + opts.sweep_max, step);
+  if (rep.critical_latencies.size() > opts.max_critical) {
+    rep.critical_latencies.resize(opts.max_critical);
+  }
+  return rep;
+}
+
+std::string ToleranceReport::to_string() const {
+  std::ostringstream os;
+  os << "network: " << params.to_string() << '\n';
+  os << strformat("base runtime T(L): %s   lambda_L: %.0f   lambda_G: %.0f "
+                  "bytes\n",
+                  human_time_ns(base_runtime).c_str(), lambda_L_base,
+                  lambda_G);
+  os << "latency tolerance (max ΔL before x% degradation):";
+  for (const Band& b : bands) {
+    os << strformat("  %.0f%%: %s", b.percent,
+                    std::isfinite(b.tolerance_delta)
+                        ? human_time_ns(b.tolerance_delta).c_str()
+                        : "unbounded");
+  }
+  os << '\n';
+  Table t({"ΔL", "T(ΔL)", "slowdown", "lambda_L", "rho_L"});
+  for (const auto& pt : curve) {
+    t.add_row({human_time_ns(pt.delta_L), human_time_ns(pt.runtime),
+               strformat("%+.2f%%", 100.0 * (pt.runtime / base_runtime - 1.0)),
+               strformat("%.0f", pt.lambda_L),
+               strformat("%.1f%%", 100.0 * pt.rho_L)});
+  }
+  os << t.to_string();
+  if (!critical_latencies.empty()) {
+    os << "critical latencies (lambda changes):";
+    for (const TimeNs c : critical_latencies) {
+      os << ' ' << human_time_ns(c);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace llamp::core

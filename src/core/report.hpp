@@ -1,0 +1,49 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/analyzer.hpp"
+#include "graph/graph.hpp"
+#include "loggops/params.hpp"
+#include "trace/trace.hpp"
+
+namespace llamp::core {
+
+/// One-call "what does LLAMP say about this application" summary: the
+/// consolidated output of the toolchain (runtime forecast curve, λ_L/ρ_L,
+/// tolerance bands, critical latencies, bandwidth sensitivity), rendered as
+/// a report table.  This is what the trace_analyze CLI prints and what a
+/// user skimming a single application wants first.
+struct ToleranceReport {
+  loggops::Params params;
+  TimeNs base_runtime = 0.0;
+  double lambda_L_base = 0.0;
+  double lambda_G = 0.0;
+
+  struct Band {
+    double percent = 0.0;
+    TimeNs tolerance_delta = 0.0;  ///< +inf when latency never binds
+  };
+  std::vector<Band> bands;  // 1% / 2% / 5% by default
+
+  std::vector<LatencyAnalyzer::SweepPoint> curve;
+  std::vector<TimeNs> critical_latencies;  ///< within the sweep window
+
+  std::string to_string() const;
+};
+
+struct ReportOptions {
+  TimeNs sweep_max = 100'000.0;  ///< ΔL ceiling of the forecast curve
+  int sweep_points = 11;
+  std::vector<double> band_percents = {1.0, 2.0, 5.0};
+  /// Cap on critical latencies listed (application graphs can have many).
+  std::size_t max_critical = 16;
+  int threads = 0;  ///< sweep parallelism; <= 0 = hardware concurrency
+};
+
+/// Analyze a prepared execution graph.
+ToleranceReport make_report(const graph::Graph& g, const loggops::Params& p,
+                            const ReportOptions& opts = {});
+
+}  // namespace llamp::core

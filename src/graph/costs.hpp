@@ -1,0 +1,53 @@
+#pragma once
+
+#include "graph/graph.hpp"
+#include "loggops/params.hpp"
+#include "loggops/wire_model.hpp"
+
+namespace llamp::graph {
+
+/// CPU cost of executing a vertex under the LogGPS configuration `p`:
+/// calc vertices cost their recorded duration, send/recv vertices cost the
+/// per-message overhead o plus the per-byte overhead O·s, post vertices cost
+/// the posting overhead o.  These formulas are the single source of truth
+/// shared by the discrete-event simulator and the LP layer — their
+/// equivalence property tests depend on that.
+inline TimeNs vertex_cost(const Vertex& v, const loggops::Params& p) {
+  switch (v.kind) {
+    case VertexKind::kCalc:
+      return v.duration;
+    case VertexKind::kSend:
+    case VertexKind::kRecv:
+      return p.o + static_cast<double>(v.bytes) * p.O;
+    case VertexKind::kPost:
+      return p.o;
+  }
+  return 0.0;
+}
+
+/// Cost of traversing an edge: o_mult·o + l_mult·L(pair) + (bytes-1)·G(pair),
+/// where the wire pair is the message's (sender, receiver) for comm, issue,
+/// and completion edges.
+inline TimeNs edge_cost(const Graph& g, const Edge& e, const loggops::Params& p,
+                        const loggops::WireModel& wire) {
+  TimeNs c = static_cast<double>(e.o_mult) * p.o;
+  if (e.l_mult != 0 || e.bytes != 0) {
+    const auto [src, dst] = g.edge_wire_pair(e);
+    if (e.l_mult != 0) {
+      c += static_cast<double>(e.l_mult) * wire.latency(src, dst);
+    }
+    if (e.bytes > 1) {
+      c += static_cast<double>(e.bytes - 1) * wire.gap_per_byte(src, dst);
+    }
+  }
+  return c;
+}
+
+/// Uniform-wire convenience overload.
+inline TimeNs edge_cost(const Graph& g, const Edge& e,
+                        const loggops::Params& p) {
+  const loggops::UniformWire wire(p);
+  return edge_cost(g, e, p, wire);
+}
+
+}  // namespace llamp::graph

@@ -1,0 +1,197 @@
+#include "graph/graph_io.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace llamp::graph {
+
+namespace {
+constexpr std::string_view kMagic = "LLAMP_GOAL";
+constexpr int kVersion = 1;
+
+std::string_view edge_kind_name(EdgeKind k) {
+  switch (k) {
+    case EdgeKind::kLocal: return "local";
+    case EdgeKind::kComm: return "comm";
+    case EdgeKind::kIssue: return "issue";
+    case EdgeKind::kSendCompletion: return "compl";
+  }
+  return "?";
+}
+}  // namespace
+
+void write_goal(std::ostream& os, const Graph& g) {
+  os << kMagic << ' ' << kVersion << '\n';
+  os << "ranks " << g.nranks() << '\n';
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const Vertex& vx = g.vertex(v);
+    switch (vx.kind) {
+      case VertexKind::kCalc:
+        os << "v " << v << " calc " << vx.rank << ' '
+           << strformat("%.17g", vx.duration) << '\n';
+        break;
+      case VertexKind::kPost:
+        os << "v " << v << " post " << vx.rank << ' ' << vx.peer << '\n';
+        break;
+      case VertexKind::kSend:
+      case VertexKind::kRecv:
+        os << "v " << v << ' '
+           << (vx.kind == VertexKind::kSend ? "send" : "recv") << ' '
+           << vx.rank << ' ' << vx.peer << ' ' << vx.bytes << ' ' << vx.tag
+           << '\n';
+        break;
+    }
+  }
+  for (const Edge& e : g.edges()) {
+    os << "e " << e.from << ' ' << e.to << ' ' << edge_kind_name(e.kind) << ' '
+       << static_cast<int>(e.o_mult) << ' ' << static_cast<int>(e.l_mult)
+       << ' ' << e.bytes << '\n';
+  }
+}
+
+std::string to_goal(const Graph& g) {
+  std::ostringstream os;
+  write_goal(os, g);
+  return os.str();
+}
+
+Graph read_goal(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line)) throw GraphError("goal: empty input");
+  {
+    const auto header = split_ws(line);
+    if (header.size() != 2 || header[0] != kMagic ||
+        parse_ll(header[1]) != kVersion) {
+      throw GraphError("goal: bad header '" + line + "'");
+    }
+  }
+  if (!std::getline(is, line)) throw GraphError("goal: missing ranks line");
+  const auto ranks_fields = split_ws(line);
+  if (ranks_fields.size() != 2 || ranks_fields[0] != "ranks") {
+    throw GraphError("goal: bad ranks line");
+  }
+  Graph g(static_cast<int>(parse_ll(ranks_fields[1])));
+  std::size_t expected_id = 0;
+  std::size_t lineno = 2;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto t = trim(line);
+    if (t.empty() || t.front() == '#') continue;
+    const auto f = split_ws(t);
+    if (f[0] == "v") {
+      if (f.size() < 5) {
+        throw GraphError(strformat("goal line %zu: short vertex", lineno));
+      }
+      if (static_cast<std::size_t>(parse_ll(f[1])) != expected_id) {
+        throw GraphError(strformat("goal line %zu: ids must be dense "
+                                   "ascending", lineno));
+      }
+      ++expected_id;
+      const auto rank = static_cast<int>(parse_ll(f[3]));
+      if (f[2] == "calc") {
+        g.add_calc(rank, parse_double(f[4]));
+      } else if (f[2] == "post") {
+        g.add_post(rank, static_cast<int>(parse_ll(f[4])));
+      } else if (f[2] == "send" || f[2] == "recv") {
+        if (f.size() != 7) {
+          throw GraphError(strformat("goal line %zu: p2p vertex needs 7 "
+                                     "fields", lineno));
+        }
+        const auto peer = static_cast<int>(parse_ll(f[4]));
+        const auto bytes = static_cast<std::uint64_t>(parse_ll(f[5]));
+        const auto tag = static_cast<int>(parse_ll(f[6]));
+        if (f[2] == "send") {
+          g.add_send(rank, peer, bytes, tag);
+        } else {
+          g.add_recv(rank, peer, bytes, tag);
+        }
+      } else {
+        throw GraphError(strformat("goal line %zu: unknown vertex kind '%s'",
+                                   lineno, f[2].c_str()));
+      }
+    } else if (f[0] == "e") {
+      if (f.size() != 7) {
+        throw GraphError(strformat("goal line %zu: edge needs 7 fields",
+                                   lineno));
+      }
+      const auto from = static_cast<VertexId>(parse_ll(f[1]));
+      const auto to = static_cast<VertexId>(parse_ll(f[2]));
+      const auto o_mult = parse_ll(f[4]);
+      const auto l_mult = parse_ll(f[5]);
+      if (f[3] == "comm") {
+        g.add_comm_edge(from, to, /*rendezvous=*/l_mult == 3);
+      } else if (f[3] == "local") {
+        g.add_local_edge(from, to);
+      } else if (f[3] == "issue") {
+        g.add_issue_edge(from, to, /*through_post=*/o_mult == 0);
+      } else if (f[3] == "compl") {
+        g.add_completion_edge_raw(from, to, static_cast<int>(o_mult),
+                                  static_cast<int>(l_mult),
+                                  static_cast<std::uint64_t>(parse_ll(f[6])));
+      } else {
+        throw GraphError(strformat("goal line %zu: unknown edge kind '%s'",
+                                   lineno, f[3].c_str()));
+      }
+    } else {
+      throw GraphError(strformat("goal line %zu: unknown record '%s'", lineno,
+                                 f[0].c_str()));
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+Graph goal_from_text(const std::string& text) {
+  std::istringstream is(text);
+  return read_goal(is);
+}
+
+std::string to_dot(const Graph& g) {
+  std::ostringstream os;
+  os << "digraph llamp {\n  rankdir=TB;\n";
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const Vertex& vx = g.vertex(v);
+    switch (vx.kind) {
+      case VertexKind::kCalc:
+        os << strformat("  v%u [shape=box,style=filled,fillcolor=palegreen,"
+                        "label=\"C r%d\\n%s\"];\n",
+                        v, vx.rank, human_time_ns(vx.duration).c_str());
+        break;
+      case VertexKind::kPost:
+        os << strformat("  v%u [shape=box,style=filled,fillcolor=lightblue,"
+                        "label=\"P r%d\"];\n", v, vx.rank);
+        break;
+      case VertexKind::kSend:
+        os << strformat("  v%u [shape=ellipse,style=filled,fillcolor=salmon,"
+                        "label=\"S r%d->%d\\n%llu B\"];\n",
+                        v, vx.rank, vx.peer,
+                        static_cast<unsigned long long>(vx.bytes));
+        break;
+      case VertexKind::kRecv:
+        os << strformat("  v%u [shape=ellipse,style=filled,fillcolor=salmon,"
+                        "label=\"R r%d<-%d\\n%llu B\"];\n",
+                        v, vx.rank, vx.peer,
+                        static_cast<unsigned long long>(vx.bytes));
+        break;
+    }
+  }
+  for (const Edge& e : g.edges()) {
+    const char* style = "";
+    switch (e.kind) {
+      case EdgeKind::kComm: style = " [style=bold,color=red]"; break;
+      case EdgeKind::kIssue: style = " [style=dashed,color=blue]"; break;
+      case EdgeKind::kSendCompletion:
+        style = " [style=dotted,color=purple]";
+        break;
+      case EdgeKind::kLocal: break;
+    }
+    os << strformat("  v%u -> v%u%s;\n", e.from, e.to, style);
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace llamp::graph

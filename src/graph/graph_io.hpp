@@ -1,0 +1,31 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace llamp::graph {
+
+/// GOAL-like text serialization of execution graphs (after the Group
+/// Operation Assembly Language of Hoefler et al. that Schedgen emits):
+///
+///   LLAMP_GOAL 1
+///   ranks <P>
+///   v <id> calc <rank> <duration_ns>
+///   v <id> send <rank> <peer> <bytes> <tag>
+///   v <id> recv <rank> <peer> <bytes> <tag>
+///   e <from> <to> local|comm
+///
+/// Vertex ids must be dense and ascending.  The reader returns a finalized
+/// graph and throws GraphError on malformed input.
+void write_goal(std::ostream& os, const Graph& g);
+std::string to_goal(const Graph& g);
+Graph read_goal(std::istream& is);
+Graph goal_from_text(const std::string& text);
+
+/// Graphviz DOT export for small graphs (documentation / debugging).  Calc
+/// vertices are green boxes, send/recv red ellipses, comm edges bold.
+std::string to_dot(const Graph& g);
+
+}  // namespace llamp::graph

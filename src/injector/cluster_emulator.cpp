@@ -1,0 +1,45 @@
+#include "injector/cluster_emulator.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace llamp::injector {
+
+ClusterEmulator::ClusterEmulator(const graph::Graph& g, loggops::Params base)
+    : ClusterEmulator(g, base, Config{}) {}
+
+ClusterEmulator::ClusterEmulator(const graph::Graph& g, loggops::Params base,
+                                 Config cfg)
+    : g_(g), base_(base), cfg_(cfg), sim_(g), rng_(cfg.seed) {
+  base_.validate();
+  if (cfg.noise_sigma < 0.0) throw Error("emulator: negative noise sigma");
+}
+
+TimeNs ClusterEmulator::run_once(TimeNs delta_L) {
+  if (delta_L < 0.0) throw Error("emulator: negative latency injection");
+  loggops::Params p = base_;
+  p.L += delta_L;
+  const TimeNs ideal = sim_.run(p).makespan;
+  // System noise only ever slows a run down; model it as a folded normal on
+  // top of the systematic bias.
+  const double noise = std::fabs(rng_.normal(0.0, cfg_.noise_sigma));
+  return ideal * (1.0 + cfg_.systematic_bias + noise);
+}
+
+TimeNs ClusterEmulator::measure(TimeNs delta_L, int runs) {
+  if (runs < 1) throw Error("emulator: need at least one run");
+  TimeNs sum = 0.0;
+  for (int i = 0; i < runs; ++i) sum += run_once(delta_L);
+  return sum / static_cast<double>(runs);
+}
+
+std::vector<TimeNs> ClusterEmulator::sweep(const std::vector<TimeNs>& delta_Ls,
+                                           int runs) {
+  std::vector<TimeNs> out;
+  out.reserve(delta_Ls.size());
+  for (const TimeNs d : delta_Ls) out.push_back(measure(d, runs));
+  return out;
+}
+
+}  // namespace llamp::injector

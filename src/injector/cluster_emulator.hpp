@@ -1,0 +1,54 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "loggops/params.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace llamp::injector {
+
+/// Stand-in for the paper's 188-node validation cluster plus software
+/// latency injector: "measured" runtimes are produced by replaying the
+/// execution graph under L0 + ΔL through the discrete-event simulator and
+/// perturbing the result with seeded multiplicative noise (system noise,
+/// congestion) and an optional systematic bias (the persistent-ops overhead
+/// mismatch the paper observes for MILC).
+///
+/// Because the noise model is explicit and seeded, validation experiments
+/// (Fig. 9, Table II) are exactly reproducible and the expected RRMSE is a
+/// function of the configured sigma.
+class ClusterEmulator {
+ public:
+  struct Config {
+    double noise_sigma = 0.003;   ///< relative stddev of run-to-run noise
+    double systematic_bias = 0.0; ///< relative offset applied to every run
+    std::uint64_t seed = 42;
+  };
+
+  ClusterEmulator(const graph::Graph& g, loggops::Params base);
+  ClusterEmulator(const graph::Graph& g, loggops::Params base, Config cfg);
+  /// The emulator keeps a reference; a temporary graph would dangle.
+  ClusterEmulator(graph::Graph&&, loggops::Params) = delete;
+  ClusterEmulator(graph::Graph&&, loggops::Params, Config) = delete;
+
+  /// One experiment run at injection ΔL (one "job execution").
+  TimeNs run_once(TimeNs delta_L);
+
+  /// Mean of `runs` repetitions — the paper averages 10 runs per ΔL.
+  TimeNs measure(TimeNs delta_L, int runs = 10);
+
+  /// Full sweep over a ΔL grid, averaging `runs` repetitions per point.
+  std::vector<TimeNs> sweep(const std::vector<TimeNs>& delta_Ls,
+                            int runs = 10);
+
+ private:
+  const graph::Graph& g_;
+  loggops::Params base_;
+  Config cfg_;
+  sim::Simulator sim_;
+  Rng rng_;
+};
+
+}  // namespace llamp::injector

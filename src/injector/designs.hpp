@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace llamp::injector {
+
+/// The four latency-injector designs compared in Fig. 8 of the paper, for
+/// the scenario of a sender issuing n back-to-back eager sends while the
+/// receiver has pre-posted all receives:
+///
+///   kIntended      — panel A: the effect a perfect injector would have
+///                    (ΔL simply added to the wire latency of each message).
+///   kSenderDelay   — panel B (Underwood et al.): the delay is spent on the
+///                    sender's CPU before each send, so consecutive sends
+///                    serialize behind it and both sides slow down.
+///   kProgressThread— panel C: a receiver-side progress thread serves the
+///                    delays serially, so overlapping messages queue behind
+///                    one another (each additional in-flight message pays an
+///                    extra ΔL when ΔL > o).
+///   kDelayThread   — panel D (the paper's design): a dedicated delay thread
+///                    timestamps messages on arrival and releases each at
+///                    arrival + ΔL, reproducing the intended behaviour.
+enum class Design : std::uint8_t {
+  kIntended,
+  kSenderDelay,
+  kProgressThread,
+  kDelayThread,
+};
+
+std::string to_string(Design d);
+
+/// Scenario parameters (Fig. 8's two-message picture generalized to n).
+struct Scenario {
+  int n_messages = 2;
+  TimeNs o = 1'000.0;        ///< per-message CPU overhead
+  TimeNs base_latency = 3'000.0;  ///< L0
+  TimeNs bytes_cost = 0.0;   ///< B = (s-1)G per message
+  TimeNs delta_L = 10'000.0; ///< injected ΔL
+};
+
+/// Behavioural outcome of a design on a scenario.
+struct Outcome {
+  TimeNs sender_completion = 0.0;         ///< t_{R0}
+  TimeNs receiver_completion = 0.0;       ///< t_{R1}: last message delivered
+  std::vector<TimeNs> delivery;           ///< per-message delivery times
+};
+
+/// Simulates the queueing semantics of each design (not hard-coded closed
+/// forms — the closed forms of Fig. 8 fall out and are pinned by tests).
+Outcome simulate(Design d, const Scenario& s);
+
+/// Error of a design versus the intended behaviour: the absolute deviation
+/// of the last delivery time.
+TimeNs deviation_from_intended(Design d, const Scenario& s);
+
+}  // namespace llamp::injector

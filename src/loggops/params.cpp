@@ -1,0 +1,66 @@
+#include "loggops/params.hpp"
+
+#include <map>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace llamp::loggops {
+
+void Params::validate() const {
+  if (L < 0 || o < 0 || g < 0 || G < 0 || O < 0) {
+    throw Error("loggops: negative parameter in " + to_string());
+  }
+  if (S == 0) {
+    throw Error("loggops: rendezvous threshold S must be positive");
+  }
+}
+
+std::string Params::to_string() const {
+  return strformat("LogGPS{L=%.1fns o=%.1fns g=%.1fns G=%.4fns/B O=%.4fns/B S=%lluB}",
+                   L, o, g, G, O, static_cast<unsigned long long>(S));
+}
+
+Params NetworkConfig::cscs_testbed(TimeNs o) {
+  Params p;
+  p.L = 3'000.0;
+  p.o = o;
+  p.g = 0.0;
+  p.G = 0.018;
+  p.S = 256 * 1024;
+  return p;
+}
+
+Params NetworkConfig::piz_daint(TimeNs o) {
+  Params p;
+  p.L = 1'400.0;
+  p.o = o;
+  p.g = 0.0;
+  p.G = 0.013;
+  p.S = 256 * 1024;
+  return p;
+}
+
+TimeNs NetworkConfig::table2_overhead(const std::string& app, int nodes) {
+  // Values in microseconds from Table II of the paper.
+  static const std::map<std::string, std::map<int, double>> kTable = {
+      {"lulesh", {{8, 5.0}, {27, 5.0}, {64, 4.0}}},
+      {"hpcg", {{8, 5.6}, {32, 5.0}, {64, 5.0}}},
+      {"milc", {{8, 6.0}, {32, 6.0}, {64, 6.0}}},
+      {"icon", {{8, 20.0}, {32, 16.0}, {64, 8.6}}},
+      {"lammps", {{8, 32.4}, {32, 32.7}, {64, 31.7}}},
+      {"openmx", {{8, 15.6}, {32, 10.9}}},
+      {"cloverleaf", {{8, 6.1}}},
+  };
+  const auto app_it = kTable.find(app);
+  if (app_it == kTable.end()) {
+    throw Error("loggops: no Table II overhead for app '" + app + "'");
+  }
+  const auto& per_nodes = app_it->second;
+  const auto n_it = per_nodes.find(nodes);
+  const double us_val =
+      n_it != per_nodes.end() ? n_it->second : per_nodes.begin()->second;
+  return us(us_val);
+}
+
+}  // namespace llamp::loggops

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <vector>
+
+#include "loggops/params.hpp"
+#include "util/error.hpp"
+#include "util/time.hpp"
+
+namespace llamp::loggops {
+
+/// Abstraction over "what does the wire between two ranks cost".  The
+/// homogeneous LogGPS model uses one (L, G) pair for every rank pair; the
+/// HLogGP extension (Appendix I) uses per-pair matrices; the topology models
+/// (§IV-2, Appendix H) decompose latency into per-hop wire and switch terms.
+/// Consumers (simulator, LP builders, parametric solver) only see this
+/// interface, which is what makes those extensions drop-in.
+class WireModel {
+ public:
+  virtual ~WireModel() = default;
+
+  /// One-hop message latency L between ranks src and dst [ns].
+  virtual TimeNs latency(int src, int dst) const = 0;
+
+  /// Gap per byte G between ranks src and dst [ns/byte].
+  virtual double gap_per_byte(int src, int dst) const = 0;
+};
+
+/// The plain LogGPS wire: uniform L and G from a parameter vector.
+class UniformWire final : public WireModel {
+ public:
+  explicit UniformWire(const Params& p) : L_(p.L), G_(p.G) {}
+  UniformWire(TimeNs L, double G) : L_(L), G_(G) {}
+
+  TimeNs latency(int, int) const override { return L_; }
+  double gap_per_byte(int, int) const override { return G_; }
+
+ private:
+  TimeNs L_;
+  double G_;
+};
+
+/// HLogGP wire: explicit per-pair latency/gap matrices (row-major n x n),
+/// e.g. derived from a topology + placement via topo::make_pairwise_matrices.
+class MatrixWire final : public WireModel {
+ public:
+  MatrixWire(int nranks, std::vector<double> latency, std::vector<double> gap)
+      : n_(nranks), latency_(std::move(latency)), gap_(std::move(gap)) {
+    const auto need = static_cast<std::size_t>(nranks) *
+                      static_cast<std::size_t>(nranks);
+    if (latency_.size() != need || gap_.size() != need) {
+      throw Error("MatrixWire: matrix size mismatch");
+    }
+  }
+
+  TimeNs latency(int src, int dst) const override {
+    return latency_[index(src, dst)];
+  }
+  double gap_per_byte(int src, int dst) const override {
+    return gap_[index(src, dst)];
+  }
+
+ private:
+  std::size_t index(int src, int dst) const {
+    if (src < 0 || dst < 0 || src >= n_ || dst >= n_) {
+      throw Error("MatrixWire: rank out of range");
+    }
+    return static_cast<std::size_t>(src) * static_cast<std::size_t>(n_) +
+           static_cast<std::size_t>(dst);
+  }
+
+  int n_;
+  std::vector<double> latency_;
+  std::vector<double> gap_;
+};
+
+}  // namespace llamp::loggops

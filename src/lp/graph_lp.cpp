@@ -1,0 +1,111 @@
+#include "lp/graph_lp.hpp"
+
+#include <map>
+
+#include "graph/costs.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace llamp::lp {
+
+namespace {
+
+/// Affine expression over (one anchor y variable, parameters): the running
+/// Tv[v] of Algorithm 1.
+struct Expr {
+  int y = -1;  ///< -1 when anchored at time zero
+  double constant = 0.0;
+  std::map<int, double> coeffs;  ///< parameter -> coefficient
+
+  void add(const Affine& a) {
+    constant += a.constant;
+    for (const ParamTerm& t : a.terms) coeffs[t.param] += t.coeff;
+  }
+};
+
+}  // namespace
+
+GraphLp build_graph_lp(const graph::Graph& g, const ParamSpace& space) {
+  if (!g.finalized()) throw LpError("graph must be finalized");
+  GraphLp out;
+  Model& m = out.model;
+  m.set_sense(Sense::kMinimize);
+
+  for (int k = 0; k < space.num_params(); ++k) {
+    out.param_vars.push_back(
+        m.add_var(space.param_name(k), space.base_value(k), kInf, 0.0));
+  }
+  out.makespan_var = m.add_var("t", -kInf, kInf, 1.0);
+
+  const loggops::Params& p = space.params();
+  std::vector<Expr> expr(g.num_vertices());
+
+  const auto emit_ge = [&](int y, const Expr& rhs) {
+    // y >= rhs.y + rhs.constant + Σ coeff·param
+    std::vector<std::pair<int, double>> terms;
+    terms.emplace_back(y, 1.0);
+    if (rhs.y >= 0) terms.emplace_back(rhs.y, -1.0);
+    for (const auto& [param, c] : rhs.coeffs) {
+      if (c != 0.0) {
+        terms.emplace_back(out.param_vars[static_cast<std::size_t>(param)], -c);
+      }
+    }
+    m.add_constraint(std::move(terms), Relation::kGe, rhs.constant);
+  };
+
+  for (const graph::VertexId v : g.topo_order()) {
+    const auto ins = g.in_edges(v);
+    Expr e;
+    if (ins.empty()) {
+      // Starting vertex: anchored at time zero.
+    } else if (ins.size() == 1) {
+      const graph::Edge& in = g.edge(ins.front().edge);
+      e = expr[in.from];
+      e.add(space.edge_cost(g, in));
+    } else {
+      const int y = m.add_var(strformat("y%u", v), -kInf, kInf, 0.0);
+      for (const auto& a : ins) {
+        const graph::Edge& in = g.edge(a.edge);
+        Expr rhs = expr[in.from];
+        rhs.add(space.edge_cost(g, in));
+        emit_ge(y, rhs);
+      }
+      e = Expr{};
+      e.y = y;
+    }
+    e.constant += graph::vertex_cost(g.vertex(v), p);
+    expr[v] = std::move(e);
+  }
+
+  // t dominates every sink's completion expression.
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (g.out_edges(v).empty()) {
+      Expr rhs = expr[v];
+      std::vector<std::pair<int, double>> terms;
+      terms.emplace_back(out.makespan_var, 1.0);
+      if (rhs.y >= 0) terms.emplace_back(rhs.y, -1.0);
+      for (const auto& [param, c] : rhs.coeffs) {
+        if (c != 0.0) {
+          terms.emplace_back(out.param_vars[static_cast<std::size_t>(param)],
+                             -c);
+        }
+      }
+      m.add_constraint(std::move(terms), Relation::kGe, rhs.constant);
+    }
+  }
+  return out;
+}
+
+Model make_tolerance_model(const GraphLp& lp, int param, double budget) {
+  if (param < 0 || param >= static_cast<int>(lp.param_vars.size())) {
+    throw LpError("tolerance model: parameter index out of range");
+  }
+  Model m = lp.model;
+  m.set_sense(Sense::kMaximize);
+  m.set_objective(lp.makespan_var, 0.0);
+  m.set_objective(lp.param_vars[static_cast<std::size_t>(param)], 1.0);
+  m.set_var_upper(lp.makespan_var, budget);
+  return m;
+}
+
+}  // namespace llamp::lp

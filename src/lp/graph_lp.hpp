@@ -1,0 +1,38 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "lp/model.hpp"
+#include "lp/param_space.hpp"
+
+namespace llamp::lp {
+
+/// Explicit LP emitted by Algorithm 1 for an execution graph.
+struct GraphLp {
+  Model model;
+  /// Model variable index of each ParamSpace decision parameter (e.g. `l`);
+  /// each has its base value as lower bound.
+  std::vector<int> param_vars;
+  /// The makespan variable `t` (objective of the minimize form).
+  int makespan_var = -1;
+};
+
+/// Algorithm 1 (Appendix C): converts an execution graph into a linear
+/// program.  Vertices with a single predecessor are folded into affine
+/// expressions; vertices with several predecessors introduce a fresh
+/// decision variable y_v with one `y_v >= expr_u` constraint per in-edge.
+/// The makespan variable t dominates every sink.  Objective: minimize t.
+///
+/// Solving the returned model with SimplexSolver yields the forecast runtime
+/// as the objective, λ (for each parameter) as the reduced cost of its
+/// variable, and feasibility ranges via SimplexSolver::bound_range — the
+/// Gurobi workflow of §II-D.
+GraphLp build_graph_lp(const graph::Graph& g, const ParamSpace& space);
+
+/// §II-D2: the network-latency-tolerance variant of a graph LP.  Returns a
+/// copy of `lp.model` re-objectived to *maximize* parameter `param` subject
+/// to t <= `budget` (all other parameters keep their base lower bounds).
+Model make_tolerance_model(const GraphLp& lp, int param, double budget);
+
+}  // namespace llamp::lp

@@ -1,0 +1,86 @@
+#include "lp/model.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace llamp::lp {
+
+int Model::add_var(std::string name, double lb, double ub, double obj) {
+  if (lb > ub) {
+    throw LpError("variable '" + name + "' has lb > ub");
+  }
+  vars_.push_back({std::move(name), lb, ub, obj});
+  return static_cast<int>(vars_.size() - 1);
+}
+
+int Model::add_constraint(std::vector<std::pair<int, double>> terms,
+                          Relation rel, double rhs, std::string name) {
+  std::map<int, double> dedup;
+  for (const auto& [v, c] : terms) {
+    if (v < 0 || v >= num_vars()) {
+      throw LpError("constraint references unknown variable");
+    }
+    dedup[v] += c;
+  }
+  Row row;
+  row.name = std::move(name);
+  row.rel = rel;
+  row.rhs = rhs;
+  row.terms.assign(dedup.begin(), dedup.end());
+  rows_.push_back(std::move(row));
+  return static_cast<int>(rows_.size() - 1);
+}
+
+void Model::set_objective(int var, double coeff) {
+  vars_.at(static_cast<std::size_t>(var)).obj = coeff;
+}
+
+void Model::set_var_lower(int var, double lb) {
+  auto& v = vars_.at(static_cast<std::size_t>(var));
+  if (lb > v.ub) throw LpError("lb > ub for variable '" + v.name + "'");
+  v.lb = lb;
+}
+
+void Model::set_var_upper(int var, double ub) {
+  auto& v = vars_.at(static_cast<std::size_t>(var));
+  if (ub < v.lb) throw LpError("ub < lb for variable '" + v.name + "'");
+  v.ub = ub;
+}
+
+std::string Model::to_string() const {
+  std::ostringstream os;
+  os << (sense_ == Sense::kMinimize ? "Minimize" : "Maximize") << '\n' << " ";
+  bool any = false;
+  for (int j = 0; j < num_vars(); ++j) {
+    if (vars_[static_cast<std::size_t>(j)].obj != 0.0) {
+      os << strformat(" %+g %s", vars_[static_cast<std::size_t>(j)].obj,
+                      vars_[static_cast<std::size_t>(j)].name.c_str());
+      any = true;
+    }
+  }
+  if (!any) os << " 0";
+  os << "\nSubject To\n";
+  for (int i = 0; i < num_constraints(); ++i) {
+    const Row& r = rows_[static_cast<std::size_t>(i)];
+    os << ' ' << (r.name.empty() ? strformat("c%d", i) : r.name) << ':';
+    for (const auto& [v, c] : r.terms) {
+      os << strformat(" %+g %s", c, vars_[static_cast<std::size_t>(v)].name.c_str());
+    }
+    const char* rel = r.rel == Relation::kLe   ? "<="
+                      : r.rel == Relation::kGe ? ">="
+                                               : "=";
+    os << ' ' << rel << ' ' << strformat("%g", r.rhs) << '\n';
+  }
+  os << "Bounds\n";
+  for (int j = 0; j < num_vars(); ++j) {
+    const Var& v = vars_[static_cast<std::size_t>(j)];
+    os << strformat(" %g <= %s <= %g\n", v.lb, v.name.c_str(), v.ub);
+  }
+  return os.str();
+}
+
+}  // namespace llamp::lp

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace llamp::lp {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+enum class Sense : std::uint8_t { kMinimize, kMaximize };
+enum class Relation : std::uint8_t { kLe, kGe, kEq };
+
+/// A linear-programming model in natural (non-canonical) form:
+///
+///   min/max  c'x
+///   s.t.     a_i'x {<=,>=,=} b_i      for each constraint i
+///            lb <= x <= ub
+///
+/// This is the representation Algorithm 1 emits; SimplexSolver consumes it.
+class Model {
+ public:
+  /// Adds a variable, returns its index.
+  int add_var(std::string name, double lb = 0.0, double ub = kInf,
+              double obj = 0.0);
+
+  /// Adds a constraint Σ coeff_k · x_{var_k}  rel  rhs; returns its index.
+  /// Terms with duplicate variable indices are summed.
+  int add_constraint(std::vector<std::pair<int, double>> terms, Relation rel,
+                     double rhs, std::string name = {});
+
+  void set_sense(Sense s) { sense_ = s; }
+  Sense sense() const { return sense_; }
+
+  void set_objective(int var, double coeff);
+  void set_var_lower(int var, double lb);
+  void set_var_upper(int var, double ub);
+
+  int num_vars() const { return static_cast<int>(vars_.size()); }
+  int num_constraints() const { return static_cast<int>(rows_.size()); }
+
+  struct Var {
+    std::string name;
+    double lb, ub, obj;
+  };
+  struct Row {
+    std::string name;
+    std::vector<std::pair<int, double>> terms;  // (var, coeff), deduplicated
+    Relation rel;
+    double rhs;
+  };
+
+  const Var& var(int j) const { return vars_[static_cast<std::size_t>(j)]; }
+  const Row& row(int i) const { return rows_[static_cast<std::size_t>(i)]; }
+
+  /// LP-format-like dump for debugging and documentation.
+  std::string to_string() const;
+
+ private:
+  Sense sense_ = Sense::kMinimize;
+  std::vector<Var> vars_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace llamp::lp

@@ -1,0 +1,167 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "loggops/params.hpp"
+
+namespace llamp::lp {
+
+/// One linear term coeff·x_param of an edge-cost expression.
+struct ParamTerm {
+  int param = 0;
+  double coeff = 0.0;
+};
+
+/// An affine function constant + Σ coeff_k · x_k over the decision
+/// parameters of a ParamSpace.
+struct Affine {
+  double constant = 0.0;
+  std::vector<ParamTerm> terms;
+
+  double eval(const std::vector<double>& values) const {
+    double v = constant;
+    for (const ParamTerm& t : terms) {
+      v += t.coeff * values[static_cast<std::size_t>(t.param)];
+    }
+    return v;
+  }
+};
+
+/// A ParamSpace declares which network quantities are *decision variables*
+/// of the analysis and expresses every edge's traversal cost as an affine
+/// function of them.  The paper's analyses map to spaces as follows:
+///
+/// * latency sensitivity/tolerance (§II)        -> LatencyParamSpace (l)
+/// * bandwidth sensitivity (§II-B1)             -> LatencyBandwidthParamSpace
+/// * per-pair HLogGP sensitivities (Appendix I) -> PairwiseLatencyParamSpace
+/// * topology / wire classes (§IV-2, App. H)    -> LinkClassParamSpace
+class ParamSpace {
+ public:
+  virtual ~ParamSpace() = default;
+
+  virtual int num_params() const = 0;
+  virtual std::string param_name(int k) const = 0;
+  /// Evaluation point / LP lower bound of parameter k (e.g. the measured L).
+  virtual double base_value(int k) const = 0;
+  /// Edge cost as an affine function of the parameters; the constant part
+  /// carries everything non-parametric (o terms, fixed-G payload terms...).
+  virtual Affine edge_cost(const graph::Graph& g,
+                           const graph::Edge& e) const = 0;
+
+  /// LogGPS vector used for vertex costs (o) and non-parametric terms.
+  virtual const loggops::Params& params() const = 0;
+};
+
+/// Single decision variable: the network latency L.  G stays constant.
+class LatencyParamSpace final : public ParamSpace {
+ public:
+  explicit LatencyParamSpace(loggops::Params p) : p_(p) { p_.validate(); }
+
+  int num_params() const override { return 1; }
+  std::string param_name(int) const override { return "l"; }
+  double base_value(int) const override { return p_.L; }
+  Affine edge_cost(const graph::Graph& g, const graph::Edge& e) const override;
+  const loggops::Params& params() const override { return p_; }
+
+ private:
+  loggops::Params p_;
+};
+
+/// Two decision variables: latency L (param 0) and gap-per-byte G (param 1).
+class LatencyBandwidthParamSpace final : public ParamSpace {
+ public:
+  explicit LatencyBandwidthParamSpace(loggops::Params p) : p_(p) {
+    p_.validate();
+  }
+
+  int num_params() const override { return 2; }
+  std::string param_name(int k) const override { return k == 0 ? "l" : "G"; }
+  double base_value(int k) const override { return k == 0 ? p_.L : p_.G; }
+  Affine edge_cost(const graph::Graph& g, const graph::Edge& e) const override;
+  const loggops::Params& params() const override { return p_; }
+
+ private:
+  loggops::Params p_;
+};
+
+/// HLogGP: one latency decision variable per unordered rank pair {i, j}
+/// (Appendix I).  With `include_gap_params` the per-pair gaps G_{i,j} become
+/// decision variables too, so one solve yields both sensitivity matrices
+/// D_L and D_G that Algorithm 3 (rank placement) consumes.
+class PairwiseLatencyParamSpace final : public ParamSpace {
+ public:
+  /// Uniform base latencies/bandwidths from `p`.
+  PairwiseLatencyParamSpace(loggops::Params p, int nranks,
+                            bool include_gap_params = false);
+  /// Explicit symmetric matrices (row-major nranks x nranks); the diagonal
+  /// is ignored.
+  PairwiseLatencyParamSpace(loggops::Params p, int nranks,
+                            std::vector<double> latency_matrix,
+                            std::vector<double> gap_matrix,
+                            bool include_gap_params = false);
+
+  int nranks() const { return nranks_; }
+  int num_pairs() const { return nranks_ * (nranks_ - 1) / 2; }
+  /// Latency-parameter index of pair {i, j}, i != j.
+  int pair_index(int i, int j) const;
+  /// Gap-parameter index of pair {i, j}; requires include_gap_params.
+  int gap_param_index(int i, int j) const;
+
+  int num_params() const override;
+  std::string param_name(int k) const override;
+  double base_value(int k) const override;
+  Affine edge_cost(const graph::Graph& g, const graph::Edge& e) const override;
+  const loggops::Params& params() const override { return p_; }
+
+ private:
+  loggops::Params p_;
+  int nranks_;
+  bool gap_params_;
+  std::vector<double> base_;  // per pair index (latency)
+  std::vector<double> gap_;   // per pair index
+};
+
+/// Topology analysis: the end-to-end latency between two ranks decomposes
+/// into counts of "link classes" (e.g. one class `l_wire` for Fat Tree with
+/// (h+1) wires per route, or {l_tc, l_intra, l_inter} for Dragonfly) plus a
+/// constant per-route term (switch traversals).  The classes are the
+/// decision variables.
+class LinkClassParamSpace final : public ParamSpace {
+ public:
+  struct Route {
+    /// count[c] = how many class-c links the route crosses.
+    std::vector<double> counts;
+    /// Fixed additive latency (switch delays etc.).
+    double constant = 0.0;
+  };
+
+  LinkClassParamSpace(loggops::Params p, std::vector<std::string> class_names,
+                      std::vector<double> class_base_values,
+                      std::vector<Route> routes_by_pair, int nranks);
+
+  int num_params() const override {
+    return static_cast<int>(names_.size());
+  }
+  std::string param_name(int k) const override {
+    return names_[static_cast<std::size_t>(k)];
+  }
+  double base_value(int k) const override {
+    return base_[static_cast<std::size_t>(k)];
+  }
+  Affine edge_cost(const graph::Graph& g, const graph::Edge& e) const override;
+  const loggops::Params& params() const override { return p_; }
+
+ private:
+  const Route& route(int src, int dst) const;
+
+  loggops::Params p_;
+  std::vector<std::string> names_;
+  std::vector<double> base_;
+  std::vector<Route> routes_;  // row-major nranks x nranks
+  int nranks_;
+};
+
+}  // namespace llamp::lp

@@ -1,0 +1,301 @@
+#include "lp/parametric.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/costs.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace llamp::lp {
+
+namespace {
+constexpr double kInfD = std::numeric_limits<double>::infinity();
+constexpr std::uint32_t kNoEdge = std::numeric_limits<std::uint32_t>::max();
+
+/// Relative tolerance for value comparisons (times are O(1e10) ns).
+double value_eps(double v) { return 1e-9 * (1.0 + std::fabs(v)); }
+
+/// Upper-envelope bookkeeping: given the winning affine piece
+/// (value, slope) at δ=0 and a losing candidate, tighten the interval of δ
+/// on which the winner stays maximal: V_w + S_w·δ >= V_c + S_c·δ.
+void constrain(double win_val, double win_slope, double cand_val,
+               double cand_slope, double& dlo, double& dhi) {
+  const double dv = std::max(win_val - cand_val, 0.0);
+  const double ds = cand_slope - win_slope;
+  if (ds > 1e-12) {
+    dhi = std::min(dhi, dv / ds);
+  } else if (ds < -1e-12) {
+    dlo = std::max(dlo, dv / ds);  // dv/ds <= 0
+  }
+}
+
+}  // namespace
+
+ParametricSolver::ParametricSolver(const graph::Graph& g,
+                                   std::shared_ptr<const ParamSpace> space)
+    : g_(g), space_(std::move(space)) {
+  if (!g.finalized()) throw LpError("graph must be finalized");
+  if (!space_) throw LpError("null parameter space");
+  const auto edges = g_.edges();
+  edge_affine_.reserve(edges.size());
+  for (const graph::Edge& e : edges) {
+    edge_affine_.push_back(space_->edge_cost(g_, e));
+  }
+  vertex_cost_.reserve(g_.num_vertices());
+  const loggops::Params& p = space_->params();
+  for (graph::VertexId v = 0; v < g_.num_vertices(); ++v) {
+    vertex_cost_.push_back(graph::vertex_cost(g_.vertex(v), p));
+  }
+  base_.reserve(static_cast<std::size_t>(space_->num_params()));
+  for (int k = 0; k < space_->num_params(); ++k) {
+    base_.push_back(space_->base_value(k));
+  }
+}
+
+ParametricSolver::Solution ParametricSolver::solve() const {
+  return solve(0, base_.empty() ? 0.0 : base_[0]);
+}
+
+ParametricSolver::Solution ParametricSolver::solve(int active,
+                                                   double value) const {
+  if (active < 0 || active >= space_->num_params()) {
+    throw LpError("parametric: active parameter out of range");
+  }
+  std::vector<double> point = base_;
+  point[static_cast<std::size_t>(active)] = value;
+
+  const std::size_t n = g_.num_vertices();
+  std::vector<double> finish(n, 0.0);
+  std::vector<double> slope(n, 0.0);
+  std::vector<std::uint32_t> arg_edge(n, kNoEdge);
+
+  // Allowed movement of the active parameter relative to `value` keeping
+  // every max-argument selection (the LP basis) valid.
+  double dlo = -kInfD;
+  double dhi = kInfD;
+
+  // (cost, slope) of an edge at the evaluation point.
+  const auto edge_at = [&](std::uint32_t e) {
+    double c = edge_affine_[e].constant;
+    double s = 0.0;
+    for (const ParamTerm& t : edge_affine_[e].terms) {
+      c += t.coeff * point[static_cast<std::size_t>(t.param)];
+      if (t.param == active) s += t.coeff;
+    }
+    return std::pair(c, s);
+  };
+
+  std::vector<std::pair<double, double>> cands;  // (value, slope) scratch
+  for (const graph::VertexId v : g_.topo_order()) {
+    const auto ins = g_.in_edges(v);
+    if (ins.empty()) {
+      finish[v] = vertex_cost_[v];
+      continue;
+    }
+    cands.clear();
+    double best_val = -kInfD;
+    double best_slope = 0.0;
+    std::uint32_t best_edge = kNoEdge;
+    for (const auto& a : ins) {
+      const auto [c, s] = edge_at(a.edge);
+      const double cv = finish[a.other] + c;
+      const double cs = slope[a.other] + s;
+      cands.emplace_back(cv, cs);
+      if (best_edge == kNoEdge || cv > best_val + value_eps(best_val) ||
+          (cv > best_val - value_eps(best_val) && cs > best_slope)) {
+        best_val = cv;
+        best_slope = cs;
+        best_edge = a.edge;
+      }
+    }
+    for (const auto& [cv, cs] : cands) {
+      if (cv == best_val && cs == best_slope) continue;  // the winner itself
+      constrain(best_val, best_slope, cv, cs, dlo, dhi);
+    }
+    finish[v] = best_val + vertex_cost_[v];
+    slope[v] = best_slope;
+    arg_edge[v] = best_edge;
+  }
+
+  // T = max over sinks, with the same envelope bookkeeping.
+  Solution sol;
+  sol.active = active;
+  sol.at = value;
+  double best_val = -kInfD;
+  double best_slope = 0.0;
+  graph::VertexId best_sink = graph::kInvalidVertex;
+  for (graph::VertexId v = 0; v < n; ++v) {
+    if (!g_.out_edges(v).empty()) continue;
+    if (best_sink == graph::kInvalidVertex ||
+        finish[v] > best_val + value_eps(best_val) ||
+        (finish[v] > best_val - value_eps(best_val) && slope[v] > best_slope)) {
+      best_val = finish[v];
+      best_slope = slope[v];
+      best_sink = v;
+    }
+  }
+  if (best_sink == graph::kInvalidVertex) {
+    throw LpError("graph has no sink vertex");
+  }
+  for (graph::VertexId v = 0; v < n; ++v) {
+    if (!g_.out_edges(v).empty() || v == best_sink) continue;
+    constrain(best_val, best_slope, finish[v], slope[v], dlo, dhi);
+  }
+  sol.value = best_val;
+  sol.lo = value + dlo;
+  sol.hi = value + dhi;
+
+  // Gradient for *all* parameters: walk the argmax chain from the critical
+  // sink and accumulate each edge's coefficients.
+  sol.gradient.assign(static_cast<std::size_t>(space_->num_params()), 0.0);
+  graph::VertexId v = best_sink;
+  while (arg_edge[v] != kNoEdge) {
+    const std::uint32_t e = arg_edge[v];
+    for (const ParamTerm& t : edge_affine_[e].terms) {
+      sol.gradient[static_cast<std::size_t>(t.param)] += t.coeff;
+    }
+    if (g_.edge(e).kind == graph::EdgeKind::kComm) ++sol.messages;
+    v = g_.edge(e).from;
+  }
+  return sol;
+}
+
+std::vector<ParametricSolver::Segment> ParametricSolver::piecewise(
+    int k, double lo, double hi) const {
+  if (!(lo <= hi)) throw LpError("piecewise: empty interval");
+  std::vector<Segment> segs;
+  double x = lo;
+  const double eps = std::max(1e-6, (hi - lo) * 1e-12);
+  constexpr std::size_t kMaxSegments = 1u << 20;
+  while (x <= hi) {
+    const Solution s = solve(k, x);
+    const double slope = s.gradient[static_cast<std::size_t>(k)];
+    const double seg_hi = std::min(s.hi, hi);
+    if (!segs.empty() && std::fabs(segs.back().slope - slope) < 1e-9) {
+      segs.back().hi = std::max(segs.back().hi, seg_hi);
+    } else {
+      segs.push_back({x, seg_hi, slope, s.value});
+    }
+    if (seg_hi >= hi) break;
+    x = std::max(seg_hi + eps, x + eps);
+    if (segs.size() > kMaxSegments) {
+      throw LpError("piecewise: too many segments");
+    }
+  }
+  return segs;
+}
+
+std::vector<double> ParametricSolver::critical_values(int k, double lo,
+                                                      double hi) const {
+  std::vector<double> out;
+  const auto segs = piecewise(k, lo, hi);
+  for (std::size_t i = 1; i < segs.size(); ++i) {
+    out.push_back(segs[i].lo);
+  }
+  return out;
+}
+
+std::vector<double> ParametricSolver::critical_values_algorithm2(
+    int k, double lo, double hi, double step, double eps) const {
+  if (!(lo <= hi)) throw LpError("algorithm2: empty interval");
+  if (eps <= 0.0) throw LpError("algorithm2: eps must be positive");
+  std::vector<double> lc;
+  double L = hi;
+  double lambda = std::numeric_limits<double>::quiet_NaN();
+  double prev_lo = kInfD;
+  constexpr std::size_t kMaxIters = 1u << 20;
+  for (std::size_t iter = 0; iter < kMaxIters; ++iter) {
+    // "Assign constraint l >= L; optimize" — one solve yields the objective,
+    // the reduced cost λ', and SALBLow (the basis' feasibility floor).
+    const Solution s = solve(k, L);
+    const double lambda_new = s.gradient[static_cast<std::size_t>(k)];
+    const double lo_new = s.lo;
+    if (!std::isnan(lambda) && std::fabs(lambda_new - lambda) > 1e-12) {
+      // λ changed between the previous basis and this one: the boundary is
+      // the previous basis' feasibility floor.
+      if (prev_lo >= lo - eps && prev_lo <= hi + eps) lc.push_back(prev_lo);
+    }
+    lambda = lambda_new;
+    prev_lo = lo_new;
+    if (!(lo_new >= lo)) break;  // paper: until L_fl < L_min (or -inf)
+    L = std::min(L - step, lo_new - eps);
+    if (L < lo) {
+      // One final probe at the interval's left end covers a boundary that
+      // sits between lo and the current basis' floor.
+      const Solution tail = solve(k, lo);
+      const double tail_lambda = tail.gradient[static_cast<std::size_t>(k)];
+      if (std::fabs(tail_lambda - lambda) > 1e-12 && lo_new >= lo - eps &&
+          lo_new <= hi + eps) {
+        lc.push_back(lo_new);
+      }
+      break;
+    }
+  }
+  std::sort(lc.begin(), lc.end());
+  lc.erase(std::unique(lc.begin(), lc.end(),
+                       [](double a, double b) { return std::fabs(a - b) < 1e-9; }),
+           lc.end());
+  return lc;
+}
+
+double ParametricSolver::max_param_for_budget(int k, double budget) const {
+  if (k < 0 || k >= space_->num_params()) {
+    throw LpError("tolerance: parameter out of range");
+  }
+  // T(x) is convex, piecewise linear, and non-decreasing in any parameter
+  // (all edge coefficients are nonnegative), so the crossing T(x) = budget
+  // is found by a bracketed Newton/secant iteration: a tangent from below
+  // is exact as soon as its crossing lands inside the current linear piece,
+  // and overshoots land above the budget, shrinking the bracket.  This
+  // visits O(log) pieces instead of every basis change, which matters on
+  // jittered application graphs with thousands of near-ties.
+  const double eps = std::max(1e-6, std::fabs(budget) * 1e-12);
+  double x = base_[static_cast<std::size_t>(k)];
+  Solution s = solve(k, x);
+  if (s.value > budget + value_eps(budget)) {
+    throw LpError(strformat("tolerance: T(%g) = %g already exceeds budget %g",
+                            x, s.value, budget));
+  }
+  double bracket_lo = x;        // T(bracket_lo) <= budget
+  double bracket_hi = kInfD;    // T(bracket_hi) > budget (once finite)
+
+  for (int iter = 0; iter < 512; ++iter) {
+    const double slope = s.gradient[static_cast<std::size_t>(k)];
+    const bool below = s.value <= budget + value_eps(budget);
+    if (below) {
+      bracket_lo = std::max(bracket_lo, x);
+      double proposal;
+      if (slope > 1e-12) {
+        proposal = x + (budget - s.value) / slope;
+        // Tangent crossing inside the current piece: exact answer.
+        if (proposal <= s.hi + eps) return proposal;
+      } else {
+        if (!std::isfinite(s.hi)) return kInfD;  // flat forever
+        proposal = s.hi + eps;
+      }
+      if (std::isfinite(bracket_hi) &&
+          (proposal >= bracket_hi || proposal <= bracket_lo)) {
+        proposal = 0.5 * (bracket_lo + bracket_hi);  // bisect fallback
+      }
+      x = proposal;
+    } else {
+      bracket_hi = std::min(bracket_hi, x);
+      // Walk the current piece's line back down to the budget.
+      double proposal =
+          slope > 1e-12 ? x - (s.value - budget) / slope : s.lo - eps;
+      if (slope > 1e-12 && proposal >= s.lo - eps) return proposal;
+      if (proposal <= bracket_lo || proposal >= bracket_hi) {
+        proposal = 0.5 * (bracket_lo + bracket_hi);
+      }
+      x = proposal;
+    }
+    if (std::isfinite(bracket_hi) && bracket_hi - bracket_lo <= eps) {
+      return bracket_lo;
+    }
+    s = solve(k, x);
+  }
+  throw LpError("tolerance: did not converge");
+}
+
+}  // namespace llamp::lp

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "lp/param_space.hpp"
+
+namespace llamp::lp {
+
+/// Exact solver for the LP class produced by Algorithm 1.  Those LPs are
+/// longest-path problems on a DAG whose edge costs are affine in the
+/// decision parameters, so the optimum is computable by a single forward
+/// pass — and, crucially, the pass can carry *sensitivity* information
+/// along:
+///
+/// * the local slope of every vertex's completion time w.r.t. the active
+///   parameter (the per-path message count of §II-B), and
+/// * the interval of the active parameter around the evaluation point on
+///   which every max-argument choice — i.e. the LP basis — stays optimal.
+///
+/// The returned value/gradient/range triple is exactly what the paper reads
+/// off Gurobi (objective, reduced costs, SALBLow/SALBUp), which makes this
+/// class a drop-in high-capacity replacement for the simplex path; the test
+/// suite proves the two agree on random graphs.
+class ParametricSolver {
+ public:
+  ParametricSolver(const graph::Graph& g,
+                   std::shared_ptr<const ParamSpace> space);
+  /// The solver keeps a reference; a temporary graph would dangle.
+  ParametricSolver(graph::Graph&&, std::shared_ptr<const ParamSpace>) = delete;
+
+  const ParamSpace& space() const { return *space_; }
+
+  struct Solution {
+    double value = 0.0;  ///< T: program makespan at the evaluation point
+    /// λ per parameter: Σ of that parameter's coefficients along the
+    /// critical path (∂T/∂x_k).  gradient[active] is the active slope.
+    std::vector<double> gradient;
+    int active = 0;      ///< the parameter that was varied
+    double at = 0.0;     ///< its evaluation value
+    /// Feasibility range of the active parameter: the interval around `at`
+    /// on which the critical-path structure (LP basis) is unchanged and T
+    /// remains the same linear function.
+    double lo = -std::numeric_limits<double>::infinity();
+    double hi = std::numeric_limits<double>::infinity();
+    /// Number of communication edges on the critical path.
+    std::size_t messages = 0;
+  };
+
+  /// Evaluate with parameter `active` set to `value` and all others at
+  /// their base values.
+  Solution solve(int active, double value) const;
+  /// Evaluate at the base point (active parameter 0).
+  Solution solve() const;
+
+  /// One linear piece of T(x_active).
+  struct Segment {
+    double lo = 0.0;
+    double hi = 0.0;
+    double slope = 0.0;     ///< λ on this piece
+    double value_at_lo = 0.0;
+  };
+
+  /// The exact piecewise-linear T over [lo, hi] for parameter k, assembled
+  /// by hopping across feasibility ranges (the exact version of
+  /// Algorithm 2).  Adjacent pieces with equal slope are merged, so piece
+  /// boundaries are precisely the critical latencies L_c.
+  std::vector<Segment> piecewise(int k, double lo, double hi) const;
+
+  /// Critical latencies within [lo, hi]: the parameter values where λ
+  /// changes (Algorithm 2's output list), derived from the exact piecewise
+  /// curve.
+  std::vector<double> critical_values(int k, double lo, double hi) const;
+
+  /// Faithful port of the paper's Algorithm 2 (Appendix D): scan the
+  /// interval right-to-left, hopping to SALBLow − ε after each solve and
+  /// recording a critical latency whenever the reduced cost (λ) changes.
+  /// `step` is the paper's resolution knob: the scan always advances by at
+  /// least `step`, trading completeness for bounded work exactly like the
+  /// pseudocode.  With step = 0 the result matches critical_values()
+  /// (ascending order); larger steps may skip closely-spaced breakpoints.
+  std::vector<double> critical_values_algorithm2(int k, double lo, double hi,
+                                                 double step = 0.0,
+                                                 double eps = 1e-6) const;
+
+  /// §II-D2 tolerance: the largest value of parameter k (>= its base value)
+  /// keeping T <= budget.  Returns +inf when the parameter never appears on
+  /// a critical path up to the budget; throws LpError if even the base
+  /// value exceeds the budget.
+  double max_param_for_budget(int k, double budget) const;
+
+ private:
+  const graph::Graph& g_;
+  std::shared_ptr<const ParamSpace> space_;
+  /// Edge-cost affines, precomputed once (edge index aligned with g.edges()).
+  std::vector<Affine> edge_affine_;
+  std::vector<double> vertex_cost_;
+  std::vector<double> base_;
+};
+
+}  // namespace llamp::lp

@@ -1,0 +1,502 @@
+#include "lp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace llamp::lp {
+
+std::string to_string(SolveStatus s) {
+  switch (s) {
+    case SolveStatus::kOptimal: return "optimal";
+    case SolveStatus::kInfeasible: return "infeasible";
+    case SolveStatus::kUnbounded: return "unbounded";
+    case SolveStatus::kIterationLimit: return "iteration-limit";
+  }
+  return "?";
+}
+
+bool Solution::tight(const Model& m, int row, double tol) const {
+  const double act = row_activity.at(static_cast<std::size_t>(row));
+  const double rhs = m.row(row).rhs;
+  return std::fabs(act - rhs) <= tol * (1.0 + std::fabs(rhs));
+}
+
+namespace detail {
+
+enum class VarStatus : std::uint8_t { kBasic, kAtLower, kAtUpper, kFree };
+
+/// Internal computational form: min c'x, A x = b (slacks folded into x),
+/// lb <= x <= ub, solved with a dense explicit basis inverse.
+struct Tableau {
+  int m = 0;                      // rows
+  int n = 0;                      // columns (structural + slack + artificial)
+  int n_structural = 0;
+  int n_model = 0;                // model variables (== n_structural)
+  bool maximize = false;
+
+  // Sparse columns.
+  std::vector<std::vector<std::pair<int, double>>> cols;
+  std::vector<double> lb, ub, cost, value;
+  std::vector<VarStatus> status;
+  std::vector<double> b;
+
+  // Basis.
+  std::vector<int> basic_of_row;    // column basic in each row
+  std::vector<double> binv;         // m*m row-major
+  double& Binv(int i, int k) { return binv[static_cast<std::size_t>(i) *
+                                           static_cast<std::size_t>(m) + k]; }
+  double BinvC(int i, int k) const {
+    return binv[static_cast<std::size_t>(i) * static_cast<std::size_t>(m) + k];
+  }
+};
+
+double finite_or(double v, double fallback) {
+  return std::isfinite(v) ? v : fallback;
+}
+
+/// Initial nonbasic value for a column: prefer the finite lower bound.
+double initial_value(double lb, double ub) {
+  if (std::isfinite(lb)) return lb;
+  if (std::isfinite(ub)) return ub;
+  return 0.0;
+}
+
+VarStatus initial_status(double lb, double ub) {
+  if (std::isfinite(lb)) return VarStatus::kAtLower;
+  if (std::isfinite(ub)) return VarStatus::kAtUpper;
+  return VarStatus::kFree;
+}
+
+Tableau build_tableau(const Model& model) {
+  Tableau t;
+  t.m = model.num_constraints();
+  t.n_model = t.n_structural = model.num_vars();
+  t.maximize = model.sense() == Sense::kMaximize;
+  const int n0 = t.n_structural + t.m;  // structural + slack
+  t.cols.resize(static_cast<std::size_t>(n0));
+  t.lb.resize(static_cast<std::size_t>(n0));
+  t.ub.resize(static_cast<std::size_t>(n0));
+  t.cost.assign(static_cast<std::size_t>(n0), 0.0);
+  t.b.resize(static_cast<std::size_t>(t.m));
+
+  for (int j = 0; j < t.n_structural; ++j) {
+    const auto& v = model.var(j);
+    t.lb[static_cast<std::size_t>(j)] = v.lb;
+    t.ub[static_cast<std::size_t>(j)] = v.ub;
+    t.cost[static_cast<std::size_t>(j)] = t.maximize ? -v.obj : v.obj;
+  }
+  for (int i = 0; i < t.m; ++i) {
+    const auto& row = model.row(i);
+    t.b[static_cast<std::size_t>(i)] = row.rhs;
+    for (const auto& [v, c] : row.terms) {
+      if (c != 0.0) {
+        t.cols[static_cast<std::size_t>(v)].emplace_back(i, c);
+      }
+    }
+    // Slack column: a'x + s = b with s-bounds encoding the relation.
+    const int sj = t.n_structural + i;
+    t.cols[static_cast<std::size_t>(sj)].emplace_back(i, 1.0);
+    switch (row.rel) {
+      case Relation::kLe:
+        t.lb[static_cast<std::size_t>(sj)] = 0.0;
+        t.ub[static_cast<std::size_t>(sj)] = kInf;
+        break;
+      case Relation::kGe:
+        t.lb[static_cast<std::size_t>(sj)] = -kInf;
+        t.ub[static_cast<std::size_t>(sj)] = 0.0;
+        break;
+      case Relation::kEq:
+        t.lb[static_cast<std::size_t>(sj)] = 0.0;
+        t.ub[static_cast<std::size_t>(sj)] = 0.0;
+        break;
+    }
+  }
+  t.n = n0;
+  t.value.resize(static_cast<std::size_t>(t.n));
+  t.status.resize(static_cast<std::size_t>(t.n));
+  for (int j = 0; j < t.n; ++j) {
+    t.value[static_cast<std::size_t>(j)] =
+        initial_value(t.lb[static_cast<std::size_t>(j)],
+                      t.ub[static_cast<std::size_t>(j)]);
+    t.status[static_cast<std::size_t>(j)] =
+        initial_status(t.lb[static_cast<std::size_t>(j)],
+                       t.ub[static_cast<std::size_t>(j)]);
+  }
+  return t;
+}
+
+/// The driver for one phase of the bounded-variable revised simplex.
+class Engine {
+ public:
+  Engine(Tableau& t, const SimplexSolver::Config& cfg) : t_(t), cfg_(cfg) {}
+
+  /// Runs to optimality of the current cost vector.  Returns kOptimal or
+  /// kUnbounded / kIterationLimit.
+  SolveStatus optimize(std::size_t& iterations) {
+    std::size_t degenerate_streak = 0;
+    while (true) {
+      if (iterations >= cfg_.max_iterations) {
+        return SolveStatus::kIterationLimit;
+      }
+      const bool bland = degenerate_streak >= cfg_.degenerate_before_bland;
+      compute_duals();
+      int enter = -1;
+      double best = cfg_.tol;
+      int direction = 0;
+      for (int j = 0; j < t_.n; ++j) {
+        const auto sj = static_cast<std::size_t>(j);
+        if (t_.status[sj] == VarStatus::kBasic) continue;
+        if (t_.lb[sj] == t_.ub[sj]) continue;  // fixed
+        const double d = reduced_cost(j);
+        int dir = 0;
+        double score = 0.0;
+        if (t_.status[sj] == VarStatus::kAtLower && d < -cfg_.tol) {
+          dir = +1;
+          score = -d;
+        } else if (t_.status[sj] == VarStatus::kAtUpper && d > cfg_.tol) {
+          dir = -1;
+          score = d;
+        } else if (t_.status[sj] == VarStatus::kFree &&
+                   std::fabs(d) > cfg_.tol) {
+          dir = d < 0 ? +1 : -1;
+          score = std::fabs(d);
+        }
+        if (dir != 0) {
+          if (bland) {  // Bland's rule: first eligible index
+            enter = j;
+            direction = dir;
+            break;
+          }
+          if (score > best) {
+            best = score;
+            enter = j;
+            direction = dir;
+          }
+        }
+      }
+      if (enter < 0) return SolveStatus::kOptimal;
+
+      // Direction of basic variables: x_B changes by -dir * t * w.
+      ftran(enter);
+      const auto se = static_cast<std::size_t>(enter);
+
+      double t_max = kInf;
+      int leave_row = -1;
+      double leave_to_bound = 0.0;  // bound the leaving variable lands on
+      // Bound flip of the entering variable itself.
+      const double span = t_.ub[se] - t_.lb[se];
+      if (std::isfinite(span)) t_max = span;
+      for (int i = 0; i < t_.m; ++i) {
+        const double wi = w_[static_cast<std::size_t>(i)];
+        if (std::fabs(wi) <= cfg_.tol) continue;
+        const int bj = t_.basic_of_row[static_cast<std::size_t>(i)];
+        const auto sbj = static_cast<std::size_t>(bj);
+        const double delta = static_cast<double>(direction) * wi;
+        double limit = kInf;
+        double to_bound = 0.0;
+        if (delta > 0.0) {  // basic variable decreases toward its lb
+          if (std::isfinite(t_.lb[sbj])) {
+            limit = (t_.value[sbj] - t_.lb[sbj]) / delta;
+            to_bound = t_.lb[sbj];
+          }
+        } else {  // basic variable increases toward its ub
+          if (std::isfinite(t_.ub[sbj])) {
+            limit = (t_.ub[sbj] - t_.value[sbj]) / -delta;
+            to_bound = t_.ub[sbj];
+          }
+        }
+        if (limit < t_max - cfg_.tol ||
+            (limit < t_max + cfg_.tol && leave_row >= 0 && bland &&
+             bj < t_.basic_of_row[static_cast<std::size_t>(leave_row)])) {
+          t_max = std::max(limit, 0.0);
+          leave_row = i;
+          leave_to_bound = to_bound;
+        }
+      }
+      if (!std::isfinite(t_max)) return SolveStatus::kUnbounded;
+
+      degenerate_streak = t_max <= cfg_.tol ? degenerate_streak + 1 : 0;
+
+      // Apply the step to all basic variables and the entering variable.
+      for (int i = 0; i < t_.m; ++i) {
+        const int bj = t_.basic_of_row[static_cast<std::size_t>(i)];
+        t_.value[static_cast<std::size_t>(bj)] -=
+            static_cast<double>(direction) * t_max *
+            w_[static_cast<std::size_t>(i)];
+      }
+      t_.value[se] += static_cast<double>(direction) * t_max;
+
+      if (leave_row < 0) {
+        // Pure bound flip: entering variable moved to its other bound.
+        t_.status[se] = direction > 0 ? VarStatus::kAtUpper : VarStatus::kAtLower;
+        t_.value[se] = direction > 0 ? t_.ub[se] : t_.lb[se];
+      } else {
+        const int leave = t_.basic_of_row[static_cast<std::size_t>(leave_row)];
+        const auto sl = static_cast<std::size_t>(leave);
+        t_.value[sl] = leave_to_bound;
+        t_.status[sl] = (std::isfinite(t_.lb[sl]) &&
+                         leave_to_bound == t_.lb[sl])
+                            ? VarStatus::kAtLower
+                            : VarStatus::kAtUpper;
+        t_.status[se] = VarStatus::kBasic;
+        t_.basic_of_row[static_cast<std::size_t>(leave_row)] = enter;
+        update_binv(leave_row);
+      }
+      ++iterations;
+      if (iterations % 512 == 0) recompute_basic_values();
+    }
+  }
+
+  /// y = c_B' * Binv.
+  void compute_duals() {
+    y_.assign(static_cast<std::size_t>(t_.m), 0.0);
+    for (int k = 0; k < t_.m; ++k) {
+      const double cb =
+          t_.cost[static_cast<std::size_t>(t_.basic_of_row[static_cast<std::size_t>(k)])];
+      if (cb == 0.0) continue;
+      for (int i = 0; i < t_.m; ++i) {
+        y_[static_cast<std::size_t>(i)] += cb * t_.BinvC(k, i);
+      }
+    }
+  }
+
+  double reduced_cost(int j) const {
+    double d = t_.cost[static_cast<std::size_t>(j)];
+    for (const auto& [row, a] : t_.cols[static_cast<std::size_t>(j)]) {
+      d -= y_[static_cast<std::size_t>(row)] * a;
+    }
+    return d;
+  }
+
+  /// w = Binv * A_j.
+  void ftran(int j) {
+    w_.assign(static_cast<std::size_t>(t_.m), 0.0);
+    for (const auto& [row, a] : t_.cols[static_cast<std::size_t>(j)]) {
+      for (int i = 0; i < t_.m; ++i) {
+        w_[static_cast<std::size_t>(i)] += t_.BinvC(i, row) * a;
+      }
+    }
+  }
+
+  const std::vector<double>& duals() const { return y_; }
+  const std::vector<double>& direction() const { return w_; }
+
+  /// Product-form update after replacing the basic variable of `row`.
+  void update_binv(int row) {
+    const double piv = w_[static_cast<std::size_t>(row)];
+    if (std::fabs(piv) < 1e-12) {
+      throw LpError("numerically singular pivot");
+    }
+    for (int k = 0; k < t_.m; ++k) {
+      t_.Binv(row, k) /= piv;
+    }
+    for (int i = 0; i < t_.m; ++i) {
+      if (i == row) continue;
+      const double f = w_[static_cast<std::size_t>(i)];
+      if (std::fabs(f) < 1e-15) continue;
+      for (int k = 0; k < t_.m; ++k) {
+        t_.Binv(i, k) -= f * t_.BinvC(row, k);
+      }
+      w_[static_cast<std::size_t>(i)] = 0.0;
+    }
+    w_[static_cast<std::size_t>(row)] = 1.0;
+  }
+
+  /// x_B = Binv (b - A_N x_N); refreshes accumulated rounding error.
+  void recompute_basic_values() {
+    std::vector<double> rhs(t_.b);
+    for (int j = 0; j < t_.n; ++j) {
+      const auto sj = static_cast<std::size_t>(j);
+      if (t_.status[sj] == VarStatus::kBasic) continue;
+      const double v = t_.value[sj];
+      if (v == 0.0) continue;
+      for (const auto& [row, a] : t_.cols[sj]) {
+        rhs[static_cast<std::size_t>(row)] -= a * v;
+      }
+    }
+    for (int i = 0; i < t_.m; ++i) {
+      double v = 0.0;
+      for (int k = 0; k < t_.m; ++k) {
+        v += t_.BinvC(i, k) * rhs[static_cast<std::size_t>(k)];
+      }
+      t_.value[static_cast<std::size_t>(
+          t_.basic_of_row[static_cast<std::size_t>(i)])] = v;
+    }
+  }
+
+ private:
+  Tableau& t_;
+  const SimplexSolver::Config& cfg_;
+  std::vector<double> y_;
+  std::vector<double> w_;
+};
+
+}  // namespace detail
+
+/// Opaque post-solve state enabling bound ranging without re-solving.
+struct SimplexInternal {
+  detail::Tableau t;
+};
+
+Solution SimplexSolver::solve(const Model& model) const {
+  using detail::Engine;
+  using detail::Tableau;
+  using detail::VarStatus;
+  using detail::build_tableau;
+  Solution sol;
+  sol.x.assign(static_cast<std::size_t>(model.num_vars()), 0.0);
+  sol.reduced_cost.assign(static_cast<std::size_t>(model.num_vars()), 0.0);
+  sol.dual.assign(static_cast<std::size_t>(model.num_constraints()), 0.0);
+  sol.basic.assign(static_cast<std::size_t>(model.num_vars()), false);
+  sol.row_activity.assign(static_cast<std::size_t>(model.num_constraints()),
+                          0.0);
+
+  auto internal = std::make_shared<SimplexInternal>();
+  Tableau& t = internal->t;
+  t = build_tableau(model);
+
+  // Phase 1: artificial basis.  Residual of the equality system at the
+  // initial nonbasic point decides each artificial's sign so its value
+  // starts nonnegative.
+  std::vector<double> residual(t.b);
+  for (int j = 0; j < t.n; ++j) {
+    const auto sj = static_cast<std::size_t>(j);
+    const double v = t.value[sj];
+    if (v == 0.0) continue;
+    for (const auto& [row, a] : t.cols[sj]) {
+      residual[static_cast<std::size_t>(row)] -= a * v;
+    }
+  }
+  const int n_real = t.n;
+  t.basic_of_row.resize(static_cast<std::size_t>(t.m));
+  t.binv.assign(static_cast<std::size_t>(t.m) * static_cast<std::size_t>(t.m),
+                0.0);
+  std::vector<double> phase2_cost = t.cost;
+  std::fill(t.cost.begin(), t.cost.end(), 0.0);
+  for (int i = 0; i < t.m; ++i) {
+    const double r = residual[static_cast<std::size_t>(i)];
+    const double sign = r < 0.0 ? -1.0 : 1.0;
+    t.cols.push_back({{i, sign}});
+    t.lb.push_back(0.0);
+    t.ub.push_back(kInf);
+    t.cost.push_back(1.0);
+    phase2_cost.push_back(0.0);
+    t.value.push_back(std::fabs(r));
+    t.status.push_back(VarStatus::kBasic);
+    t.basic_of_row[static_cast<std::size_t>(i)] = t.n;
+    t.Binv(i, i) = sign;
+    ++t.n;
+  }
+
+  Engine engine(t, cfg_);
+  sol.iterations = 0;
+  SolveStatus st = engine.optimize(sol.iterations);
+  if (st == SolveStatus::kIterationLimit) {
+    sol.status = st;
+    return sol;
+  }
+  double infeas = 0.0;
+  for (int j = n_real; j < t.n; ++j) {
+    infeas += t.value[static_cast<std::size_t>(j)];
+  }
+  double scale = 1.0;
+  for (int i = 0; i < t.m; ++i) {
+    scale = std::max(scale, std::fabs(t.b[static_cast<std::size_t>(i)]));
+  }
+  if (infeas > 1e-6 * scale) {
+    sol.status = SolveStatus::kInfeasible;
+    return sol;
+  }
+  // Phase 2: real costs, artificials pinned to zero.
+  t.cost = phase2_cost;
+  for (int j = n_real; j < t.n; ++j) {
+    t.ub[static_cast<std::size_t>(j)] = 0.0;
+    t.value[static_cast<std::size_t>(j)] =
+        std::min(t.value[static_cast<std::size_t>(j)], 0.0);
+  }
+  st = engine.optimize(sol.iterations);
+  if (st != SolveStatus::kOptimal) {
+    sol.status = st;
+    return sol;
+  }
+  engine.recompute_basic_values();
+  engine.compute_duals();
+
+  // Extract the solution in the model's orientation.
+  const double flip = t.maximize ? -1.0 : 1.0;
+  double obj = 0.0;
+  for (int j = 0; j < t.n_model; ++j) {
+    const auto sj = static_cast<std::size_t>(j);
+    sol.x[sj] = t.value[sj];
+    obj += model.var(j).obj * t.value[sj];
+    sol.basic[sj] = t.status[sj] == VarStatus::kBasic;
+    sol.reduced_cost[sj] = flip * engine.reduced_cost(j);
+  }
+  sol.objective = obj;
+  for (int i = 0; i < t.m; ++i) {
+    sol.dual[static_cast<std::size_t>(i)] =
+        flip * engine.duals()[static_cast<std::size_t>(i)];
+    double act = 0.0;
+    for (const auto& [v, c] : model.row(i).terms) {
+      act += c * sol.x[static_cast<std::size_t>(v)];
+    }
+    sol.row_activity[static_cast<std::size_t>(i)] = act;
+  }
+  sol.status = SolveStatus::kOptimal;
+  sol.internal = std::move(internal);
+  return sol;
+}
+
+SimplexSolver::Range SimplexSolver::bound_range(const Model& model,
+                                                const Solution& s,
+                                                int var) const {
+  if (s.status != SolveStatus::kOptimal || !s.internal) {
+    throw LpError("bound_range requires an optimal solution");
+  }
+  if (var < 0 || var >= model.num_vars()) {
+    throw LpError("bound_range: variable out of range");
+  }
+  // Work on a copy of the tableau so ranging never perturbs the solution.
+  detail::Tableau t = s.internal->t;
+  detail::Engine engine(t, cfg_);
+  const auto sv = static_cast<std::size_t>(var);
+
+  Range r;
+  const double xv = t.value[sv];
+  if (t.status[sv] == detail::VarStatus::kBasic) {
+    // The variable's lower bound is inactive; it can drop indefinitely and
+    // rise until it reaches the current optimal value.
+    r.lo = -kInf;
+    r.hi = xv;
+    return r;
+  }
+  // Nonbasic: move the variable by ±t; basic variables respond with -w t.
+  engine.ftran(var);
+  const auto& w = engine.direction();
+  double up = kInf;
+  double down = kInf;
+  for (int i = 0; i < t.m; ++i) {
+    const double wi = w[static_cast<std::size_t>(i)];
+    if (std::fabs(wi) <= cfg_.tol) continue;
+    const int bj = t.basic_of_row[static_cast<std::size_t>(i)];
+    const auto sbj = static_cast<std::size_t>(bj);
+    const double to_lb = t.value[sbj] - detail::finite_or(t.lb[sbj], -kInf);
+    const double to_ub = detail::finite_or(t.ub[sbj], kInf) - t.value[sbj];
+    if (wi > 0.0) {
+      up = std::min(up, to_lb / wi);      // +t pushes basic down
+      down = std::min(down, to_ub / wi);  // -t pushes basic up
+    } else {
+      up = std::min(up, to_ub / -wi);
+      down = std::min(down, to_lb / -wi);
+    }
+  }
+  r.lo = xv - down;
+  r.hi = xv + up;
+  return r;
+}
+
+}  // namespace llamp::lp

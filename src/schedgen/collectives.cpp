@@ -1,0 +1,488 @@
+#include "schedgen/collectives.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace llamp::schedgen {
+
+namespace {
+
+/// Largest power of two not exceeding n (n >= 1).
+int floor_pof2(int n) {
+  int p = 1;
+  while (p * 2 <= n) p *= 2;
+  return p;
+}
+
+/// Simultaneous exchange with one partner: irecv + isend, then wait for
+/// both.  This is the building block of recursive doubling and the ring
+/// steps (MPI_Sendrecv semantics).
+void sendrecv(ExpandContext& ctx, int partner, std::uint64_t send_bytes,
+              std::uint64_t recv_bytes) {
+  const std::int64_t rreq = ctx.next_req++;
+  const std::int64_t sreq = ctx.next_req++;
+  ctx.out.push_back(MidOp::irecv(partner, recv_bytes, kCollectiveTag, rreq));
+  ctx.out.push_back(MidOp::isend(partner, send_bytes, kCollectiveTag, sreq));
+  ctx.out.push_back(MidOp::wait(rreq));
+  ctx.out.push_back(MidOp::wait(sreq));
+}
+
+void blocking_send(ExpandContext& ctx, int peer, std::uint64_t bytes) {
+  ctx.out.push_back(MidOp::send(peer, bytes, kCollectiveTag));
+}
+
+void blocking_recv(ExpandContext& ctx, int peer, std::uint64_t bytes) {
+  ctx.out.push_back(MidOp::recv(peer, bytes, kCollectiveTag));
+}
+
+/// Per-rank chunk size for ring reduce-scatter/allgather phases.
+std::uint64_t ring_chunk(std::uint64_t bytes, int nranks) {
+  if (bytes == 0) return 0;
+  return (bytes + static_cast<std::uint64_t>(nranks) - 1) /
+         static_cast<std::uint64_t>(nranks);
+}
+
+void binomial_bcast(ExpandContext& ctx, std::uint64_t bytes, int root) {
+  const int P = ctx.nranks;
+  const int rel = (ctx.rank - root + P) % P;
+  int mask = 1;
+  while (mask < P) {
+    if (rel & mask) {
+      const int src = (rel - mask + root) % P;
+      blocking_recv(ctx, src, bytes);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (rel + mask < P) {
+      const int dst = (rel + mask + root) % P;
+      blocking_send(ctx, dst, bytes);
+    }
+    mask >>= 1;
+  }
+}
+
+void linear_bcast(ExpandContext& ctx, std::uint64_t bytes, int root) {
+  if (ctx.rank == root) {
+    for (int r = 0; r < ctx.nranks; ++r) {
+      if (r != root) blocking_send(ctx, r, bytes);
+    }
+  } else {
+    blocking_recv(ctx, root, bytes);
+  }
+}
+
+void binomial_reduce(ExpandContext& ctx, std::uint64_t bytes, int root) {
+  const int P = ctx.nranks;
+  const int rel = (ctx.rank - root + P) % P;
+  int mask = 1;
+  while (mask < P) {
+    if ((rel & mask) == 0) {
+      const int src_rel = rel | mask;
+      if (src_rel < P) {
+        blocking_recv(ctx, (src_rel + root) % P, bytes);
+      }
+    } else {
+      const int dst = ((rel & ~mask) + root) % P;
+      blocking_send(ctx, dst, bytes);
+      break;
+    }
+    mask <<= 1;
+  }
+}
+
+void linear_reduce(ExpandContext& ctx, std::uint64_t bytes, int root) {
+  if (ctx.rank == root) {
+    for (int r = 0; r < ctx.nranks; ++r) {
+      if (r != root) blocking_recv(ctx, r, bytes);
+    }
+  } else {
+    blocking_send(ctx, root, bytes);
+  }
+}
+
+/// MPICH-style recursive-doubling allreduce with the standard fold for
+/// non-power-of-two rank counts: the first 2·rem ranks pre-combine pairwise
+/// so that a power-of-two subgroup runs the doubling rounds, then the idled
+/// ranks receive the result.
+void recursive_doubling_allreduce(ExpandContext& ctx, std::uint64_t bytes) {
+  const int P = ctx.nranks;
+  const int rank = ctx.rank;
+  const int pof2 = floor_pof2(P);
+  const int rem = P - pof2;
+
+  int newrank;
+  if (rank < 2 * rem) {
+    if (rank % 2 == 0) {
+      blocking_send(ctx, rank + 1, bytes);
+      newrank = -1;  // idles during the doubling rounds
+    } else {
+      blocking_recv(ctx, rank - 1, bytes);
+      newrank = rank / 2;
+    }
+  } else {
+    newrank = rank - rem;
+  }
+
+  if (newrank != -1) {
+    for (int mask = 1; mask < pof2; mask <<= 1) {
+      const int partner_new = newrank ^ mask;
+      const int partner =
+          partner_new < rem ? partner_new * 2 + 1 : partner_new + rem;
+      sendrecv(ctx, partner, bytes, bytes);
+    }
+  }
+
+  if (rank < 2 * rem) {
+    if (rank % 2 == 0) {
+      blocking_recv(ctx, rank + 1, bytes);
+    } else {
+      blocking_send(ctx, rank - 1, bytes);
+    }
+  }
+}
+
+/// Ring allreduce: P-1 reduce-scatter steps followed by P-1 allgather
+/// steps, each moving one s/P chunk to the right neighbor.  The long chain
+/// of dependent messages is exactly what makes this algorithm latency
+/// sensitive (Fig. 10 of the paper).
+void ring_allreduce(ExpandContext& ctx, std::uint64_t bytes) {
+  const int P = ctx.nranks;
+  if (P == 1) return;
+  const std::uint64_t chunk = ring_chunk(bytes, P);
+  const int right = (ctx.rank + 1) % P;
+  const int left = (ctx.rank - 1 + P) % P;
+  for (int phase = 0; phase < 2; ++phase) {
+    for (int step = 0; step < P - 1; ++step) {
+      // Receive the incoming chunk before forwarding the next one: the
+      // dependence chain around the ring is intentional.
+      const std::int64_t rreq = ctx.next_req++;
+      const std::int64_t sreq = ctx.next_req++;
+      ctx.out.push_back(MidOp::irecv(left, chunk, kCollectiveTag, rreq));
+      ctx.out.push_back(MidOp::isend(right, chunk, kCollectiveTag, sreq));
+      ctx.out.push_back(MidOp::wait(rreq));
+      ctx.out.push_back(MidOp::wait(sreq));
+    }
+  }
+}
+
+/// Ring allgather (send right, receive left, P-1 steps).
+void ring_allgather_explicit(ExpandContext& ctx, std::uint64_t bytes) {
+  const int P = ctx.nranks;
+  if (P == 1) return;
+  const int right = (ctx.rank + 1) % P;
+  const int left = (ctx.rank - 1 + P) % P;
+  for (int step = 0; step < P - 1; ++step) {
+    const std::int64_t rreq = ctx.next_req++;
+    const std::int64_t sreq = ctx.next_req++;
+    ctx.out.push_back(MidOp::irecv(left, bytes, kCollectiveTag, rreq));
+    ctx.out.push_back(MidOp::isend(right, bytes, kCollectiveTag, sreq));
+    ctx.out.push_back(MidOp::wait(rreq));
+    ctx.out.push_back(MidOp::wait(sreq));
+  }
+}
+
+/// Recursive-doubling allgather (power-of-two only; callers fall back to the
+/// ring otherwise).  The exchanged volume doubles each round.
+void recursive_doubling_allgather(ExpandContext& ctx, std::uint64_t bytes) {
+  const int P = ctx.nranks;
+  std::uint64_t vol = bytes;
+  for (int mask = 1; mask < P; mask <<= 1) {
+    const int partner = ctx.rank ^ mask;
+    sendrecv(ctx, partner, vol, vol);
+    vol *= 2;
+  }
+}
+
+void ring_reduce_scatter(ExpandContext& ctx, std::uint64_t bytes) {
+  const int P = ctx.nranks;
+  if (P == 1) return;
+  const std::uint64_t chunk = ring_chunk(bytes, P);
+  const int right = (ctx.rank + 1) % P;
+  const int left = (ctx.rank - 1 + P) % P;
+  for (int step = 0; step < P - 1; ++step) {
+    const std::int64_t rreq = ctx.next_req++;
+    const std::int64_t sreq = ctx.next_req++;
+    ctx.out.push_back(MidOp::irecv(left, chunk, kCollectiveTag, rreq));
+    ctx.out.push_back(MidOp::isend(right, chunk, kCollectiveTag, sreq));
+    ctx.out.push_back(MidOp::wait(rreq));
+    ctx.out.push_back(MidOp::wait(sreq));
+  }
+}
+
+/// Binomial gather: each subtree root forwards its accumulated subtree
+/// payload to its parent.
+void binomial_gather(ExpandContext& ctx, std::uint64_t bytes, int root) {
+  const int P = ctx.nranks;
+  const int rel = (ctx.rank - root + P) % P;
+  auto subtree_ranks = [&](int subroot_rel, int mask) {
+    // Subtree rooted at subroot_rel spans [subroot_rel, subroot_rel+mask).
+    const int hi = subroot_rel + mask;
+    return static_cast<std::uint64_t>((hi > P ? P : hi) - subroot_rel);
+  };
+  int mask = 1;
+  while (mask < P) {
+    if ((rel & mask) == 0) {
+      const int src_rel = rel | mask;
+      if (src_rel < P) {
+        blocking_recv(ctx, (src_rel + root) % P,
+                      bytes * subtree_ranks(src_rel, mask));
+      }
+    } else {
+      const int dst = ((rel & ~mask) + root) % P;
+      blocking_send(ctx, dst, bytes * subtree_ranks(rel, mask));
+      break;
+    }
+    mask <<= 1;
+  }
+}
+
+/// Binomial scatter: the mirror image of gather (parents split their block
+/// and forward the halves down the tree).
+void binomial_scatter_impl(ExpandContext& ctx, std::uint64_t bytes, int root) {
+  const int P = ctx.nranks;
+  const int rel = (ctx.rank - root + P) % P;
+  auto subtree_ranks = [&](int subroot_rel, int mask) {
+    const int hi = subroot_rel + mask;
+    return static_cast<std::uint64_t>((hi > P ? P : hi) - subroot_rel);
+  };
+  // Find the receiving step (from parent), then the forwarding steps.
+  int recv_mask = 0;
+  int mask = 1;
+  while (mask < P) {
+    if (rel & mask) {
+      recv_mask = mask;
+      break;
+    }
+    mask <<= 1;
+  }
+  if (recv_mask != 0) {
+    const int src = ((rel & ~recv_mask) + root) % P;
+    blocking_recv(ctx, src, bytes * subtree_ranks(rel, recv_mask));
+  }
+  // Forward to children: masks below the receive mask (or below P for root).
+  int top = recv_mask == 0 ? floor_pof2(P) : recv_mask >> 1;
+  for (int m = top; m > 0; m >>= 1) {
+    const int dst_rel = rel | m;
+    if (dst_rel < P && dst_rel != rel) {
+      blocking_send(ctx, (dst_rel + root) % P, bytes * subtree_ranks(dst_rel, m));
+    }
+  }
+}
+
+void linear_alltoall(ExpandContext& ctx, std::uint64_t bytes) {
+  const int P = ctx.nranks;
+  std::vector<std::int64_t> reqs;
+  for (int k = 1; k < P; ++k) {
+    const int src = (ctx.rank - k + P) % P;
+    const std::int64_t rreq = ctx.next_req++;
+    ctx.out.push_back(MidOp::irecv(src, bytes, kCollectiveTag, rreq));
+    reqs.push_back(rreq);
+  }
+  for (int k = 1; k < P; ++k) {
+    const int dst = (ctx.rank + k) % P;
+    const std::int64_t sreq = ctx.next_req++;
+    ctx.out.push_back(MidOp::isend(dst, bytes, kCollectiveTag, sreq));
+    reqs.push_back(sreq);
+  }
+  for (const auto r : reqs) ctx.out.push_back(MidOp::wait(r));
+}
+
+void pairwise_alltoall(ExpandContext& ctx, std::uint64_t bytes) {
+  const int P = ctx.nranks;
+  for (int k = 1; k < P; ++k) {
+    // XOR pairing needs a power of two; otherwise shift pairing.
+    const bool pof2 = (P & (P - 1)) == 0;
+    const int partner = pof2 ? (ctx.rank ^ k)
+                             : -1;
+    if (pof2) {
+      sendrecv(ctx, partner, bytes, bytes);
+    } else {
+      const int dst = (ctx.rank + k) % P;
+      const int src = (ctx.rank - k + P) % P;
+      const std::int64_t rreq = ctx.next_req++;
+      const std::int64_t sreq = ctx.next_req++;
+      ctx.out.push_back(MidOp::irecv(src, bytes, kCollectiveTag, rreq));
+      ctx.out.push_back(MidOp::isend(dst, bytes, kCollectiveTag, sreq));
+      ctx.out.push_back(MidOp::wait(rreq));
+      ctx.out.push_back(MidOp::wait(sreq));
+    }
+  }
+}
+
+/// van de Geijn bcast: binomial scatter of s/P chunks from the root, then
+/// a ring allgather reassembles the full payload everywhere.
+void scatter_allgather_bcast(ExpandContext& ctx, std::uint64_t bytes,
+                             int root) {
+  const int P = ctx.nranks;
+  const std::uint64_t chunk = ring_chunk(bytes, P);
+  binomial_scatter_impl(ctx, chunk, root);
+  const int right = (ctx.rank + 1) % P;
+  const int left = (ctx.rank - 1 + P) % P;
+  for (int step = 0; step < P - 1; ++step) {
+    const std::int64_t rreq = ctx.next_req++;
+    const std::int64_t sreq = ctx.next_req++;
+    ctx.out.push_back(MidOp::irecv(left, chunk, kCollectiveTag, rreq));
+    ctx.out.push_back(MidOp::isend(right, chunk, kCollectiveTag, sreq));
+    ctx.out.push_back(MidOp::wait(rreq));
+    ctx.out.push_back(MidOp::wait(sreq));
+  }
+}
+
+/// Bruck alltoall: ceil(log2 P) rounds; in round k every rank forwards the
+/// blocks whose destination offset has bit k set — aggregated messages in
+/// exchange for extra local data movement.
+void bruck_alltoall(ExpandContext& ctx, std::uint64_t bytes) {
+  const int P = ctx.nranks;
+  for (int k = 1; k < P; k <<= 1) {
+    // Number of destination offsets j in [1, P) with bit k set.
+    int blocks = 0;
+    for (int j = 1; j < P; ++j) {
+      if (j & k) ++blocks;
+    }
+    const std::uint64_t volume =
+        std::max<std::uint64_t>(bytes * static_cast<std::uint64_t>(blocks), 1);
+    const int to = (ctx.rank - k + P) % P;
+    const int from = (ctx.rank + k) % P;
+    const std::int64_t rreq = ctx.next_req++;
+    const std::int64_t sreq = ctx.next_req++;
+    ctx.out.push_back(MidOp::irecv(from, volume, kCollectiveTag, rreq));
+    ctx.out.push_back(MidOp::isend(to, volume, kCollectiveTag, sreq));
+    ctx.out.push_back(MidOp::wait(rreq));
+    ctx.out.push_back(MidOp::wait(sreq));
+  }
+}
+
+void dissemination_barrier(ExpandContext& ctx) {
+  const int P = ctx.nranks;
+  for (int dist = 1; dist < P; dist <<= 1) {
+    const int to = (ctx.rank + dist) % P;
+    const int from = (ctx.rank - dist + P) % P;
+    const std::int64_t rreq = ctx.next_req++;
+    const std::int64_t sreq = ctx.next_req++;
+    ctx.out.push_back(MidOp::irecv(from, 1, kCollectiveTag, rreq));
+    ctx.out.push_back(MidOp::isend(to, 1, kCollectiveTag, sreq));
+    ctx.out.push_back(MidOp::wait(rreq));
+    ctx.out.push_back(MidOp::wait(sreq));
+  }
+}
+
+}  // namespace
+
+void expand_barrier(ExpandContext ctx, BarrierAlgo algo) {
+  if (ctx.nranks == 1) return;
+  switch (algo) {
+    case BarrierAlgo::kDissemination:
+      dissemination_barrier(ctx);
+      return;
+    case BarrierAlgo::kReduceBcast:
+      binomial_reduce(ctx, 1, 0);
+      binomial_bcast(ctx, 1, 0);
+      return;
+  }
+  throw SchedError("unknown barrier algorithm");
+}
+
+void expand_bcast(ExpandContext ctx, std::uint64_t bytes, int root,
+                  BcastAlgo algo) {
+  if (ctx.nranks == 1) return;
+  switch (algo) {
+    case BcastAlgo::kBinomialTree: binomial_bcast(ctx, bytes, root); return;
+    case BcastAlgo::kLinear: linear_bcast(ctx, bytes, root); return;
+    case BcastAlgo::kScatterAllgather:
+      scatter_allgather_bcast(ctx, bytes, root);
+      return;
+  }
+  throw SchedError("unknown bcast algorithm");
+}
+
+void expand_reduce(ExpandContext ctx, std::uint64_t bytes, int root,
+                   ReduceAlgo algo) {
+  if (ctx.nranks == 1) return;
+  switch (algo) {
+    case ReduceAlgo::kBinomialTree: binomial_reduce(ctx, bytes, root); return;
+    case ReduceAlgo::kLinear: linear_reduce(ctx, bytes, root); return;
+  }
+  throw SchedError("unknown reduce algorithm");
+}
+
+void expand_allreduce(ExpandContext ctx, std::uint64_t bytes,
+                      AllreduceAlgo algo) {
+  if (ctx.nranks == 1) return;
+  switch (algo) {
+    case AllreduceAlgo::kRecursiveDoubling:
+      recursive_doubling_allreduce(ctx, bytes);
+      return;
+    case AllreduceAlgo::kRing:
+      ring_allreduce(ctx, bytes);
+      return;
+    case AllreduceAlgo::kReduceBcast:
+      binomial_reduce(ctx, bytes, 0);
+      binomial_bcast(ctx, bytes, 0);
+      return;
+  }
+  throw SchedError("unknown allreduce algorithm");
+}
+
+void expand_allgather(ExpandContext ctx, std::uint64_t bytes,
+                      AllgatherAlgo algo) {
+  if (ctx.nranks == 1) return;
+  const bool pof2 = (ctx.nranks & (ctx.nranks - 1)) == 0;
+  switch (algo) {
+    case AllgatherAlgo::kRing:
+      ring_allgather_explicit(ctx, bytes);
+      return;
+    case AllgatherAlgo::kRecursiveDoubling:
+      if (pof2) {
+        recursive_doubling_allgather(ctx, bytes);
+      } else {
+        ring_allgather_explicit(ctx, bytes);  // standard fallback
+      }
+      return;
+  }
+  throw SchedError("unknown allgather algorithm");
+}
+
+void expand_reduce_scatter(ExpandContext ctx, std::uint64_t bytes,
+                           ReduceScatterAlgo algo) {
+  if (ctx.nranks == 1) return;
+  switch (algo) {
+    case ReduceScatterAlgo::kRing: ring_reduce_scatter(ctx, bytes); return;
+  }
+  throw SchedError("unknown reduce_scatter algorithm");
+}
+
+void expand_gather(ExpandContext ctx, std::uint64_t bytes, int root,
+                   GatherAlgo algo) {
+  if (ctx.nranks == 1) return;
+  switch (algo) {
+    case GatherAlgo::kBinomialTree: binomial_gather(ctx, bytes, root); return;
+  }
+  throw SchedError("unknown gather algorithm");
+}
+
+void expand_scatter(ExpandContext ctx, std::uint64_t bytes, int root,
+                    ScatterAlgo algo) {
+  if (ctx.nranks == 1) return;
+  switch (algo) {
+    case ScatterAlgo::kBinomialTree:
+      binomial_scatter_impl(ctx, bytes, root);
+      return;
+  }
+  throw SchedError("unknown scatter algorithm");
+}
+
+void expand_alltoall(ExpandContext ctx, std::uint64_t bytes,
+                     AlltoallAlgo algo) {
+  if (ctx.nranks == 1) return;
+  switch (algo) {
+    case AlltoallAlgo::kLinear: linear_alltoall(ctx, bytes); return;
+    case AlltoallAlgo::kPairwise: pairwise_alltoall(ctx, bytes); return;
+    case AlltoallAlgo::kBruck: bruck_alltoall(ctx, bytes); return;
+  }
+  throw SchedError("unknown alltoall algorithm");
+}
+
+}  // namespace llamp::schedgen

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+
+#include "schedgen/midop.hpp"
+#include "schedgen/options.hpp"
+
+namespace llamp::schedgen {
+
+/// Per-rank expansion of collective operations into point-to-point
+/// algorithms.  Each function appends rank `rank`'s share of the algorithm
+/// to `out`; calling it for every rank 0..P-1 yields a globally consistent
+/// schedule (every emitted send has exactly one matching recv).
+///
+/// `next_req` is the rank's nonblocking-request counter; expansions that use
+/// isend/irecv draw ids from it.  All collective traffic uses the reserved
+/// tag `kCollectiveTag`; matching remains unambiguous because MPI ordering
+/// (k-th send from A to B with tag t matches k-th recv) is preserved by
+/// construction.
+inline constexpr int kCollectiveTag = -2;
+
+struct ExpandContext {
+  MidStream& out;
+  int rank;
+  int nranks;
+  std::int64_t& next_req;
+};
+
+void expand_barrier(ExpandContext ctx, BarrierAlgo algo);
+void expand_bcast(ExpandContext ctx, std::uint64_t bytes, int root,
+                  BcastAlgo algo);
+void expand_reduce(ExpandContext ctx, std::uint64_t bytes, int root,
+                   ReduceAlgo algo);
+void expand_allreduce(ExpandContext ctx, std::uint64_t bytes,
+                      AllreduceAlgo algo);
+void expand_allgather(ExpandContext ctx, std::uint64_t bytes,
+                      AllgatherAlgo algo);
+void expand_reduce_scatter(ExpandContext ctx, std::uint64_t bytes,
+                           ReduceScatterAlgo algo);
+void expand_gather(ExpandContext ctx, std::uint64_t bytes, int root,
+                   GatherAlgo algo);
+void expand_scatter(ExpandContext ctx, std::uint64_t bytes, int root,
+                    ScatterAlgo algo);
+void expand_alltoall(ExpandContext ctx, std::uint64_t bytes,
+                     AlltoallAlgo algo);
+
+}  // namespace llamp::schedgen

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace llamp::schedgen {
+
+/// Intermediate per-rank operation stream produced by phase 1 of Schedgen
+/// (compute inference + collective expansion) and consumed by phase 2 (graph
+/// construction).  It contains only primitives the execution-graph model
+/// understands: computation and point-to-point messaging.
+struct MidOp {
+  enum class Kind : std::uint8_t {
+    kCalc,
+    kSend,   // blocking
+    kRecv,   // blocking
+    kIsend,
+    kIrecv,
+    kWait,
+  };
+
+  Kind kind = Kind::kCalc;
+  TimeNs duration = 0.0;       ///< kCalc only
+  std::int32_t peer = -1;      ///< p2p ops
+  std::uint64_t bytes = 0;     ///< p2p ops
+  std::int32_t tag = 0;        ///< p2p ops
+  std::int64_t request = -1;   ///< kIsend / kIrecv / kWait
+
+  static MidOp calc(TimeNs dur) {
+    MidOp m;
+    m.kind = Kind::kCalc;
+    m.duration = dur;
+    return m;
+  }
+  static MidOp send(int peer, std::uint64_t bytes, int tag) {
+    MidOp m;
+    m.kind = Kind::kSend;
+    m.peer = peer;
+    m.bytes = bytes;
+    m.tag = tag;
+    return m;
+  }
+  static MidOp recv(int peer, std::uint64_t bytes, int tag) {
+    MidOp m;
+    m.kind = Kind::kRecv;
+    m.peer = peer;
+    m.bytes = bytes;
+    m.tag = tag;
+    return m;
+  }
+  static MidOp isend(int peer, std::uint64_t bytes, int tag, std::int64_t req) {
+    MidOp m = send(peer, bytes, tag);
+    m.kind = Kind::kIsend;
+    m.request = req;
+    return m;
+  }
+  static MidOp irecv(int peer, std::uint64_t bytes, int tag, std::int64_t req) {
+    MidOp m = recv(peer, bytes, tag);
+    m.kind = Kind::kIrecv;
+    m.request = req;
+    return m;
+  }
+  static MidOp wait(std::int64_t req) {
+    MidOp m;
+    m.kind = Kind::kWait;
+    m.request = req;
+    return m;
+  }
+};
+
+using MidStream = std::vector<MidOp>;
+
+}  // namespace llamp::schedgen

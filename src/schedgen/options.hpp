@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace llamp::schedgen {
+
+/// Point-to-point algorithm choices for each collective, mirroring the
+/// substitution capability of the original Schedgen (§II-A: "Schedgen is
+/// able to substitute collective operations with p2p algorithms based on
+/// user specifications").  Fig. 10's case study swaps Allreduce between
+/// recursive doubling and the ring algorithm.
+enum class AllreduceAlgo : std::uint8_t {
+  kRecursiveDoubling,
+  kRing,
+  kReduceBcast,  ///< binomial reduce to rank 0 followed by binomial bcast
+};
+
+enum class BcastAlgo : std::uint8_t {
+  kBinomialTree,
+  kLinear,
+  /// van de Geijn: binomial scatter of s/P chunks followed by a ring
+  /// allgather — bandwidth-optimal for large payloads.
+  kScatterAllgather,
+};
+enum class ReduceAlgo : std::uint8_t { kBinomialTree, kLinear };
+enum class AllgatherAlgo : std::uint8_t { kRing, kRecursiveDoubling };
+enum class ReduceScatterAlgo : std::uint8_t { kRing };
+enum class BarrierAlgo : std::uint8_t { kDissemination, kReduceBcast };
+enum class AlltoallAlgo : std::uint8_t {
+  kLinear,
+  kPairwise,
+  /// Bruck: ceil(log2 P) rounds of aggregated blocks — fewer, larger
+  /// messages, the latency-optimal choice for small payloads.
+  kBruck,
+};
+enum class GatherAlgo : std::uint8_t { kBinomialTree };
+enum class ScatterAlgo : std::uint8_t { kBinomialTree };
+
+/// Schedgen configuration.
+struct Options {
+  /// Messages of at least this many bytes use the rendezvous protocol; the
+  /// protocol is baked into the emitted graph (edge cost specs), matching
+  /// how LogGPS fixes S per system.
+  std::uint64_t rendezvous_threshold = 256 * 1024;
+
+  /// Multiplier applied to all inferred compute durations (what-if analyses
+  /// and the compute-scaling ablation).
+  double compute_scale = 1.0;
+
+  AllreduceAlgo allreduce = AllreduceAlgo::kRecursiveDoubling;
+  BcastAlgo bcast = BcastAlgo::kBinomialTree;
+  ReduceAlgo reduce = ReduceAlgo::kBinomialTree;
+  AllgatherAlgo allgather = AllgatherAlgo::kRing;
+  ReduceScatterAlgo reduce_scatter = ReduceScatterAlgo::kRing;
+  BarrierAlgo barrier = BarrierAlgo::kDissemination;
+  AlltoallAlgo alltoall = AlltoallAlgo::kLinear;
+  GatherAlgo gather = GatherAlgo::kBinomialTree;
+  ScatterAlgo scatter = ScatterAlgo::kBinomialTree;
+};
+
+std::string to_string(AllreduceAlgo a);
+
+}  // namespace llamp::schedgen

@@ -1,0 +1,318 @@
+#include "schedgen/schedgen.hpp"
+
+#include <map>
+#include <tuple>
+#include <unordered_map>
+
+#include "schedgen/collectives.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace llamp::schedgen {
+
+namespace {
+
+/// Request ids generated for collective expansions live far above any id a
+/// tracer would produce, so they can share the per-rank id space.
+constexpr std::int64_t kCollectiveReqBase = std::int64_t{1} << 40;
+
+}  // namespace
+
+std::vector<MidStream> expand_trace(const trace::Trace& t,
+                                    const Options& opts) {
+  t.validate();
+  const int P = t.nranks();
+  std::vector<MidStream> streams(static_cast<std::size_t>(P));
+  std::vector<std::int64_t> next_req(static_cast<std::size_t>(P),
+                                     kCollectiveReqBase);
+  for (int r = 0; r < P; ++r) {
+    MidStream& out = streams[static_cast<std::size_t>(r)];
+    TimeNs prev_end = 0.0;
+    bool first = true;
+    for (const trace::Event& e : t.rank(r)) {
+      if (!first) {
+        const TimeNs gap = (e.start - prev_end) * opts.compute_scale;
+        if (gap > 0.0) out.push_back(MidOp::calc(gap));
+      }
+      first = false;
+      prev_end = e.end;
+      switch (e.op) {
+        case trace::Op::kInit:
+        case trace::Op::kFinalize:
+          break;
+        case trace::Op::kSend:
+          out.push_back(MidOp::send(e.peer, e.bytes, e.tag));
+          break;
+        case trace::Op::kRecv:
+          out.push_back(MidOp::recv(e.peer, e.bytes, e.tag));
+          break;
+        case trace::Op::kIsend:
+          out.push_back(MidOp::isend(e.peer, e.bytes, e.tag, e.request));
+          break;
+        case trace::Op::kIrecv:
+          out.push_back(MidOp::irecv(e.peer, e.bytes, e.tag, e.request));
+          break;
+        case trace::Op::kWait:
+          out.push_back(MidOp::wait(e.request));
+          break;
+        case trace::Op::kBarrier:
+          expand_barrier({out, r, P, next_req[static_cast<std::size_t>(r)]},
+                         opts.barrier);
+          break;
+        case trace::Op::kBcast:
+          expand_bcast({out, r, P, next_req[static_cast<std::size_t>(r)]},
+                       e.bytes, e.root, opts.bcast);
+          break;
+        case trace::Op::kReduce:
+          expand_reduce({out, r, P, next_req[static_cast<std::size_t>(r)]},
+                        e.bytes, e.root, opts.reduce);
+          break;
+        case trace::Op::kAllreduce:
+          expand_allreduce({out, r, P, next_req[static_cast<std::size_t>(r)]},
+                           e.bytes, opts.allreduce);
+          break;
+        case trace::Op::kAllgather:
+          expand_allgather({out, r, P, next_req[static_cast<std::size_t>(r)]},
+                           e.bytes, opts.allgather);
+          break;
+        case trace::Op::kReduceScatter:
+          expand_reduce_scatter(
+              {out, r, P, next_req[static_cast<std::size_t>(r)]}, e.bytes,
+              opts.reduce_scatter);
+          break;
+        case trace::Op::kGather:
+          expand_gather({out, r, P, next_req[static_cast<std::size_t>(r)]},
+                        e.bytes, e.root, opts.gather);
+          break;
+        case trace::Op::kScatter:
+          expand_scatter({out, r, P, next_req[static_cast<std::size_t>(r)]},
+                         e.bytes, e.root, opts.scatter);
+          break;
+        case trace::Op::kAlltoall:
+          expand_alltoall({out, r, P, next_req[static_cast<std::size_t>(r)]},
+                          e.bytes, opts.alltoall);
+          break;
+      }
+    }
+  }
+  return streams;
+}
+
+namespace {
+
+/// State tracked while materializing one rank's stream into graph vertices.
+struct RequestInfo {
+  bool is_recv = false;
+  graph::VertexId vertex = graph::kInvalidVertex;  // send vertex / post vertex
+  std::int32_t peer = -1;
+  std::uint64_t bytes = 0;
+  std::int32_t tag = 0;
+  std::size_t recv_slot = 0;  // index into the recv match list (recvs only)
+  bool waited = false;
+};
+
+using MatchKey = std::tuple<int, int, int>;  // (src, dst, tag)
+
+}  // namespace
+
+graph::Graph build_graph_from_streams(const std::vector<MidStream>& streams,
+                                      const Options& opts) {
+  const int P = static_cast<int>(streams.size());
+  if (P == 0) throw SchedError("no ranks");
+  graph::Graph g(P);
+
+  const auto rdzv = [&](std::uint64_t bytes) {
+    return bytes >= opts.rendezvous_threshold;
+  };
+
+  // Global send/recv match lists per (src, dst, tag), in program order.
+  std::map<MatchKey, std::vector<graph::VertexId>> send_slots;
+  std::map<MatchKey, std::vector<graph::VertexId>> recv_slots;
+  // Post vertex per recv slot (kInvalidVertex for blocking receives).
+  std::map<MatchKey, std::vector<graph::VertexId>> recv_posts;
+  // For rendezvous sends: where the sender-completion edge must point
+  // (the wait vertex for isend, the program successor for blocking send).
+  std::unordered_map<graph::VertexId, graph::VertexId> completion_target;
+
+  for (int r = 0; r < P; ++r) {
+    std::unordered_map<std::int64_t, RequestInfo> requests;
+    // Every rank starts and ends with a zero-cost calc sentinel so that all
+    // chains (and rendezvous completion edges) have anchors.
+    graph::VertexId prev = g.add_calc(r, 0.0);
+
+    const auto chain = [&](graph::VertexId v, bool add_local = true) {
+      if (add_local) g.add_local_edge(prev, v);
+      prev = v;
+    };
+
+    for (const MidOp& op : streams[static_cast<std::size_t>(r)]) {
+      switch (op.kind) {
+        case MidOp::Kind::kCalc: {
+          chain(g.add_calc(r, op.duration));
+          break;
+        }
+        case MidOp::Kind::kSend: {
+          const graph::VertexId v = g.add_send(r, op.peer, op.bytes, op.tag);
+          chain(v);
+          send_slots[{r, op.peer, op.tag}].push_back(v);
+          if (rdzv(op.bytes)) {
+            // A blocking rendezvous send is an isend plus an implicit wait:
+            // materialize the completion point as a zero-cost anchor so that
+            // everything downstream (including a following rendezvous
+            // receive's issue time) starts from t_s', not from the send
+            // initiation.
+            const graph::VertexId anchor = g.add_calc(r, 0.0);
+            chain(anchor);
+            completion_target[v] = anchor;
+          }
+          break;
+        }
+        case MidOp::Kind::kIsend: {
+          const graph::VertexId v = g.add_send(r, op.peer, op.bytes, op.tag);
+          chain(v);
+          send_slots[{r, op.peer, op.tag}].push_back(v);
+          RequestInfo info;
+          info.is_recv = false;
+          info.vertex = v;
+          info.peer = op.peer;
+          info.bytes = op.bytes;
+          info.tag = op.tag;
+          if (!requests.emplace(op.request, info).second) {
+            throw SchedError(strformat("rank %d: duplicate request %lld", r,
+                                       static_cast<long long>(op.request)));
+          }
+          break;
+        }
+        case MidOp::Kind::kRecv: {
+          const graph::VertexId v = g.add_recv(r, op.peer, op.bytes, op.tag);
+          if (rdzv(op.bytes)) {
+            // The issue edge subsumes the plain program-order dependency.
+            g.add_issue_edge(prev, v, /*through_post=*/false);
+            chain(v, /*add_local=*/false);
+          } else {
+            chain(v);
+          }
+          recv_slots[{op.peer, r, op.tag}].push_back(v);
+          recv_posts[{op.peer, r, op.tag}].push_back(graph::kInvalidVertex);
+          break;
+        }
+        case MidOp::Kind::kIrecv: {
+          const graph::VertexId post = g.add_post(r, op.peer);
+          chain(post);
+          RequestInfo info;
+          info.is_recv = true;
+          info.vertex = post;
+          info.peer = op.peer;
+          info.bytes = op.bytes;
+          info.tag = op.tag;
+          // Reserve the match slot now: MPI matches receives in *posting*
+          // order, not wait order.
+          auto& slots = recv_slots[{op.peer, r, op.tag}];
+          info.recv_slot = slots.size();
+          slots.push_back(graph::kInvalidVertex);
+          recv_posts[{op.peer, r, op.tag}].push_back(post);
+          if (!requests.emplace(op.request, info).second) {
+            throw SchedError(strformat("rank %d: duplicate request %lld", r,
+                                       static_cast<long long>(op.request)));
+          }
+          break;
+        }
+        case MidOp::Kind::kWait: {
+          const auto it = requests.find(op.request);
+          if (it == requests.end() || it->second.waited) {
+            throw SchedError(strformat("rank %d: wait on unknown or already "
+                                       "completed request %lld", r,
+                                       static_cast<long long>(op.request)));
+          }
+          RequestInfo& info = it->second;
+          info.waited = true;
+          if (info.is_recv) {
+            const graph::VertexId w =
+                g.add_recv(r, info.peer, info.bytes, info.tag);
+            chain(w);
+            if (rdzv(info.bytes)) {
+              g.add_issue_edge(info.vertex, w, /*through_post=*/true);
+            }
+            recv_slots[{info.peer, r, info.tag}][info.recv_slot] = w;
+          } else {
+            const graph::VertexId w = g.add_calc(r, 0.0);
+            chain(w);
+            if (rdzv(info.bytes)) completion_target[info.vertex] = w;
+          }
+          break;
+        }
+      }
+    }
+    // Closing sentinel.
+    chain(g.add_calc(r, 0.0));
+    for (const auto& [req, info] : requests) {
+      if (!info.waited) {
+        throw SchedError(strformat("rank %d: request %lld never waited on", r,
+                                   static_cast<long long>(req)));
+      }
+    }
+  }
+
+  // Match sends to receives (non-overtaking: k-th send from A to B with tag
+  // t pairs with the k-th posted recv at B from A with tag t).
+  for (const auto& [key, sends] : send_slots) {
+    const auto& [src, dst, tag] = key;
+    const auto it = recv_slots.find(key);
+    const std::size_t nrecvs = it == recv_slots.end() ? 0 : it->second.size();
+    if (nrecvs != sends.size()) {
+      throw SchedError(strformat("unmatched messages %d->%d tag %d: %zu "
+                                 "send(s) vs %zu recv(s)",
+                                 src, dst, tag, sends.size(), nrecvs));
+    }
+    for (std::size_t k = 0; k < sends.size(); ++k) {
+      const graph::VertexId s = sends[k];
+      const graph::VertexId rv = it->second[k];
+      if (rv == graph::kInvalidVertex) {
+        throw SchedError(strformat("recv %d<-%d tag %d slot %zu never "
+                                   "completed by a wait", dst, src, tag, k));
+      }
+      const bool is_rdzv = rdzv(g.vertex(s).bytes);
+      g.add_comm_edge(s, rv, is_rdzv);
+      if (is_rdzv) {
+        const auto ct = completion_target.find(s);
+        if (ct != completion_target.end()) {
+          const graph::VertexId post = recv_posts[key][k];
+          if (post == graph::kInvalidVertex) {
+            // Blocking receiver: its recv vertex completes exactly at t_r'.
+            g.add_send_completion_edge(rv, ct->second);
+          } else {
+            // Nonblocking receiver: the handshake does not wait for the
+            // receiver's MPI_Wait, only for the posting.
+            g.add_handshake_completion_edges(s, post, ct->second);
+          }
+        }
+      }
+    }
+  }
+  // Receives with no matching send at all.
+  for (const auto& [key, recvs] : recv_slots) {
+    if (send_slots.find(key) == send_slots.end() && !recvs.empty()) {
+      const auto& [src, dst, tag] = key;
+      throw SchedError(strformat("%zu recv(s) %d<-%d tag %d have no sender",
+                                 recvs.size(), dst, src, tag));
+    }
+  }
+
+  g.finalize();
+  return g;
+}
+
+graph::Graph build_graph(const trace::Trace& t, const Options& opts) {
+  return build_graph_from_streams(expand_trace(t, opts), opts);
+}
+
+std::string to_string(AllreduceAlgo a) {
+  switch (a) {
+    case AllreduceAlgo::kRecursiveDoubling: return "recursive-doubling";
+    case AllreduceAlgo::kRing: return "ring";
+    case AllreduceAlgo::kReduceBcast: return "reduce+bcast";
+  }
+  return "?";
+}
+
+}  // namespace llamp::schedgen

@@ -1,0 +1,96 @@
+#include "sim/simulator.hpp"
+
+#include <limits>
+#include <queue>
+
+#include "graph/costs.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace llamp::sim {
+
+Simulator::Simulator(const graph::Graph& g) : g_(g) {
+  if (!g.finalized()) throw SimError("graph must be finalized");
+}
+
+Result Simulator::run(const loggops::Params& p) const {
+  const loggops::UniformWire wire(p);
+  return run(p, wire);
+}
+
+Result Simulator::run(const loggops::Params& p,
+                      const loggops::WireModel& wire) const {
+  p.validate();
+  const std::size_t n = g_.num_vertices();
+  Result res;
+  res.start.assign(n, 0.0);
+  res.finish.assign(n, 0.0);
+  res.critical_in_edge.assign(n, std::numeric_limits<std::uint32_t>::max());
+
+  std::vector<std::uint32_t> pending(n, 0);
+  for (const graph::Edge& e : g_.edges()) ++pending[e.to];
+
+  // Min-heap on completion time; ties broken by vertex id for determinism.
+  using QueueItem = std::pair<TimeNs, graph::VertexId>;
+  std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> ready;
+
+  std::size_t processed = 0;
+  for (graph::VertexId v = 0; v < n; ++v) {
+    if (pending[v] == 0) {
+      res.finish[v] = graph::vertex_cost(g_.vertex(v), p);
+      ready.emplace(res.finish[v], v);
+    }
+  }
+
+  while (!ready.empty()) {
+    const auto [t, v] = ready.top();
+    ready.pop();
+    ++processed;
+    res.finish[v] = t;
+    if (t > res.makespan ||
+        (t == res.makespan && res.last == graph::kInvalidVertex)) {
+      res.makespan = t;
+      res.last = v;
+    }
+    for (const graph::Graph::Adj& a : g_.out_edges(v)) {
+      const graph::Edge& e = g_.edge(a.edge);
+      const TimeNs arrival = t + graph::edge_cost(g_, e, p, wire);
+      if (arrival >= res.start[a.other]) {
+        res.start[a.other] = arrival;
+        res.critical_in_edge[a.other] = a.edge;
+      }
+      if (--pending[a.other] == 0) {
+        const TimeNs done =
+            res.start[a.other] + graph::vertex_cost(g_.vertex(a.other), p);
+        ready.emplace(done, a.other);
+      }
+    }
+  }
+
+  if (processed != n) {
+    throw SimError(strformat("deadlock: only %zu of %zu vertices completed",
+                             processed, n));
+  }
+  return res;
+}
+
+CriticalPathInfo Simulator::critical_path(const Result& r) const {
+  if (r.critical_in_edge.size() != g_.num_vertices()) {
+    throw SimError("result does not belong to this graph");
+  }
+  CriticalPathInfo info;
+  graph::VertexId v = r.last;
+  while (v != graph::kInvalidVertex) {
+    ++info.length;
+    const std::uint32_t ein = r.critical_in_edge[v];
+    if (ein == std::numeric_limits<std::uint32_t>::max()) break;
+    const graph::Edge& e = g_.edge(ein);
+    info.lambda_L += static_cast<double>(e.l_mult);
+    if (e.bytes > 1) info.g_coefficient += static_cast<double>(e.bytes - 1);
+    if (e.kind == graph::EdgeKind::kComm) ++info.messages;
+    v = e.from;
+  }
+  return info;
+}
+
+}  // namespace llamp::sim

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "loggops/params.hpp"
+#include "loggops/wire_model.hpp"
+
+namespace llamp::sim {
+
+/// Result of one simulation run.
+struct Result {
+  TimeNs makespan = 0.0;                   ///< completion time of the program
+  graph::VertexId last = graph::kInvalidVertex;  ///< vertex finishing last
+  std::vector<TimeNs> start;               ///< per-vertex start times
+  std::vector<TimeNs> finish;              ///< per-vertex finish times
+  /// For each vertex, the in-edge index (into Graph::edges()) that
+  /// determined its start time, or UINT32_MAX for source vertices.  Walking
+  /// these backwards from `last` yields the critical path.
+  std::vector<std::uint32_t> critical_in_edge;
+};
+
+/// Metrics extracted from a simulated critical path — the "graph analysis"
+/// baseline of §II-C (two traversals: one to timestamp, one to walk the
+/// path).
+struct CriticalPathInfo {
+  double lambda_L = 0.0;     ///< Σ l_mult over critical-path edges (= ∂T/∂L)
+  double g_coefficient = 0.0;///< Σ (bytes-1) over critical-path edges (= ∂T/∂G)
+  std::size_t messages = 0;  ///< number of comm edges on the path
+  std::size_t length = 0;    ///< vertices on the path
+};
+
+/// Discrete-event replay of an execution graph under the LogGPS model: the
+/// in-repo stand-in for LogGOPSim.  Vertices become ready when all their
+/// dependencies (program order, message arrival, rendezvous handshake
+/// stages) are satisfied; a priority queue drives completion order.
+///
+/// The simulator and the LP layer share the cost semantics in
+/// graph/costs.hpp, so for any configuration the LP objective must equal
+/// `run(...).makespan` exactly — a property the test suite enforces on
+/// random graphs.
+class Simulator {
+ public:
+  explicit Simulator(const graph::Graph& g);
+  /// The simulator keeps a reference; binding a temporary graph would
+  /// dangle, so it is rejected at compile time.
+  explicit Simulator(graph::Graph&&) = delete;
+
+  /// Simulate under uniform LogGPS parameters.
+  Result run(const loggops::Params& p) const;
+
+  /// Simulate with an explicit wire model (HLogGP / topology analyses).
+  Result run(const loggops::Params& p, const loggops::WireModel& wire) const;
+
+  /// Walk the recorded critical path of a result.
+  CriticalPathInfo critical_path(const Result& r) const;
+
+ private:
+  const graph::Graph& g_;
+};
+
+}  // namespace llamp::sim

@@ -1,0 +1,288 @@
+#include "sim/trace_simulator.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <tuple>
+#include <unordered_map>
+
+#include "schedgen/schedgen.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace llamp::sim {
+
+namespace {
+
+using schedgen::MidOp;
+using schedgen::MidStream;
+
+constexpr TimeNs kUnknown = -1.0;
+
+/// One logical message (a matched send/recv pair).
+struct Message {
+  int src = -1;
+  int dst = -1;
+  std::uint64_t bytes = 0;
+  bool rendezvous = false;
+
+  // Set as execution reaches the corresponding operations.
+  TimeNs send_issue = kUnknown;  ///< ts: instant the send op starts
+  TimeNs recv_issue = kUnknown;  ///< tr: blocking-recv start / irecv post
+
+  bool send_known() const { return send_issue >= 0.0; }
+  bool recv_known() const { return recv_issue >= 0.0; }
+
+  /// Eager: instant the payload is fully available at the receiver.
+  TimeNs eager_arrival(const loggops::Params& p,
+                       const loggops::WireModel& w) const {
+    return send_issue + p.o + w.latency(src, dst) + payload(w);
+  }
+
+  /// Rendezvous handshake match instant tm = max(ts + o + L, tr + o).
+  TimeNs match_time(const loggops::Params& p,
+                    const loggops::WireModel& w) const {
+    return std::max(send_issue + p.o + w.latency(src, dst), recv_issue + p.o);
+  }
+
+  /// Rendezvous receiver completion t_r' = tm + 2L + B + o.
+  TimeNs rdzv_recv_done(const loggops::Params& p,
+                        const loggops::WireModel& w) const {
+    return match_time(p, w) + 2.0 * w.latency(src, dst) + payload(w) + p.o;
+  }
+
+  /// Rendezvous sender completion t_s' = t_r' + o.
+  TimeNs rdzv_send_done(const loggops::Params& p,
+                        const loggops::WireModel& w) const {
+    return rdzv_recv_done(p, w) + p.o;
+  }
+
+  TimeNs payload(const loggops::WireModel& w) const {
+    return bytes > 1 ? static_cast<double>(bytes - 1) * w.gap_per_byte(src, dst)
+                     : 0.0;
+  }
+};
+
+/// Static matching: k-th send from (src, dst, tag) pairs with the k-th
+/// *posted* receive on that channel (MPI non-overtaking).  Returns per-rank
+/// per-op message ids (only p2p ops get one).
+struct Matching {
+  std::vector<Message> messages;
+  std::vector<std::vector<std::int64_t>> op_message;  // [rank][op index]
+};
+
+Matching match_streams(const std::vector<MidStream>& streams,
+                       std::uint64_t rdzv_threshold) {
+  Matching m;
+  m.op_message.resize(streams.size());
+  using Key = std::tuple<int, int, int>;
+  std::map<Key, std::vector<std::int64_t>> send_q, recv_q;
+
+  for (std::size_t r = 0; r < streams.size(); ++r) {
+    m.op_message[r].assign(streams[r].size(), -1);
+    // Receives are keyed by *posting* order: the op where the recv/irecv
+    // appears, regardless of where its wait lands.
+    for (std::size_t i = 0; i < streams[r].size(); ++i) {
+      const MidOp& op = streams[r][i];
+      switch (op.kind) {
+        case MidOp::Kind::kSend:
+        case MidOp::Kind::kIsend: {
+          Message msg;
+          msg.src = static_cast<int>(r);
+          msg.dst = op.peer;
+          msg.bytes = op.bytes;
+          msg.rendezvous = op.bytes >= rdzv_threshold;
+          const auto id = static_cast<std::int64_t>(m.messages.size());
+          m.messages.push_back(msg);
+          m.op_message[r][i] = id;
+          send_q[{static_cast<int>(r), op.peer, op.tag}].push_back(id);
+          break;
+        }
+        case MidOp::Kind::kRecv:
+        case MidOp::Kind::kIrecv: {
+          m.op_message[r][i] = -2;  // placeholder: resolved below
+          recv_q[{op.peer, static_cast<int>(r), op.tag}].push_back(
+              static_cast<std::int64_t>(i) |
+              (static_cast<std::int64_t>(r) << 32));
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+  for (auto& [key, sends] : send_q) {
+    auto it = recv_q.find(key);
+    const std::size_t nrecvs = it == recv_q.end() ? 0 : it->second.size();
+    if (nrecvs != sends.size()) {
+      throw SimError(strformat("trace-sim: unmatched channel %d->%d tag %d",
+                               std::get<0>(key), std::get<1>(key),
+                               std::get<2>(key)));
+    }
+    for (std::size_t k = 0; k < sends.size(); ++k) {
+      const auto packed = it->second[k];
+      const auto rank = static_cast<std::size_t>(packed >> 32);
+      const auto op = static_cast<std::size_t>(packed & 0xffffffff);
+      m.op_message[rank][op] = sends[k];
+    }
+  }
+  for (std::size_t r = 0; r < streams.size(); ++r) {
+    for (std::size_t i = 0; i < streams[r].size(); ++i) {
+      if (m.op_message[r][i] == -2) {
+        throw SimError("trace-sim: receive without a matching send");
+      }
+    }
+  }
+  return m;
+}
+
+/// Per-rank execution state for the cooperative scheduler.
+struct RankState {
+  std::size_t pc = 0;
+  TimeNs clock = 0.0;
+  /// request id -> message id for outstanding nonblocking operations.
+  std::unordered_map<std::int64_t, std::int64_t> requests;
+  std::unordered_map<std::int64_t, bool> request_is_recv;
+};
+
+}  // namespace
+
+TraceSimulator::TraceSimulator(const trace::Trace& t,
+                               const schedgen::Options& opts)
+    : streams_(schedgen::expand_trace(t, opts)),
+      rendezvous_threshold_(opts.rendezvous_threshold) {}
+
+TraceSimulator::TraceSimulator(std::vector<schedgen::MidStream> streams,
+                               const schedgen::Options& opts)
+    : streams_(std::move(streams)),
+      rendezvous_threshold_(opts.rendezvous_threshold) {}
+
+TraceSimulator::Result TraceSimulator::run(const loggops::Params& p) const {
+  const loggops::UniformWire wire(p);
+  return run(p, wire);
+}
+
+TraceSimulator::Result TraceSimulator::run(
+    const loggops::Params& p, const loggops::WireModel& wire) const {
+  p.validate();
+  Matching matching = match_streams(streams_, rendezvous_threshold_);
+  auto& msgs = matching.messages;
+
+  const std::size_t nranks = streams_.size();
+  std::vector<RankState> ranks(nranks);
+
+  // Runs rank r until it blocks on a peer; returns true if any op advanced.
+  const auto step_rank = [&](std::size_t r) {
+    RankState& st = ranks[r];
+    const MidStream& ops = streams_[r];
+    bool advanced = false;
+    while (st.pc < ops.size()) {
+      const MidOp& op = ops[st.pc];
+      const std::int64_t mid = matching.op_message[r][st.pc];
+      switch (op.kind) {
+        case MidOp::Kind::kCalc:
+          st.clock += op.duration;
+          break;
+        case MidOp::Kind::kIsend: {
+          Message& msg = msgs[static_cast<std::size_t>(mid)];
+          msg.send_issue = st.clock;
+          st.clock += p.o;
+          st.requests[op.request] = mid;
+          st.request_is_recv[op.request] = false;
+          break;
+        }
+        case MidOp::Kind::kIrecv: {
+          Message& msg = msgs[static_cast<std::size_t>(mid)];
+          msg.recv_issue = st.clock;  // posting instant
+          st.clock += p.o;            // posting overhead
+          st.requests[op.request] = mid;
+          st.request_is_recv[op.request] = true;
+          break;
+        }
+        case MidOp::Kind::kSend: {
+          Message& msg = msgs[static_cast<std::size_t>(mid)];
+          msg.send_issue = st.clock;
+          if (msg.rendezvous) {
+            // Blocks until the handshake completes; needs the peer's
+            // receive-issue instant.
+            if (!msg.recv_known()) return advanced;
+            st.clock = std::max(st.clock + p.o, msg.rdzv_send_done(p, wire));
+          } else {
+            st.clock += p.o;  // eager: buffer handed off immediately
+          }
+          break;
+        }
+        case MidOp::Kind::kRecv: {
+          Message& msg = msgs[static_cast<std::size_t>(mid)];
+          if (!msg.send_known()) return advanced;  // need ts from the peer
+          msg.recv_issue = st.clock;
+          if (msg.rendezvous) {
+            st.clock = msg.rdzv_recv_done(p, wire);
+          } else {
+            st.clock = std::max(st.clock, msg.eager_arrival(p, wire)) + p.o;
+          }
+          break;
+        }
+        case MidOp::Kind::kWait: {
+          const auto it = st.requests.find(op.request);
+          if (it == st.requests.end()) {
+            throw SimError(strformat("trace-sim: rank %zu waits on unknown "
+                                     "request %lld", r,
+                                     static_cast<long long>(op.request)));
+          }
+          const Message& msg = msgs[static_cast<std::size_t>(it->second)];
+          const bool is_recv = st.request_is_recv.at(op.request);
+          if (is_recv) {
+            if (!msg.send_known()) return advanced;
+            if (msg.rendezvous) {
+              st.clock = std::max(st.clock, msg.rdzv_recv_done(p, wire) - p.o) +
+                         p.o;
+            } else {
+              st.clock = std::max(st.clock, msg.eager_arrival(p, wire)) + p.o;
+            }
+          } else {
+            if (msg.rendezvous) {
+              if (!msg.recv_known()) return advanced;
+              st.clock = std::max(st.clock, msg.rdzv_send_done(p, wire));
+            }
+            // Eager isend: complete at issue + o, already in the past.
+          }
+          st.requests.erase(it);
+          st.request_is_recv.erase(op.request);
+          break;
+        }
+      }
+      ++st.pc;
+      advanced = true;
+    }
+    return advanced;
+  };
+
+  Result result;
+  result.rank_finish.assign(nranks, 0.0);
+  std::size_t done = 0;
+  while (done < nranks) {
+    ++result.scheduler_passes;
+    bool progress = false;
+    done = 0;
+    for (std::size_t r = 0; r < nranks; ++r) {
+      if (ranks[r].pc >= streams_[r].size()) {
+        ++done;
+        continue;
+      }
+      progress |= step_rank(r);
+      if (ranks[r].pc >= streams_[r].size()) ++done;
+    }
+    if (!progress && done < nranks) {
+      throw SimError(strformat("trace-sim: deadlock with %zu of %zu ranks "
+                               "finished", done, nranks));
+    }
+  }
+  for (std::size_t r = 0; r < nranks; ++r) {
+    result.rank_finish[r] = ranks[r].clock;
+    result.makespan = std::max(result.makespan, ranks[r].clock);
+  }
+  return result;
+}
+
+}  // namespace llamp::sim

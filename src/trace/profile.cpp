@@ -1,0 +1,91 @@
+#include "trace/profile.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace llamp::trace {
+
+namespace {
+
+std::size_t size_bucket(std::uint64_t bytes) {
+  std::size_t b = 0;
+  while (bytes > 1 && b < 31) {
+    bytes >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+}  // namespace
+
+TraceProfile profile_trace(const Trace& t) {
+  t.validate();
+  TraceProfile prof;
+  prof.nranks = t.nranks();
+  prof.comm_matrix.assign(static_cast<std::size_t>(t.nranks()) *
+                              static_cast<std::size_t>(t.nranks()),
+                          0);
+  for (int r = 0; r < t.nranks(); ++r) {
+    TimeNs prev_end = 0.0;
+    bool first = true;
+    for (const Event& e : t.rank(r)) {
+      ++prof.total_events;
+      ++prof.op_counts[e.op];
+      prof.total_mpi_time += e.end - e.start;
+      if (!first) prof.total_gap_time += e.start - prev_end;
+      first = false;
+      prev_end = e.end;
+      prof.span = std::max(prof.span, e.end);
+      if (is_send(e.op)) {
+        ++prof.p2p_messages;
+        prof.p2p_bytes += e.bytes;
+        prof.max_message_bytes = std::max(prof.max_message_bytes, e.bytes);
+        ++prof.size_histogram[size_bucket(e.bytes)];
+        prof.comm_matrix[static_cast<std::size_t>(r) *
+                             static_cast<std::size_t>(t.nranks()) +
+                         static_cast<std::size_t>(e.peer)] += e.bytes;
+      } else if (is_collective(e.op)) {
+        ++prof.collective_calls;
+      }
+    }
+  }
+  if (prof.p2p_messages > 0) {
+    prof.avg_message_bytes = static_cast<double>(prof.p2p_bytes) /
+                             static_cast<double>(prof.p2p_messages);
+  }
+  return prof;
+}
+
+std::string TraceProfile::to_string() const {
+  std::ostringstream os;
+  os << strformat("trace profile: %d ranks, %zu events\n", nranks,
+                  total_events);
+  os << strformat("  p2p: %zu message(s), %s total, avg %s, max %s\n",
+                  p2p_messages,
+                  human_count(static_cast<double>(p2p_bytes)).c_str(),
+                  human_count(avg_message_bytes).c_str(),
+                  human_count(static_cast<double>(max_message_bytes)).c_str());
+  os << strformat("  collective calls (per-rank): %zu\n", collective_calls);
+  os << strformat("  recorded MPI time %s, inferred-compute gaps %s, span %s\n",
+                  human_time_ns(total_mpi_time).c_str(),
+                  human_time_ns(total_gap_time).c_str(),
+                  human_time_ns(span).c_str());
+  os << "  ops:";
+  for (const auto& [op, n] : op_counts) {
+    os << ' ' << op_name(op) << '=' << n;
+  }
+  os << "\n  message sizes (log2 buckets with counts):";
+  for (std::size_t b = 0; b < size_histogram.size(); ++b) {
+    if (size_histogram[b] == 0) continue;
+    os << strformat(" [%s,%s)=%zu",
+                    human_count(static_cast<double>(1ull << b)).c_str(),
+                    human_count(static_cast<double>(1ull << (b + 1))).c_str(),
+                    size_histogram[b]);
+  }
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace llamp::trace

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace llamp::trace {
+
+/// Aggregate statistics of an MPI trace — the communication-pattern view
+/// tools like the original LLAMP use to pick the per-application `o` (the
+/// paper matches o to the average packet size via Netgauge, §III-B) and
+/// that placement tools consume as the traffic matrix.
+struct TraceProfile {
+  int nranks = 0;
+  std::size_t total_events = 0;
+
+  std::map<Op, std::size_t> op_counts;
+  std::size_t p2p_messages = 0;        ///< sends (blocking + nonblocking)
+  std::size_t collective_calls = 0;    ///< per-rank collective invocations
+  std::uint64_t p2p_bytes = 0;
+  std::uint64_t max_message_bytes = 0;
+  double avg_message_bytes = 0.0;
+
+  /// Bytes exchanged between rank pairs (row-major nranks x nranks,
+  /// directed: [src][dst]).
+  std::vector<std::uint64_t> comm_matrix;
+
+  /// log2 message-size histogram: bucket b counts messages with
+  /// 2^b <= bytes < 2^(b+1); bucket 0 also counts empty messages.
+  std::array<std::size_t, 32> size_histogram{};
+
+  /// Per-rank wall-clock decomposition from the recorded timestamps:
+  /// time inside MPI calls vs the gaps Schedgen will turn into compute.
+  TimeNs total_mpi_time = 0.0;
+  TimeNs total_gap_time = 0.0;
+  TimeNs span = 0.0;  ///< max event end across ranks
+
+  std::uint64_t bytes_between(int a, int b) const {
+    return comm_matrix[static_cast<std::size_t>(a) *
+                           static_cast<std::size_t>(nranks) +
+                       static_cast<std::size_t>(b)];
+  }
+
+  /// Human-readable multi-line report (used by the trace_analyze example).
+  std::string to_string() const;
+};
+
+TraceProfile profile_trace(const Trace& t);
+
+}  // namespace llamp::trace

@@ -1,0 +1,115 @@
+#include "trace/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace llamp::trace {
+
+namespace {
+constexpr std::string_view kMagic = "LLAMP_TRACE";
+constexpr int kVersion = 1;
+}  // namespace
+
+void write_trace(std::ostream& os, const Trace& t) {
+  os << kMagic << ' ' << kVersion << '\n';
+  os << "ranks " << t.nranks() << '\n';
+  for (int r = 0; r < t.nranks(); ++r) {
+    os << "rank " << r << '\n';
+    for (const Event& e : t.rank(r)) {
+      os << op_name(e.op) << ':' << strformat("%.17g", e.start) << ':'
+         << strformat("%.17g", e.end) << ':' << e.peer << ':' << e.tag << ':'
+         << e.bytes << ':' << e.root << ':' << e.request << '\n';
+    }
+  }
+}
+
+std::string to_text(const Trace& t) {
+  std::ostringstream os;
+  write_trace(os, t);
+  return os.str();
+}
+
+Trace read_trace(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line)) throw TraceError("empty input");
+  {
+    const auto header = split_ws(line);
+    if (header.size() != 2 || header[0] != kMagic) {
+      throw TraceError("bad magic line '" + line + "'");
+    }
+    if (parse_ll(header[1]) != kVersion) {
+      throw TraceError("unsupported version " + header[1]);
+    }
+  }
+  if (!std::getline(is, line)) throw TraceError("missing ranks line");
+  const auto ranks_line = split_ws(line);
+  if (ranks_line.size() != 2 || ranks_line[0] != "ranks") {
+    throw TraceError("bad ranks line '" + line + "'");
+  }
+  const auto nranks = parse_ll(ranks_line[1]);
+  if (nranks <= 0 || nranks > (1 << 24)) {
+    throw TraceError("implausible rank count " + ranks_line[1]);
+  }
+  Trace t(static_cast<int>(nranks));
+  int current_rank = -1;
+  std::size_t lineno = 2;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto trimmed = trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    if (starts_with(trimmed, "rank ")) {
+      const auto fields = split_ws(trimmed);
+      if (fields.size() != 2) {
+        throw TraceError(strformat("line %zu: bad rank header", lineno));
+      }
+      const auto r = parse_ll(fields[1]);
+      if (r != current_rank + 1 || r >= nranks) {
+        throw TraceError(strformat("line %zu: ranks must appear in order", lineno));
+      }
+      current_rank = static_cast<int>(r);
+      continue;
+    }
+    if (current_rank < 0) {
+      throw TraceError(strformat("line %zu: event before first rank header", lineno));
+    }
+    const auto fields = split(trimmed, ':');
+    if (fields.size() != 8) {
+      throw TraceError(strformat("line %zu: expected 8 fields, got %zu", lineno,
+                                 fields.size()));
+    }
+    Event e;
+    e.op = op_from_name(fields[0]);
+    e.start = parse_double(fields[1]);
+    e.end = parse_double(fields[2]);
+    e.peer = static_cast<std::int32_t>(parse_ll(fields[3]));
+    e.tag = static_cast<std::int32_t>(parse_ll(fields[4]));
+    e.bytes = static_cast<std::uint64_t>(parse_ll(fields[5]));
+    e.root = static_cast<std::int32_t>(parse_ll(fields[6]));
+    e.request = parse_ll(fields[7]);
+    t.rank(current_rank).push_back(e);
+  }
+  return t;
+}
+
+Trace from_text(const std::string& text) {
+  std::istringstream is(text);
+  return read_trace(is);
+}
+
+void save_trace(const std::string& path, const Trace& t) {
+  std::ofstream os(path);
+  if (!os) throw Error("cannot open '" + path + "' for writing");
+  write_trace(os, t);
+  if (!os) throw Error("write failure on '" + path + "'");
+}
+
+Trace load_trace(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw Error("cannot open '" + path + "' for reading");
+  return read_trace(is);
+}
+
+}  // namespace llamp::trace

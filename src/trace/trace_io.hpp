@@ -1,0 +1,31 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace llamp::trace {
+
+/// Text serialization in a liballprof-like colon-separated format:
+///
+///   LLAMP_TRACE 1
+///   ranks <P>
+///   rank <r>
+///   <OpName>:<start_ns>:<end_ns>:<peer>:<tag>:<bytes>:<root>:<request>
+///   ...
+///
+/// Timestamps are printed with nanosecond precision; the parser validates
+/// the header, rank ordering, and field arity and throws TraceError on any
+/// malformed input.
+void write_trace(std::ostream& os, const Trace& t);
+std::string to_text(const Trace& t);
+
+Trace read_trace(std::istream& is);
+Trace from_text(const std::string& text);
+
+/// File convenience wrappers (throw llamp::Error on I/O failure).
+void save_trace(const std::string& path, const Trace& t);
+Trace load_trace(const std::string& path);
+
+}  // namespace llamp::trace

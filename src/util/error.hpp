@@ -1,0 +1,58 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace llamp {
+
+/// Base class for all errors raised by the LLAMP toolchain.  Every module
+/// throws a subclass of this so callers can catch toolchain errors separately
+/// from standard-library failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed or inconsistent trace input (bad syntax, non-monotonic
+/// timestamps, unknown operation, rank mismatch).
+class TraceError : public Error {
+ public:
+  explicit TraceError(const std::string& what) : Error("trace: " + what) {}
+};
+
+/// Structural problems in an execution graph (cycles, dangling communication
+/// edges, unmatched send/recv pairs).
+class GraphError : public Error {
+ public:
+  explicit GraphError(const std::string& what) : Error("graph: " + what) {}
+};
+
+/// Errors from the linear-programming layer (infeasible or unbounded models,
+/// dimension mismatches, querying solutions before solving).
+class LpError : public Error {
+ public:
+  explicit LpError(const std::string& what) : Error("lp: " + what) {}
+};
+
+/// Errors from schedule generation (unknown collective algorithm, invalid
+/// communicator size, unmatched operations).
+class SchedError : public Error {
+ public:
+  explicit SchedError(const std::string& what) : Error("schedgen: " + what) {}
+};
+
+/// Errors from the discrete-event simulator (deadlock detected, graph not
+/// simulatable).
+class SimError : public Error {
+ public:
+  explicit SimError(const std::string& what) : Error("sim: " + what) {}
+};
+
+/// Errors from topology construction (invalid radix/group parameters, node
+/// index out of range).
+class TopoError : public Error {
+ public:
+  explicit TopoError(const std::string& what) : Error("topo: " + what) {}
+};
+
+}  // namespace llamp

@@ -1,0 +1,88 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace llamp {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double min_of(std::span<const double> xs) {
+  return xs.empty() ? 0.0 : *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(std::span<const double> xs) {
+  return xs.empty() ? 0.0 : *std::max_element(xs.begin(), xs.end());
+}
+
+double rmse(std::span<const double> measured,
+            std::span<const double> predicted) {
+  if (measured.size() != predicted.size()) {
+    throw Error("rmse: series length mismatch");
+  }
+  if (measured.empty()) return 0.0;
+  double s = 0.0;
+  for (std::size_t i = 0; i < measured.size(); ++i) {
+    const double d = measured[i] - predicted[i];
+    s += d * d;
+  }
+  return std::sqrt(s / static_cast<double>(measured.size()));
+}
+
+double rrmse_percent(std::span<const double> measured,
+                     std::span<const double> predicted) {
+  const double m = mean(measured);
+  if (m == 0.0) throw Error("rrmse: measured series has zero mean");
+  return 100.0 * rmse(measured, predicted) / m;
+}
+
+double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  if (p <= 0.0) return v.front();
+  if (p >= 100.0) return v.back();
+  const double idx = p / 100.0 * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const double frac = idx - static_cast<double>(lo);
+  if (lo + 1 >= v.size()) return v.back();
+  return v[lo] * (1.0 - frac) + v[lo + 1] * frac;
+}
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace llamp

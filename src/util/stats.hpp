@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace llamp {
+
+/// Summary statistics and error metrics used throughout the validation
+/// benches (RRMSE is the accuracy metric the paper reports in Fig. 9 and
+/// Table II).
+double mean(std::span<const double> xs);
+double variance(std::span<const double> xs);  // population variance
+double stddev(std::span<const double> xs);
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+
+/// Root mean square error between measured and predicted series.
+double rmse(std::span<const double> measured, std::span<const double> predicted);
+
+/// Relative RMSE in percent: RMSE normalized by the mean of the measured
+/// series, the definition used by the paper (citing Despotovic et al.).
+double rrmse_percent(std::span<const double> measured,
+                     std::span<const double> predicted);
+
+/// p-th percentile (0..100) with linear interpolation; copies + sorts.
+double percentile(std::span<const double> xs, double p);
+
+/// Incremental mean/variance accumulator (Welford) for streaming use in the
+/// benches.
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace llamp

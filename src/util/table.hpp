@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace llamp {
+
+/// Minimal aligned-column table printer used by the benchmark harnesses to
+/// emit the paper's tables (Table I, Table II, tolerance summaries) on
+/// stdout, plus a CSV emitter for downstream plotting.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with space-padded columns and a separator under the header.
+  std::string to_string() const;
+
+  /// Render as CSV (no quoting beyond commas-are-forbidden-in-cells; cells
+  /// containing commas are wrapped in double quotes).
+  std::string to_csv() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace llamp

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstdint>
+
+namespace llamp {
+
+/// All timestamps and durations in the toolchain are expressed in
+/// nanoseconds.  A floating-point representation is used (rather than the
+/// integer nanoseconds of LogGOPSim) because the LP layer treats latency as a
+/// continuous decision variable; 53 bits of mantissa give exact integers up
+/// to ~104 days, far beyond any trace length we handle.
+using TimeNs = double;
+
+/// Convenience literals/conversions.
+constexpr TimeNs ns(double v) { return v; }
+constexpr TimeNs us(double v) { return v * 1e3; }
+constexpr TimeNs ms(double v) { return v * 1e6; }
+constexpr TimeNs sec(double v) { return v * 1e9; }
+
+constexpr double to_us(TimeNs t) { return t / 1e3; }
+constexpr double to_ms(TimeNs t) { return t / 1e6; }
+constexpr double to_sec(TimeNs t) { return t / 1e9; }
+
+}  // namespace llamp

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "apps/common.hpp"
+#include "apps/namd.hpp"
+#include "apps/registry.hpp"
+#include "core/analyzer.hpp"
+#include "schedgen/schedgen.hpp"
+#include "sim/simulator.hpp"
+#include "util/error.hpp"
+
+namespace llamp::apps {
+namespace {
+
+loggops::Params testbed() {
+  return loggops::NetworkConfig::cscs_testbed(5'000.0);
+}
+
+TEST(DimsCreate, NearUniformFactorizations) {
+  EXPECT_EQ(dims_create(16, 2), (std::vector<int>{4, 4}));
+  EXPECT_EQ(dims_create(12, 2), (std::vector<int>{4, 3}));
+  EXPECT_EQ(dims_create(8, 3), (std::vector<int>{2, 2, 2}));
+  EXPECT_EQ(dims_create(7, 2), (std::vector<int>{7, 1}));
+  EXPECT_THROW((void)dims_create(0, 2), Error);
+}
+
+TEST(CubeSide, ExactOrThrow) {
+  EXPECT_EQ(exact_cube_side(27), 3);
+  EXPECT_EQ(exact_cube_side(1), 1);
+  EXPECT_THROW((void)exact_cube_side(20), Error);
+}
+
+TEST(GridTopology, CoordsRoundTripAndNeighbors) {
+  const Grid<3> g{{2, 3, 4}};
+  EXPECT_EQ(g.size(), 24);
+  for (int r = 0; r < g.size(); ++r) {
+    EXPECT_EQ(g.rank(g.coords(r)), r);
+  }
+  EXPECT_EQ(g.neighbor(0, 2, +1), 1);
+  EXPECT_EQ(g.neighbor(0, 2, -1), 3);  // periodic wrap
+  EXPECT_TRUE(g.has_neighbor(0, 2, +1));
+  EXPECT_FALSE(g.has_neighbor(0, 2, -1));
+}
+
+TEST(Registry, EveryAppProducesAnalyzableGraphs) {
+  for (const auto& name : app_names()) {
+    const int ranks = supported_ranks(name, name == "lulesh" ? 8 : 8);
+    const auto t = make_app_trace(name, ranks, 0.1);
+    SCOPED_TRACE(name);
+    EXPECT_NO_THROW(t.validate());
+    const auto g = schedgen::build_graph(t);
+    EXPECT_GT(g.num_vertices(), 0u);
+    sim::Simulator sim(g);
+    const auto res = sim.run(testbed());
+    EXPECT_GT(res.makespan, 0.0);
+  }
+}
+
+TEST(Registry, UnknownAppThrows) {
+  EXPECT_THROW((void)make_app_trace("hal9000", 8), Error);
+  EXPECT_THROW((void)supported_ranks("lulesh", 0), Error);
+}
+
+TEST(Registry, SupportedRanksCubesLulesh) {
+  EXPECT_EQ(supported_ranks("lulesh", 100), 64);
+  EXPECT_EQ(supported_ranks("lulesh", 27), 27);
+  EXPECT_EQ(supported_ranks("milc", 100), 100);
+}
+
+TEST(Registry, ScaleControlsTraceLength) {
+  const auto small = make_app_trace("cloverleaf", 8, 0.1);
+  const auto large = make_app_trace("cloverleaf", 8, 0.5);
+  EXPECT_LT(small.total_events(), large.total_events());
+}
+
+TEST(Registry, SeedChangesJitterOnly) {
+  const auto a = make_app_trace("hpcg", 8, 0.1, 1);
+  const auto b = make_app_trace("hpcg", 8, 0.1, 2);
+  EXPECT_EQ(a.total_events(), b.total_events());
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, make_app_trace("hpcg", 8, 0.1, 1));  // deterministic
+}
+
+TEST(Lulesh, RequiresCubicRankCount) {
+  EXPECT_THROW((void)make_app_trace("lulesh", 10), Error);
+  EXPECT_NO_THROW((void)make_app_trace("lulesh", 8, 0.05));
+}
+
+TEST(Scaling, MilcStrongScalingShrinksRuntime) {
+  // Strong scaling: more ranks -> less compute per rank -> shorter runtime.
+  const auto g16 = schedgen::build_graph(make_app_trace("milc", 16, 0.1));
+  const auto g32 = schedgen::build_graph(make_app_trace("milc", 32, 0.1));
+  const double t16 = sim::Simulator(g16).run(testbed()).makespan;
+  const double t32 = sim::Simulator(g32).run(testbed()).makespan;
+  EXPECT_LT(t32, t16);
+}
+
+TEST(Scaling, MilcToleranceDropsWithScale) {
+  // The paper's strong-scaling observation (Fig. 9 discussion).
+  const auto g8 = schedgen::build_graph(make_app_trace("milc", 8, 0.1));
+  const auto g32 = schedgen::build_graph(make_app_trace("milc", 32, 0.1));
+  core::LatencyAnalyzer a8(g8, testbed());
+  core::LatencyAnalyzer a32(g32, testbed());
+  EXPECT_LT(a32.tolerance_delta(5.0), a8.tolerance_delta(5.0));
+}
+
+TEST(Scaling, LuleshWeakScalingRuntimeRoughlyStable) {
+  const auto g8 = schedgen::build_graph(make_app_trace("lulesh", 8, 0.1));
+  const auto g64 = schedgen::build_graph(make_app_trace("lulesh", 64, 0.1));
+  const double t8 = sim::Simulator(g8).run(testbed()).makespan;
+  const double t64 = sim::Simulator(g64).run(testbed()).makespan;
+  EXPECT_LT(t64, t8 * 1.5);  // weak scaling: no blow-up
+  EXPECT_GT(t64, t8 * 0.8);
+}
+
+TEST(Namd, TracedLatencyIncreasesOverlap) {
+  // Fig. 12: traces recorded at higher ΔL defer waits further and tolerate
+  // more latency.
+  NamdConfig base;
+  base.nranks = 8;
+  base.steps = 10;
+  NamdConfig adapted = base;
+  adapted.traced_delta_L = 4 * base.patch_compute;
+
+  const auto g0 = schedgen::build_graph(make_namd_trace(base));
+  const auto g1 = schedgen::build_graph(make_namd_trace(adapted));
+  core::LatencyAnalyzer an0(g0, testbed());
+  core::LatencyAnalyzer an1(g1, testbed());
+  const double big = us(400.0);
+  EXPECT_LE(an1.predict_runtime(big), an0.predict_runtime(big));
+}
+
+TEST(Jitter, ZeroJitterIsExactBase) {
+  EXPECT_DOUBLE_EQ(jittered_compute(1'000.0, 0.0, 1, 3, 4), 1'000.0);
+  const double v = jittered_compute(1'000.0, 0.1, 1, 3, 4);
+  EXPECT_GE(v, 900.0);
+  EXPECT_LE(v, 1'100.0);
+  EXPECT_DOUBLE_EQ(v, jittered_compute(1'000.0, 0.1, 1, 3, 4));
+}
+
+}  // namespace
+}  // namespace llamp::apps

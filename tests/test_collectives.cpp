@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "schedgen/schedgen.hpp"
+#include "trace/builder.hpp"
+
+namespace llamp::schedgen {
+namespace {
+
+/// First and last vertex of each rank (the zero-cost sentinels Schedgen
+/// inserts around every rank's chain).
+struct RankAnchors {
+  std::vector<graph::VertexId> start, end;
+};
+
+RankAnchors anchors(const graph::Graph& g) {
+  RankAnchors a;
+  a.start.assign(static_cast<std::size_t>(g.nranks()), graph::kInvalidVertex);
+  a.end.assign(static_cast<std::size_t>(g.nranks()), graph::kInvalidVertex);
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto r = static_cast<std::size_t>(g.vertex(v).rank);
+    if (a.start[r] == graph::kInvalidVertex) a.start[r] = v;
+    a.end[r] = v;
+  }
+  return a;
+}
+
+/// BFS reachability from `from` over the dependency edges.
+std::vector<bool> reachable(const graph::Graph& g, graph::VertexId from) {
+  std::vector<bool> seen(g.num_vertices(), false);
+  std::deque<graph::VertexId> q{from};
+  seen[from] = true;
+  while (!q.empty()) {
+    const auto v = q.front();
+    q.pop_front();
+    for (const auto& adj : g.out_edges(v)) {
+      if (!seen[adj.other]) {
+        seen[adj.other] = true;
+        q.push_back(adj.other);
+      }
+    }
+  }
+  return seen;
+}
+
+/// Data-flow verdict for one collective instance: does rank i's start
+/// causally influence rank j's end?
+std::vector<std::vector<bool>> influence(const graph::Graph& g) {
+  const RankAnchors a = anchors(g);
+  std::vector<std::vector<bool>> m(static_cast<std::size_t>(g.nranks()));
+  for (int i = 0; i < g.nranks(); ++i) {
+    const auto seen = reachable(g, a.start[static_cast<std::size_t>(i)]);
+    auto& row = m[static_cast<std::size_t>(i)];
+    row.resize(static_cast<std::size_t>(g.nranks()));
+    for (int j = 0; j < g.nranks(); ++j) {
+      row[static_cast<std::size_t>(j)] =
+          seen[a.end[static_cast<std::size_t>(j)]];
+    }
+  }
+  return m;
+}
+
+graph::Graph collective_graph(trace::Op op, int nranks, int root,
+                              const Options& opts) {
+  trace::TraceBuilder tb(nranks);
+  for (int r = 0; r < nranks; ++r) {
+    tb.collective(r, op, 4096, root);
+  }
+  return build_graph(tb.finish(), opts);
+}
+
+// ---------------------------------------------------------------------------
+// All-to-all-influence collectives: every rank's contribution must reach
+// every rank's output, for every algorithm and rank count.
+// ---------------------------------------------------------------------------
+
+struct AllToAllCase {
+  std::string label;
+  trace::Op op;
+  Options opts;
+};
+
+class AllInfluenceTest
+    : public ::testing::TestWithParam<std::tuple<AllToAllCase, int>> {};
+
+TEST_P(AllInfluenceTest, EveryRankInfluencesEveryRank) {
+  const auto& [c, nranks] = GetParam();
+  const auto g = collective_graph(c.op, nranks, 0, c.opts);
+  const auto m = influence(g);
+  for (int i = 0; i < nranks; ++i) {
+    for (int j = 0; j < nranks; ++j) {
+      EXPECT_TRUE(m[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)])
+          << c.label << " nranks=" << nranks << ": rank " << i
+          << " does not influence rank " << j;
+    }
+  }
+}
+
+std::vector<AllToAllCase> all_to_all_cases() {
+  std::vector<AllToAllCase> cases;
+  Options o;
+  o.allreduce = AllreduceAlgo::kRecursiveDoubling;
+  cases.push_back({"allreduce_rd", trace::Op::kAllreduce, o});
+  o.allreduce = AllreduceAlgo::kRing;
+  cases.push_back({"allreduce_ring", trace::Op::kAllreduce, o});
+  o.allreduce = AllreduceAlgo::kReduceBcast;
+  cases.push_back({"allreduce_redbcast", trace::Op::kAllreduce, o});
+  Options b;
+  b.barrier = BarrierAlgo::kDissemination;
+  cases.push_back({"barrier_dissemination", trace::Op::kBarrier, b});
+  b.barrier = BarrierAlgo::kReduceBcast;
+  cases.push_back({"barrier_redbcast", trace::Op::kBarrier, b});
+  Options ag;
+  ag.allgather = AllgatherAlgo::kRing;
+  cases.push_back({"allgather_ring", trace::Op::kAllgather, ag});
+  ag.allgather = AllgatherAlgo::kRecursiveDoubling;
+  cases.push_back({"allgather_rd", trace::Op::kAllgather, ag});
+  Options at;
+  at.alltoall = AlltoallAlgo::kLinear;
+  cases.push_back({"alltoall_linear", trace::Op::kAlltoall, at});
+  at.alltoall = AlltoallAlgo::kPairwise;
+  cases.push_back({"alltoall_pairwise", trace::Op::kAlltoall, at});
+  at.alltoall = AlltoallAlgo::kBruck;
+  cases.push_back({"alltoall_bruck", trace::Op::kAlltoall, at});
+  Options rs;
+  cases.push_back({"reduce_scatter_ring", trace::Op::kReduceScatter, rs});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgorithmsAndSizes, AllInfluenceTest,
+    ::testing::Combine(::testing::ValuesIn(all_to_all_cases()),
+                       ::testing::Values(2, 3, 4, 5, 8, 16)),
+    [](const auto& info) {
+      return std::get<0>(info.param).label + "_P" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Rooted collectives.
+// ---------------------------------------------------------------------------
+
+class RootedTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};  // (P, root)
+
+TEST_P(RootedTest, BcastRootReachesAll) {
+  const auto [nranks, root] = GetParam();
+  for (const BcastAlgo algo : {BcastAlgo::kBinomialTree, BcastAlgo::kLinear,
+                               BcastAlgo::kScatterAllgather}) {
+    Options o;
+    o.bcast = algo;
+    const auto g = collective_graph(trace::Op::kBcast, nranks, root, o);
+    const auto m = influence(g);
+    for (int j = 0; j < nranks; ++j) {
+      EXPECT_TRUE(m[static_cast<std::size_t>(root)][static_cast<std::size_t>(j)])
+          << "bcast root " << root << " -> " << j;
+    }
+  }
+}
+
+TEST_P(RootedTest, ReduceAllReachRoot) {
+  const auto [nranks, root] = GetParam();
+  for (const ReduceAlgo algo :
+       {ReduceAlgo::kBinomialTree, ReduceAlgo::kLinear}) {
+    Options o;
+    o.reduce = algo;
+    const auto g = collective_graph(trace::Op::kReduce, nranks, root, o);
+    const auto m = influence(g);
+    for (int i = 0; i < nranks; ++i) {
+      EXPECT_TRUE(m[static_cast<std::size_t>(i)][static_cast<std::size_t>(root)])
+          << "reduce " << i << " -> root " << root;
+    }
+  }
+}
+
+TEST_P(RootedTest, GatherAllReachRoot) {
+  const auto [nranks, root] = GetParam();
+  const auto g = collective_graph(trace::Op::kGather, nranks, root, Options{});
+  const auto m = influence(g);
+  for (int i = 0; i < nranks; ++i) {
+    EXPECT_TRUE(m[static_cast<std::size_t>(i)][static_cast<std::size_t>(root)]);
+  }
+}
+
+TEST_P(RootedTest, ScatterRootReachesAll) {
+  const auto [nranks, root] = GetParam();
+  const auto g =
+      collective_graph(trace::Op::kScatter, nranks, root, Options{});
+  const auto m = influence(g);
+  for (int j = 0; j < nranks; ++j) {
+    EXPECT_TRUE(m[static_cast<std::size_t>(root)][static_cast<std::size_t>(j)]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SizesAndRoots, RootedTest,
+                         ::testing::Combine(::testing::Values(2, 3, 5, 8, 13),
+                                            ::testing::Values(0, 1)),
+                         [](const auto& info) {
+                           return "P" +
+                                  std::to_string(std::get<0>(info.param)) +
+                                  "_root" +
+                                  std::to_string(std::get<1>(info.param));
+                         });
+
+// ---------------------------------------------------------------------------
+// Structural expectations.
+// ---------------------------------------------------------------------------
+
+TEST(RingAllreduce, HasLongerDependentChainsThanRecursiveDoubling) {
+  // The ring's 2(P-1) dependent steps vs recursive doubling's log2 P rounds
+  // (the structural root of Fig. 10's sensitivity gap).
+  const int P = 8;
+  Options rd;
+  rd.allreduce = AllreduceAlgo::kRecursiveDoubling;
+  Options ring;
+  ring.allreduce = AllreduceAlgo::kRing;
+  const auto g_rd = collective_graph(trace::Op::kAllreduce, P, 0, rd);
+  const auto g_ring = collective_graph(trace::Op::kAllreduce, P, 0, ring);
+  // Messages per rank: rd = log2(8) = 3 exchanges (6 p2p ops), ring = 14.
+  EXPECT_GT(g_ring.num_comm_edges(), g_rd.num_comm_edges());
+}
+
+TEST(SingleRank, CollectivesDegenerateToNoOps) {
+  trace::TraceBuilder tb(1);
+  tb.collective(0, trace::Op::kAllreduce, 64);
+  tb.collective(0, trace::Op::kBarrier, 0);
+  const auto g = build_graph(tb.finish());
+  EXPECT_EQ(g.num_comm_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace llamp::schedgen

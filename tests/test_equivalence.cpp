@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "lp/graph_lp.hpp"
+#include "lp/parametric.hpp"
+#include "lp/simplex.hpp"
+#include "schedgen/schedgen.hpp"
+#include "sim/simulator.hpp"
+#include "test_support.hpp"
+
+namespace llamp {
+namespace {
+
+/// The central soundness property of the repository: for any execution
+/// graph and configuration, the discrete-event simulation (LogGOPSim
+/// stand-in), the exact parametric solver, and — on small instances — the
+/// explicit Algorithm-1 LP solved by simplex all report the same runtime,
+/// and the sensitivity information (λ_L, feasibility ranges) agrees.
+class EquivalenceTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+loggops::Params test_params() {
+  loggops::Params p;
+  p.L = 3'000.0;
+  p.o = 1'200.0;
+  p.G = 0.05;
+  p.S = 256 * 1024;
+  return p;
+}
+
+TEST_P(EquivalenceTest, SimEqualsParametricAcrossLatencies) {
+  testing::RandomProgramConfig cfg;
+  cfg.seed = GetParam();
+  cfg.nranks = 6;
+  cfg.steps = 120;
+  const auto t = testing::random_trace(cfg);
+  const auto g = schedgen::build_graph(t);
+  loggops::Params p = test_params();
+
+  sim::Simulator simulator(g);
+  const auto space = std::make_shared<lp::LatencyParamSpace>(p);
+  lp::ParametricSolver solver(g, space);
+
+  for (const double L : {0.0, 500.0, 3'000.0, 20'000.0, 250'000.0}) {
+    p.L = L;
+    const double t_sim = simulator.run(p).makespan;
+    const double t_lp = solver.solve(0, L).value;
+    EXPECT_NEAR(t_sim, t_lp, 1e-6 * (1.0 + t_sim)) << "L=" << L;
+  }
+}
+
+TEST_P(EquivalenceTest, GraphAnalysisLambdaMatchesLpGradient) {
+  testing::RandomProgramConfig cfg;
+  cfg.seed = GetParam() + 1'000;
+  cfg.nranks = 5;
+  cfg.steps = 100;
+  const auto t = testing::random_trace(cfg);
+  const auto g = schedgen::build_graph(t);
+  const loggops::Params p = test_params();
+
+  sim::Simulator simulator(g);
+  const auto space = std::make_shared<lp::LatencyParamSpace>(p);
+  lp::ParametricSolver solver(g, space);
+
+  const auto res = simulator.run(p);
+  const auto path = simulator.critical_path(res);
+  const auto sol = solver.solve(0, p.L);
+  // Degenerate optima can admit several co-optimal critical paths.  The
+  // runtimes must agree exactly; the parametric solver breaks value ties
+  // toward the larger slope, so its λ dominates the simulator's
+  // arbitrary-path count and equals it in the generic (tie-free) case.
+  EXPECT_NEAR(res.makespan, sol.value, 1e-6 * (1.0 + res.makespan));
+  EXPECT_GE(sol.gradient[0], path.lambda_L - 1e-9);
+}
+
+TEST_P(EquivalenceTest, SimplexAgreesOnSmallPrograms) {
+  testing::RandomProgramConfig cfg;
+  cfg.seed = GetParam() + 2'000;
+  cfg.nranks = 4;
+  cfg.steps = 30;
+  const auto t = testing::random_trace(cfg);
+  const auto g = schedgen::build_graph(t);
+  const loggops::Params p = test_params();
+
+  const lp::LatencyParamSpace space(p);
+  auto glp = lp::build_graph_lp(g, space);
+  const auto s = lp::SimplexSolver{}.solve(glp.model);
+  ASSERT_EQ(s.status, lp::SolveStatus::kOptimal);
+
+  const auto shared_space = std::make_shared<lp::LatencyParamSpace>(p);
+  lp::ParametricSolver solver(g, shared_space);
+  const auto sol = solver.solve(0, p.L);
+  EXPECT_NEAR(s.objective, sol.value, 1e-6 * (1.0 + sol.value));
+  EXPECT_NEAR(s.reduced_cost[static_cast<std::size_t>(glp.param_vars[0])],
+              sol.gradient[0], 1e-6);
+}
+
+TEST_P(EquivalenceTest, ToleranceInverseProperty) {
+  testing::RandomProgramConfig cfg;
+  cfg.seed = GetParam() + 3'000;
+  cfg.nranks = 5;
+  cfg.steps = 80;
+  const auto t = testing::random_trace(cfg);
+  const auto g = schedgen::build_graph(t);
+  const loggops::Params p = test_params();
+
+  const auto space = std::make_shared<lp::LatencyParamSpace>(p);
+  lp::ParametricSolver solver(g, space);
+  const double T0 = solver.solve(0, p.L).value;
+  for (const double pct : {1.0, 2.0, 5.0, 25.0}) {
+    const double budget = T0 * (1.0 + pct / 100.0);
+    const double tol = solver.max_param_for_budget(0, budget);
+    if (!std::isfinite(tol)) continue;  // latency never critical
+    const double t_at_tol = solver.solve(0, tol).value;
+    EXPECT_NEAR(t_at_tol, budget, 1e-6 * budget) << "pct=" << pct;
+    // Strictly past the tolerance the budget must be exceeded.
+    const double t_past = solver.solve(0, tol * 1.01 + 10.0).value;
+    EXPECT_GT(t_past, budget - 1e-6 * budget);
+  }
+}
+
+TEST_P(EquivalenceTest, RuntimeConvexNondecreasingInLatency) {
+  testing::RandomProgramConfig cfg;
+  cfg.seed = GetParam() + 4'000;
+  cfg.nranks = 4;
+  cfg.steps = 60;
+  const auto t = testing::random_trace(cfg);
+  const auto g = schedgen::build_graph(t);
+  const auto space = std::make_shared<lp::LatencyParamSpace>(test_params());
+  lp::ParametricSolver solver(g, space);
+
+  double prev_value = -1.0;
+  double prev_slope = -1.0;
+  for (double L = 0.0; L <= 100'000.0; L += 5'000.0) {
+    const auto sol = solver.solve(0, L);
+    EXPECT_GE(sol.value, prev_value - 1e-9);
+    EXPECT_GE(sol.gradient[0], prev_slope - 1e-9);
+    prev_value = sol.value;
+    prev_slope = sol.gradient[0];
+  }
+}
+
+TEST_P(EquivalenceTest, FeasibilityRangeIsSound) {
+  testing::RandomProgramConfig cfg;
+  cfg.seed = GetParam() + 5'000;
+  cfg.nranks = 4;
+  cfg.steps = 60;
+  const auto t = testing::random_trace(cfg);
+  const auto g = schedgen::build_graph(t);
+  const auto space = std::make_shared<lp::LatencyParamSpace>(test_params());
+  lp::ParametricSolver solver(g, space);
+
+  const double L = 10'000.0;
+  const auto sol = solver.solve(0, L);
+  // Probe points inside the reported range: the same linear piece applies.
+  for (const double frac : {0.25, 0.75}) {
+    const double lo = std::max(sol.lo, 0.0);
+    const double hi = std::isfinite(sol.hi) ? sol.hi : L * 2;
+    const double x = lo + frac * (hi - lo);
+    const auto probe = solver.solve(0, x);
+    EXPECT_NEAR(probe.value, sol.value + sol.gradient[0] * (x - L),
+                1e-6 * (1.0 + sol.value));
+  }
+}
+
+TEST_P(EquivalenceTest, RendezvousThresholdSweepStaysConsistent) {
+  testing::RandomProgramConfig cfg;
+  cfg.seed = GetParam() + 6'000;
+  cfg.nranks = 4;
+  cfg.steps = 60;
+  cfg.large_message_prob = 0.4;
+  const auto t = testing::random_trace(cfg);
+  for (const std::uint64_t S : {std::uint64_t{4 * 1024}, std::uint64_t{64 * 1024},
+                                std::uint64_t{1} << 30}) {
+    schedgen::Options opt;
+    opt.rendezvous_threshold = S;
+    const auto g = schedgen::build_graph(t, opt);
+    loggops::Params p = test_params();
+    p.S = S;
+    sim::Simulator simulator(g);
+    const auto space = std::make_shared<lp::LatencyParamSpace>(p);
+    lp::ParametricSolver solver(g, space);
+    EXPECT_NEAR(simulator.run(p).makespan, solver.solve(0, p.L).value,
+                1e-6 * (1.0 + simulator.run(p).makespan))
+        << "S=" << S;
+  }
+}
+
+TEST_P(EquivalenceTest, BandwidthSpaceAgreesAcrossSolvers) {
+  testing::RandomProgramConfig cfg;
+  cfg.seed = GetParam() + 7'000;
+  cfg.nranks = 4;
+  cfg.steps = 40;
+  const auto t = testing::random_trace(cfg);
+  const auto g = schedgen::build_graph(t);
+  const loggops::Params p = test_params();
+
+  const lp::LatencyBandwidthParamSpace space(p);
+  auto glp = lp::build_graph_lp(g, space);
+  const auto s = lp::SimplexSolver{}.solve(glp.model);
+  ASSERT_EQ(s.status, lp::SolveStatus::kOptimal);
+
+  const auto shared = std::make_shared<lp::LatencyBandwidthParamSpace>(p);
+  lp::ParametricSolver solver(g, shared);
+  const auto sol = solver.solve(1, p.G);  // G active, L at base
+  EXPECT_NEAR(s.objective, sol.value, 1e-6 * (1.0 + sol.value));
+  // λ_G from the simplex reduced cost vs the critical-path byte count.
+  EXPECT_NEAR(s.reduced_cost[static_cast<std::size_t>(glp.param_vars[1])],
+              sol.gradient[1], 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EquivalenceTest,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace llamp

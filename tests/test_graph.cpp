@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/costs.hpp"
+#include "graph/graph.hpp"
+#include "graph/graph_io.hpp"
+#include "util/error.hpp"
+
+namespace llamp::graph {
+namespace {
+
+Graph two_rank_pair(bool rendezvous) {
+  Graph g(2);
+  const auto s = g.add_send(0, 1, 100);
+  const auto r = g.add_recv(1, 0, 100);
+  g.add_comm_edge(s, r, rendezvous);
+  g.finalize();
+  return g;
+}
+
+TEST(Construction, VertexKindsAndFields) {
+  Graph g(2);
+  const auto c = g.add_calc(0, 42.0);
+  const auto p = g.add_post(1);
+  const auto s = g.add_send(0, 1, 8, 3);
+  const auto r = g.add_recv(1, 0, 8, 3);
+  g.add_comm_edge(s, r, false);
+  g.add_local_edge(c, s);
+  g.finalize();
+  EXPECT_EQ(g.vertex(c).kind, VertexKind::kCalc);
+  EXPECT_DOUBLE_EQ(g.vertex(c).duration, 42.0);
+  EXPECT_EQ(g.vertex(p).kind, VertexKind::kPost);
+  EXPECT_EQ(g.vertex(s).peer, 1);
+  EXPECT_EQ(g.vertex(r).tag, 3);
+  EXPECT_EQ(g.comm_partner(s), r);
+  EXPECT_EQ(g.comm_partner(r), s);
+  EXPECT_EQ(g.comm_partner(c), kInvalidVertex);
+}
+
+TEST(Construction, Errors) {
+  EXPECT_THROW(Graph(0), GraphError);
+  Graph g(2);
+  EXPECT_THROW(g.add_calc(5, 1.0), GraphError);
+  EXPECT_THROW(g.add_calc(0, -1.0), GraphError);
+  EXPECT_THROW(g.add_send(0, 0, 8), GraphError);
+  EXPECT_THROW(g.add_send(0, 9, 8), GraphError);
+  const auto a = g.add_calc(0, 1.0);
+  EXPECT_THROW(g.add_local_edge(a, a), GraphError);
+  EXPECT_THROW(g.add_local_edge(a, 99), GraphError);
+  const auto b = g.add_calc(1, 1.0);
+  EXPECT_THROW(g.add_local_edge(a, b), GraphError);  // cross-rank local edge
+}
+
+TEST(CommEdgeInvariants, KindAndEndpointChecks) {
+  Graph g(3);
+  const auto s = g.add_send(0, 1, 64);
+  const auto r_wrong_rank = g.add_recv(2, 0, 64);
+  EXPECT_THROW(g.add_comm_edge(s, r_wrong_rank, false), GraphError);
+  const auto r_wrong_size = g.add_recv(1, 0, 65);
+  EXPECT_THROW(g.add_comm_edge(s, r_wrong_size, false), GraphError);
+  const auto c = g.add_calc(0, 1.0);
+  EXPECT_THROW(g.add_comm_edge(c, r_wrong_size, false), GraphError);
+}
+
+TEST(Finalize, RejectsDuplicateCommEdges) {
+  Graph g(2);
+  const auto s = g.add_send(0, 1, 8);
+  const auto r = g.add_recv(1, 0, 8);
+  g.add_comm_edge(s, r, false);
+  g.add_comm_edge(s, r, false);
+  EXPECT_THROW(g.finalize(), GraphError);
+}
+
+TEST(Finalize, RejectsDanglingSendOrRecv) {
+  Graph g(2);
+  (void)g.add_send(0, 1, 8);
+  EXPECT_THROW(g.finalize(), GraphError);
+}
+
+TEST(Finalize, DetectsCycle) {
+  Graph g(1);
+  const auto a = g.add_calc(0, 1.0);
+  const auto b = g.add_calc(0, 1.0);
+  g.add_local_edge(a, b);
+  g.add_local_edge(b, a);
+  EXPECT_THROW(g.finalize(), GraphError);
+}
+
+TEST(Finalize, GuardsAccessorsBeforeFinalize) {
+  Graph g(1);
+  const auto a = g.add_calc(0, 1.0);
+  EXPECT_THROW((void)g.out_edges(a), GraphError);
+  EXPECT_THROW((void)g.topo_order(), GraphError);
+  g.finalize();
+  EXPECT_THROW((void)g.add_calc(0, 1.0), GraphError);
+}
+
+TEST(TopoOrder, EveryEdgeGoesForward) {
+  Graph g(2);
+  const auto c0 = g.add_calc(0, 0.0);
+  const auto c1 = g.add_calc(1, 1.0);
+  const auto c2 = g.add_calc(0, 2.0);
+  const auto c3 = g.add_calc(1, 3.0);
+  const auto c4 = g.add_calc(1, 4.0);
+  const auto s = g.add_send(0, 1, 8);
+  const auto r = g.add_recv(1, 0, 8);
+  g.add_local_edge(c0, s);
+  g.add_local_edge(c1, r);
+  g.add_comm_edge(s, r, false);
+  g.add_local_edge(s, c2);
+  g.add_local_edge(r, c3);
+  g.add_local_edge(c3, c4);
+  g.finalize();
+  const auto topo = g.topo_order();
+  std::vector<std::size_t> pos(g.num_vertices());
+  for (std::size_t i = 0; i < topo.size(); ++i) pos[topo[i]] = i;
+  for (const Edge& e : g.edges()) EXPECT_LT(pos[e.from], pos[e.to]);
+}
+
+TEST(EdgeCostSpecs, EagerVsRendezvous) {
+  const Graph ge = two_rank_pair(false);
+  const Graph gr = two_rank_pair(true);
+  const Edge& eager = ge.edges()[0];
+  const Edge& rdzv = gr.edges()[0];
+  EXPECT_EQ(eager.l_mult, 1);
+  EXPECT_EQ(rdzv.l_mult, 3);
+  EXPECT_EQ(eager.bytes, 100u);
+  EXPECT_EQ(rdzv.bytes, 100u);
+}
+
+TEST(EdgeCostSpecs, IssueAndCompletionEdges) {
+  Graph g(2);
+  const auto pre = g.add_calc(1, 0.0);
+  const auto post = g.add_post(1);
+  const auto s = g.add_send(0, 1, 300'000);
+  const auto r = g.add_recv(1, 0, 300'000);
+  const auto w = g.add_calc(0, 0.0);
+  g.add_local_edge(pre, post);
+  g.add_issue_edge(post, r, /*through_post=*/true);
+  g.add_comm_edge(s, r, true);
+  g.add_send_completion_edge(r, w);
+  g.finalize();
+  const Edge& issue = g.edges()[1];
+  EXPECT_EQ(issue.kind, EdgeKind::kIssue);
+  EXPECT_EQ(issue.o_mult, 0);
+  EXPECT_EQ(issue.l_mult, 2);
+  const Edge& compl_edge = g.edges()[3];
+  EXPECT_EQ(compl_edge.kind, EdgeKind::kSendCompletion);
+  EXPECT_EQ(compl_edge.o_mult, 1);
+  // Wire pairs of protocol edges refer to the message's (sender, receiver).
+  EXPECT_EQ(g.edge_wire_pair(issue), (std::pair<int, int>{0, 1}));
+  EXPECT_EQ(g.edge_wire_pair(compl_edge), (std::pair<int, int>{0, 1}));
+}
+
+TEST(CostSemantics, VertexCosts) {
+  loggops::Params p;
+  p.o = 100.0;
+  p.O = 0.5;
+  Vertex calc;
+  calc.kind = VertexKind::kCalc;
+  calc.duration = 77.0;
+  EXPECT_DOUBLE_EQ(vertex_cost(calc, p), 77.0);
+  Vertex send;
+  send.kind = VertexKind::kSend;
+  send.bytes = 10;
+  EXPECT_DOUBLE_EQ(vertex_cost(send, p), 105.0);
+  Vertex post;
+  post.kind = VertexKind::kPost;
+  EXPECT_DOUBLE_EQ(vertex_cost(post, p), 100.0);
+}
+
+TEST(CostSemantics, EdgeCosts) {
+  const Graph g = two_rank_pair(true);
+  loggops::Params p;
+  p.L = 10.0;
+  p.o = 3.0;
+  p.G = 2.0;
+  // Rendezvous comm edge: 3L + (100-1)*G.
+  EXPECT_DOUBLE_EQ(edge_cost(g, g.edges()[0], p), 3 * 10.0 + 99 * 2.0);
+}
+
+TEST(GoalIo, RoundTripPreservesStructure) {
+  Graph g(2);
+  const auto c = g.add_calc(0, 12.5);
+  const auto post = g.add_post(1);
+  const auto s = g.add_send(0, 1, 300'000, 4);
+  const auto r = g.add_recv(1, 0, 300'000, 4);
+  const auto w = g.add_calc(0, 0.0);
+  g.add_local_edge(c, s);
+  g.add_local_edge(post, r);
+  g.add_issue_edge(post, r, true);
+  g.add_comm_edge(s, r, true);
+  g.add_send_completion_edge(r, w);
+  g.finalize();
+
+  const Graph parsed = goal_from_text(to_goal(g));
+  ASSERT_EQ(parsed.num_vertices(), g.num_vertices());
+  ASSERT_EQ(parsed.num_edges(), g.num_edges());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(parsed.vertex(v).kind, g.vertex(v).kind);
+    EXPECT_EQ(parsed.vertex(v).rank, g.vertex(v).rank);
+    EXPECT_EQ(parsed.vertex(v).bytes, g.vertex(v).bytes);
+  }
+  for (std::size_t e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(parsed.edges()[e].kind, g.edges()[e].kind);
+    EXPECT_EQ(parsed.edges()[e].l_mult, g.edges()[e].l_mult);
+    EXPECT_EQ(parsed.edges()[e].o_mult, g.edges()[e].o_mult);
+  }
+}
+
+TEST(GoalIo, RejectsMalformed) {
+  EXPECT_THROW((void)goal_from_text(""), GraphError);
+  EXPECT_THROW((void)goal_from_text("LLAMP_GOAL 1\nranks 1\nv 5 calc 0 1\n"),
+               GraphError);
+  EXPECT_THROW((void)goal_from_text("LLAMP_GOAL 1\nranks 1\nx 0\n"),
+               GraphError);
+}
+
+TEST(DotExport, MentionsEveryVertex) {
+  const Graph g = two_rank_pair(false);
+  const auto dot = to_dot(g);
+  EXPECT_NE(dot.find("v0"), std::string::npos);
+  EXPECT_NE(dot.find("v1"), std::string::npos);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+}
+
+TEST(Stats, StringSummarizesCounts) {
+  const Graph g = two_rank_pair(false);
+  const auto s = g.stats_string();
+  EXPECT_NE(s.find("send=1"), std::string::npos);
+  EXPECT_NE(s.find("comm=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace llamp::graph

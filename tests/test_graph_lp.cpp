@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "lp/graph_lp.hpp"
+#include "lp/simplex.hpp"
+#include "test_support.hpp"
+#include "util/error.hpp"
+
+namespace llamp::lp {
+namespace {
+
+TEST(RunningExampleLp, ReproducesEquationSix) {
+  // Equation 6 of the paper: min t s.t. y >= l + 115, y >= 500(+1000),
+  // t >= 1100, t >= y + 1000; with l >= 500 the optimum is (0.5, 1.615) us
+  // and the reduced cost of l is 1 (Fig. 5).
+  const auto g = llamp::testing::running_example_graph();
+  const LatencyParamSpace space(llamp::testing::running_example_params());
+  GraphLp glp = build_graph_lp(g, space);
+  glp.model.set_var_lower(glp.param_vars[0], 500.0);
+
+  const SimplexSolver solver;
+  const Solution s = solver.solve(glp.model);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 1'615.0, 1e-6);
+  EXPECT_NEAR(s.reduced_cost[static_cast<std::size_t>(glp.param_vars[0])],
+              1.0, 1e-9);
+
+  // SALBLow-equivalent: the basis holds for l down to the critical latency.
+  const auto range = solver.bound_range(glp.model, s, glp.param_vars[0]);
+  EXPECT_NEAR(range.lo, 385.0, 1e-6);
+}
+
+TEST(RunningExampleLp, ToleranceModelMatchesFigure6) {
+  const auto g = llamp::testing::running_example_graph();
+  const LatencyParamSpace space(llamp::testing::running_example_params());
+  const GraphLp glp = build_graph_lp(g, space);
+  const Model tol = make_tolerance_model(glp, 0, 2'000.0);
+  const Solution s = SimplexSolver{}.solve(tol);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 885.0, 1e-6);
+}
+
+TEST(ToleranceModel, UnboundedWhenNoLatencyOnAnyPath) {
+  graph::Graph g(1);
+  const auto a = g.add_calc(0, 10.0);
+  const auto b = g.add_calc(0, 5.0);
+  g.add_local_edge(a, b);
+  g.finalize();
+  const LatencyParamSpace space(llamp::testing::running_example_params());
+  const GraphLp glp = build_graph_lp(g, space);
+  const Model tol = make_tolerance_model(glp, 0, 100.0);
+  EXPECT_EQ(SimplexSolver{}.solve(tol).status, SolveStatus::kUnbounded);
+}
+
+TEST(ToleranceModel, InfeasibleWhenBudgetBelowMinimumRuntime) {
+  const auto g = llamp::testing::running_example_graph();
+  const LatencyParamSpace space(llamp::testing::running_example_params());
+  const GraphLp glp = build_graph_lp(g, space);
+  const Model tol = make_tolerance_model(glp, 0, 1'000.0);  // < 1500 floor
+  EXPECT_EQ(SimplexSolver{}.solve(tol).status, SolveStatus::kInfeasible);
+}
+
+TEST(ToleranceModel, ParameterIndexValidated) {
+  const auto g = llamp::testing::running_example_graph();
+  const LatencyParamSpace space(llamp::testing::running_example_params());
+  const GraphLp glp = build_graph_lp(g, space);
+  EXPECT_THROW((void)make_tolerance_model(glp, 3, 1.0), LpError);
+}
+
+TEST(Structure, VariableAndConstraintCounts) {
+  // Algorithm 1 introduces one y per multi-predecessor vertex with one
+  // constraint per in-edge, plus param vars, t, and one row per sink.
+  const auto g = llamp::testing::running_example_graph();
+  const LatencyParamSpace space(llamp::testing::running_example_params());
+  const GraphLp glp = build_graph_lp(g, space);
+  // Only the recv vertex has two predecessors; sinks are C1 and C3.
+  EXPECT_EQ(glp.model.num_vars(), 3);  // l, t, y_recv
+  EXPECT_EQ(glp.model.num_constraints(), 4);  // matches Equation 6
+}
+
+TEST(RendezvousLp, Figure15ConstraintCountMatchesEquationSix) {
+  // Appendix B: "the final number of constraints matches Equation 6" — the
+  // rendezvous version of the running example costs no extra constraints.
+  graph::Graph g(2);
+  const std::uint64_t bytes = 1 << 20;  // rendezvous-sized
+  const auto c0 = g.add_calc(0, 100.0);
+  const auto s = g.add_send(0, 1, bytes);
+  const auto c1 = g.add_calc(0, 1'000.0);
+  const auto c2 = g.add_calc(1, 500.0);
+  const auto r = g.add_recv(1, 0, bytes);
+  const auto c3 = g.add_calc(1, 1'000.0);
+  g.add_local_edge(c0, s);
+  g.add_local_edge(s, c1);
+  g.add_issue_edge(c2, r, /*through_post=*/false);
+  g.add_comm_edge(s, r, /*rendezvous=*/true);
+  g.add_local_edge(r, c3);
+  g.finalize();
+
+  auto params = llamp::testing::running_example_params();
+  params.S = 1024;
+  const LatencyParamSpace space(params);
+  const GraphLp glp = build_graph_lp(g, space);
+  EXPECT_EQ(glp.model.num_constraints(), 4);
+  EXPECT_EQ(glp.model.num_vars(), 3);  // l, t, y_recv
+
+  // And the LP agrees with the closed handshake formulas at a sample L.
+  Model m = glp.model;
+  m.set_var_lower(glp.param_vars[0], 3'000.0);
+  const Solution sol = SimplexSolver{}.solve(m);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  const double B = (static_cast<double>(bytes) - 1) * params.G;
+  const double tm = std::max(100.0 + 0.0 + 3'000.0, 500.0 + 0.0);  // o = 0
+  const double expect = tm + 2 * 3'000.0 + B + 0.0 + 1'000.0;  // t_r' + c3
+  EXPECT_NEAR(sol.objective, std::max(expect, 100.0 + 1'000.0), 1e-6);
+}
+
+TEST(Structure, RejectsUnfinalizedGraph) {
+  graph::Graph g(1);
+  (void)g.add_calc(0, 1.0);
+  const LatencyParamSpace space(llamp::testing::running_example_params());
+  EXPECT_THROW((void)build_graph_lp(g, space), LpError);
+}
+
+}  // namespace
+}  // namespace llamp::lp

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "injector/cluster_emulator.hpp"
+#include "injector/designs.hpp"
+#include "test_support.hpp"
+#include "util/error.hpp"
+
+namespace llamp::injector {
+namespace {
+
+Scenario fig8_scenario() {
+  Scenario s;
+  s.n_messages = 2;
+  s.o = 1'000.0;
+  s.base_latency = 3'000.0;
+  s.bytes_cost = 500.0;
+  s.delta_L = 10'000.0;  // ΔL > o, the regime Fig. 8 discusses
+  return s;
+}
+
+TEST(Fig8ClosedForms, IntendedPanelA) {
+  const Scenario s = fig8_scenario();
+  const Outcome out = simulate(Design::kIntended, s);
+  EXPECT_DOUBLE_EQ(out.sender_completion, 2 * s.o);
+  EXPECT_DOUBLE_EQ(out.receiver_completion,
+                   3 * s.o + s.base_latency + s.bytes_cost + s.delta_L);
+}
+
+TEST(Fig8ClosedForms, SenderDelayPanelB) {
+  const Scenario s = fig8_scenario();
+  const Outcome out = simulate(Design::kSenderDelay, s);
+  EXPECT_DOUBLE_EQ(out.sender_completion, 2 * s.o + 2 * s.delta_L);
+  EXPECT_DOUBLE_EQ(out.receiver_completion,
+                   3 * s.o + s.base_latency + s.bytes_cost + 2 * s.delta_L);
+}
+
+TEST(Fig8ClosedForms, ProgressThreadPanelC) {
+  const Scenario s = fig8_scenario();
+  const Outcome out = simulate(Design::kProgressThread, s);
+  EXPECT_DOUBLE_EQ(out.sender_completion, 2 * s.o);
+  EXPECT_DOUBLE_EQ(out.receiver_completion,
+                   2 * s.o + s.base_latency + s.bytes_cost + 2 * s.delta_L);
+}
+
+TEST(Fig8ClosedForms, DelayThreadPanelDMatchesIntended) {
+  const Scenario s = fig8_scenario();
+  const Outcome want = simulate(Design::kIntended, s);
+  const Outcome got = simulate(Design::kDelayThread, s);
+  EXPECT_DOUBLE_EQ(got.sender_completion, want.sender_completion);
+  EXPECT_DOUBLE_EQ(got.receiver_completion, want.receiver_completion);
+  EXPECT_DOUBLE_EQ(deviation_from_intended(Design::kDelayThread, s), 0.0);
+}
+
+TEST(Fig8ClosedForms, SmallDeltaRegime) {
+  // When ΔL < o the progress thread keeps up: its error vanishes.
+  Scenario s = fig8_scenario();
+  s.delta_L = 400.0;  // < o
+  EXPECT_DOUBLE_EQ(deviation_from_intended(Design::kProgressThread, s), 0.0);
+  // The sender-delay design still perturbs both sides.
+  EXPECT_GT(deviation_from_intended(Design::kSenderDelay, s), 0.0);
+}
+
+TEST(Fig8ClosedForms, ErrorGrowsWithMessageCount) {
+  Scenario s = fig8_scenario();
+  s.n_messages = 8;
+  const auto err_b = deviation_from_intended(Design::kSenderDelay, s);
+  const auto err_c = deviation_from_intended(Design::kProgressThread, s);
+  // n-1 extra delays accumulate in both broken designs (the progress
+  // thread's serial queue saves the o-spacing between arrivals).
+  EXPECT_DOUBLE_EQ(err_b, 7 * s.delta_L);
+  EXPECT_DOUBLE_EQ(err_c, 7 * (s.delta_L - s.o));
+  EXPECT_THROW((void)simulate(Design::kIntended, Scenario{.n_messages = 0}),
+               Error);
+}
+
+TEST(Emulator, DeterministicPerSeed) {
+  const auto g = testing::running_example_graph();
+  auto p = testing::running_example_params();
+  ClusterEmulator::Config cfg;
+  cfg.seed = 7;
+  ClusterEmulator a(g, p, cfg), b(g, p, cfg);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(a.run_once(1'000.0), b.run_once(1'000.0));
+  }
+}
+
+TEST(Emulator, NoiseOnlySlowsRunsDown) {
+  const auto g = testing::running_example_graph();
+  const auto p = testing::running_example_params();
+  ClusterEmulator em(g, p);
+  const double ideal = 1'500.0 + 0.0;  // T at ΔL = 0 (L base = 0)
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_GE(em.run_once(0.0), ideal);
+  }
+}
+
+TEST(Emulator, MeanTracksIdealWithinNoise) {
+  const auto g = testing::running_example_graph();
+  const auto p = testing::running_example_params();
+  ClusterEmulator::Config cfg;
+  cfg.noise_sigma = 0.01;
+  ClusterEmulator em(g, p, cfg);
+  const double measured = em.measure(1'000.0, 50);
+  const double ideal = 1'000.0 + 1'115.0;  // L+1115 branch dominates
+  EXPECT_NEAR(measured / ideal, 1.0 + 0.01 * 0.7979, 0.01);  // folded normal
+}
+
+TEST(Emulator, SystematicBiasApplied) {
+  const auto g = testing::running_example_graph();
+  const auto p = testing::running_example_params();
+  ClusterEmulator::Config cfg;
+  cfg.noise_sigma = 0.0;
+  cfg.systematic_bias = 0.05;
+  ClusterEmulator em(g, p, cfg);
+  EXPECT_NEAR(em.run_once(1'000.0), 2'115.0 * 1.05, 1e-9);
+}
+
+TEST(Emulator, Validation) {
+  const auto g = testing::running_example_graph();
+  const auto p = testing::running_example_params();
+  ClusterEmulator em(g, p);
+  EXPECT_THROW((void)em.run_once(-5.0), Error);
+  EXPECT_THROW((void)em.measure(0.0, 0), Error);
+  ClusterEmulator::Config bad;
+  bad.noise_sigma = -1.0;
+  EXPECT_THROW(ClusterEmulator(g, p, bad), Error);
+}
+
+TEST(DesignNames, Distinct) {
+  EXPECT_NE(to_string(Design::kIntended), to_string(Design::kSenderDelay));
+  EXPECT_NE(to_string(Design::kProgressThread),
+            to_string(Design::kDelayThread));
+}
+
+}  // namespace
+}  // namespace llamp::injector

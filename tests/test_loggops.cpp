@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "loggops/params.hpp"
+#include "loggops/wire_model.hpp"
+#include "util/error.hpp"
+
+namespace llamp::loggops {
+namespace {
+
+TEST(Params, ProtocolThreshold) {
+  Params p;
+  p.S = 1024;
+  EXPECT_EQ(p.protocol(0), Protocol::kEager);
+  EXPECT_EQ(p.protocol(1023), Protocol::kEager);
+  EXPECT_EQ(p.protocol(1024), Protocol::kRendezvous);
+  EXPECT_EQ(p.protocol(1 << 20), Protocol::kRendezvous);
+}
+
+TEST(Params, BytesCostIsLogGp) {
+  Params p;
+  p.G = 2.0;
+  EXPECT_DOUBLE_EQ(p.bytes_cost(0), 0.0);
+  EXPECT_DOUBLE_EQ(p.bytes_cost(1), 0.0);  // (s-1)G
+  EXPECT_DOUBLE_EQ(p.bytes_cost(5), 8.0);
+}
+
+TEST(Params, CpuCostIncludesPerByteOverhead) {
+  Params p;
+  p.o = 100.0;
+  p.O = 0.5;
+  EXPECT_DOUBLE_EQ(p.cpu_cost(10), 105.0);
+}
+
+TEST(Params, ValidationRejectsNegatives) {
+  Params p;
+  p.L = -1.0;
+  EXPECT_THROW(p.validate(), Error);
+  p = Params{};
+  p.S = 0;
+  EXPECT_THROW(p.validate(), Error);
+  p = Params{};
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(Params, ToStringMentionsEveryField) {
+  const auto s = Params{}.to_string();
+  for (const char* key : {"L=", "o=", "g=", "G=", "O=", "S="}) {
+    EXPECT_NE(s.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(NetworkConfigPresets, CscsTestbed) {
+  const Params p = NetworkConfig::cscs_testbed();
+  EXPECT_DOUBLE_EQ(p.L, 3'000.0);
+  EXPECT_DOUBLE_EQ(p.G, 0.018);
+  EXPECT_EQ(p.S, 256u * 1024u);
+}
+
+TEST(NetworkConfigPresets, PizDaint) {
+  const Params p = NetworkConfig::piz_daint();
+  EXPECT_DOUBLE_EQ(p.L, 1'400.0);
+  EXPECT_DOUBLE_EQ(p.G, 0.013);
+}
+
+TEST(NetworkConfigPresets, Table2Overheads) {
+  EXPECT_DOUBLE_EQ(NetworkConfig::table2_overhead("lulesh", 8), 5'000.0);
+  EXPECT_DOUBLE_EQ(NetworkConfig::table2_overhead("icon", 64), 8'600.0);
+  EXPECT_DOUBLE_EQ(NetworkConfig::table2_overhead("lammps", 32), 32'700.0);
+  // Unknown node count falls back to the smallest configuration.
+  EXPECT_DOUBLE_EQ(NetworkConfig::table2_overhead("cloverleaf", 999), 6'100.0);
+  EXPECT_THROW((void)NetworkConfig::table2_overhead("nonesuch", 8), Error);
+}
+
+TEST(WireModels, UniformWire) {
+  Params p;
+  p.L = 123.0;
+  p.G = 0.5;
+  const UniformWire w(p);
+  EXPECT_DOUBLE_EQ(w.latency(0, 7), 123.0);
+  EXPECT_DOUBLE_EQ(w.gap_per_byte(3, 4), 0.5);
+}
+
+}  // namespace
+}  // namespace llamp::loggops

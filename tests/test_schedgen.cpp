@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include "schedgen/schedgen.hpp"
+#include "test_support.hpp"
+#include "trace/builder.hpp"
+#include "util/error.hpp"
+
+namespace llamp::schedgen {
+namespace {
+
+using graph::EdgeKind;
+using graph::VertexKind;
+
+std::size_t count_kind(const graph::Graph& g, VertexKind k) {
+  std::size_t n = 0;
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    n += g.vertex(v).kind == k;
+  }
+  return n;
+}
+
+std::size_t count_edges(const graph::Graph& g, EdgeKind k) {
+  std::size_t n = 0;
+  for (const graph::Edge& e : g.edges()) n += e.kind == k;
+  return n;
+}
+
+TEST(ComputeInference, GapsBecomeCalcVertices) {
+  trace::TraceBuilder tb(2, /*op_duration=*/100.0);
+  tb.compute(0, 5'000.0);
+  tb.send(0, 1, 64);
+  tb.recv(1, 0, 64);
+  const auto streams = expand_trace(tb.finish(), Options{});
+  // Rank 0: calc(5000) then send.
+  ASSERT_GE(streams[0].size(), 2u);
+  EXPECT_EQ(streams[0][0].kind, MidOp::Kind::kCalc);
+  EXPECT_DOUBLE_EQ(streams[0][0].duration, 5'000.0);
+  EXPECT_EQ(streams[0][1].kind, MidOp::Kind::kSend);
+}
+
+TEST(ComputeInference, ComputeScaleMultiplies) {
+  trace::TraceBuilder tb(2);
+  tb.compute(0, 1'000.0);
+  tb.send(0, 1, 8);
+  tb.recv(1, 0, 8);
+  Options opt;
+  opt.compute_scale = 2.5;
+  const auto streams = expand_trace(tb.finish(), opt);
+  EXPECT_DOUBLE_EQ(streams[0][0].duration, 2'500.0);
+}
+
+TEST(BlockingP2p, GraphShape) {
+  trace::TraceBuilder tb(2);
+  tb.send(0, 1, 64);
+  tb.recv(1, 0, 64);
+  const auto g = build_graph(tb.finish());
+  EXPECT_EQ(count_kind(g, VertexKind::kSend), 1u);
+  EXPECT_EQ(count_kind(g, VertexKind::kRecv), 1u);
+  EXPECT_EQ(count_kind(g, VertexKind::kPost), 0u);
+  EXPECT_EQ(g.num_comm_edges(), 1u);
+  EXPECT_EQ(count_edges(g, EdgeKind::kIssue), 0u);
+  EXPECT_EQ(count_edges(g, EdgeKind::kSendCompletion), 0u);
+}
+
+TEST(NonblockingP2p, PostVertexAndNoIssueEdgeWhenEager) {
+  trace::TraceBuilder tb(2);
+  const auto rr = tb.irecv(1, 0, 64);
+  tb.send(0, 1, 64);
+  tb.compute(1, 500.0);
+  tb.wait(1, rr);
+  const auto g = build_graph(tb.finish());
+  EXPECT_EQ(count_kind(g, VertexKind::kPost), 1u);
+  EXPECT_EQ(count_edges(g, EdgeKind::kIssue), 0u);
+}
+
+TEST(Rendezvous, BlockingSendGetsCompletionAndIssueEdges) {
+  trace::TraceBuilder tb(2);
+  const std::uint64_t big = 512 * 1024;
+  tb.send(0, 1, big);
+  tb.compute(0, 1'000.0);  // the completion edge must land here
+  tb.recv(1, 0, big);
+  const auto g = build_graph(tb.finish());
+  EXPECT_EQ(count_edges(g, EdgeKind::kIssue), 1u);
+  EXPECT_EQ(count_edges(g, EdgeKind::kSendCompletion), 1u);
+  // Comm edge carries the 3-hop handshake cost.
+  for (const graph::Edge& e : g.edges()) {
+    if (e.kind == EdgeKind::kComm) EXPECT_EQ(e.l_mult, 3);
+  }
+}
+
+TEST(Rendezvous, IsendCompletionLandsOnWait) {
+  trace::TraceBuilder tb(2);
+  const std::uint64_t big = 512 * 1024;
+  const auto sr = tb.isend(0, 1, big);
+  tb.compute(0, 2'000.0);
+  tb.wait(0, sr);
+  const auto rr = tb.irecv(1, 0, big);
+  tb.wait(1, rr);
+  const auto g = build_graph(tb.finish());
+  std::size_t completion_edges = 0;
+  for (const graph::Edge& e : g.edges()) {
+    if (e.kind != EdgeKind::kSendCompletion) continue;
+    ++completion_edges;
+    // With a nonblocking receiver the handshake completion is anchored on
+    // the send and post vertices (t_s' is independent of the receiver's
+    // wait position); the target is the sender's wait (a zero-cost calc).
+    EXPECT_TRUE(g.vertex(e.from).kind == VertexKind::kSend ||
+                g.vertex(e.from).kind == VertexKind::kPost);
+    EXPECT_EQ(g.vertex(e.to).kind, VertexKind::kCalc);
+    EXPECT_EQ(g.vertex(e.to).rank, 0);
+  }
+  EXPECT_EQ(completion_edges, 2u);
+  // Nonblocking rendezvous recv: issue edge originates at the post vertex
+  // with no extra overhead (the post already paid its o).
+  for (const graph::Edge& e : g.edges()) {
+    if (e.kind == EdgeKind::kIssue) {
+      EXPECT_EQ(g.vertex(e.from).kind, VertexKind::kPost);
+      EXPECT_EQ(e.o_mult, 0);
+    }
+  }
+}
+
+TEST(Rendezvous, ThresholdIsConfigurable) {
+  trace::TraceBuilder tb(2);
+  tb.send(0, 1, 1'000);
+  tb.recv(1, 0, 1'000);
+  Options opt;
+  opt.rendezvous_threshold = 512;
+  const auto g = build_graph(tb.finish(), opt);
+  for (const graph::Edge& e : g.edges()) {
+    if (e.kind == EdgeKind::kComm) EXPECT_EQ(e.l_mult, 3);
+  }
+}
+
+TEST(Deadlock, HeadToHeadRendezvousSendsThrow) {
+  // Both ranks issue a blocking rendezvous send before their recv: a real
+  // MPI deadlock, surfacing as a cycle through completion edges.
+  trace::TraceBuilder tb(2);
+  const std::uint64_t big = 512 * 1024;
+  tb.send(0, 1, big);
+  tb.send(1, 0, big);
+  tb.recv(0, 1, big);
+  tb.recv(1, 0, big);
+  EXPECT_THROW((void)build_graph(tb.finish()), Error);
+}
+
+TEST(Deadlock, HeadToHeadEagerSendsAreFine) {
+  trace::TraceBuilder tb(2);
+  tb.send(0, 1, 64);
+  tb.send(1, 0, 64);
+  tb.recv(0, 1, 64);
+  tb.recv(1, 0, 64);
+  EXPECT_NO_THROW((void)build_graph(tb.finish()));
+}
+
+TEST(Matching, UnmatchedSendThrows) {
+  std::vector<MidStream> streams(2);
+  streams[0].push_back(MidOp::send(1, 8, 0));
+  EXPECT_THROW((void)build_graph_from_streams(streams, Options{}), SchedError);
+}
+
+TEST(Matching, UnmatchedRecvThrows) {
+  std::vector<MidStream> streams(2);
+  streams[1].push_back(MidOp::recv(0, 8, 0));
+  EXPECT_THROW((void)build_graph_from_streams(streams, Options{}), SchedError);
+}
+
+TEST(Matching, CountMismatchThrows) {
+  std::vector<MidStream> streams(2);
+  streams[0].push_back(MidOp::send(1, 8, 0));
+  streams[0].push_back(MidOp::send(1, 8, 0));
+  streams[1].push_back(MidOp::recv(0, 8, 0));
+  EXPECT_THROW((void)build_graph_from_streams(streams, Options{}), SchedError);
+}
+
+TEST(Matching, NonOvertakingOrderPreserved) {
+  // Two same-tag messages: first send pairs with first posted recv.
+  std::vector<MidStream> streams(2);
+  streams[0].push_back(MidOp::send(1, 100, 0));
+  streams[0].push_back(MidOp::send(1, 200, 0));
+  streams[1].push_back(MidOp::recv(0, 100, 0));
+  streams[1].push_back(MidOp::recv(0, 200, 0));
+  EXPECT_NO_THROW((void)build_graph_from_streams(streams, Options{}));
+  // Swapping recv sizes breaks pairing (size mismatch at comm edges).
+  std::vector<MidStream> bad(2);
+  bad[0].push_back(MidOp::send(1, 100, 0));
+  bad[0].push_back(MidOp::send(1, 200, 0));
+  bad[1].push_back(MidOp::recv(0, 200, 0));
+  bad[1].push_back(MidOp::recv(0, 100, 0));
+  EXPECT_THROW((void)build_graph_from_streams(bad, Options{}), Error);
+}
+
+TEST(Matching, TagsSeparateChannels) {
+  // Same sizes, different tags, posted in "crossed" order: tags keep the
+  // channels independent so this must match cleanly.
+  std::vector<MidStream> streams(2);
+  streams[0].push_back(MidOp::send(1, 100, 1));
+  streams[0].push_back(MidOp::send(1, 100, 2));
+  streams[1].push_back(MidOp::recv(0, 100, 2));
+  streams[1].push_back(MidOp::recv(0, 100, 1));
+  EXPECT_NO_THROW((void)build_graph_from_streams(streams, Options{}));
+}
+
+TEST(Waits, UnknownOrDuplicateWaitThrows) {
+  std::vector<MidStream> streams(1);
+  streams[0].push_back(MidOp::wait(7));
+  EXPECT_THROW((void)build_graph_from_streams(streams, Options{}), SchedError);
+}
+
+TEST(Waits, MissingWaitThrows) {
+  std::vector<MidStream> streams(2);
+  streams[0].push_back(MidOp::isend(1, 8, 0, 1));
+  streams[1].push_back(MidOp::recv(0, 8, 0));
+  EXPECT_THROW((void)build_graph_from_streams(streams, Options{}), SchedError);
+}
+
+TEST(RandomPrograms, AlwaysBuildValidGraphs) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    testing::RandomProgramConfig cfg;
+    cfg.seed = seed;
+    cfg.nranks = 5;
+    cfg.steps = 80;
+    const auto t = testing::random_trace(cfg);
+    graph::Graph g = build_graph(t);
+    EXPECT_GT(g.num_vertices(), 0u);
+    EXPECT_GT(g.num_comm_edges(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace llamp::schedgen

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "lp/model.hpp"
+#include "lp/simplex.hpp"
+#include "util/error.hpp"
+
+namespace llamp::lp {
+namespace {
+
+TEST(ModelBuilding, DedupAndValidation) {
+  Model m;
+  const int x = m.add_var("x", 0, 10);
+  const int row = m.add_constraint({{x, 1.0}, {x, 2.0}}, Relation::kLe, 6.0);
+  EXPECT_EQ(m.row(row).terms.size(), 1u);
+  EXPECT_DOUBLE_EQ(m.row(row).terms[0].second, 3.0);
+  EXPECT_THROW((void)m.add_constraint({{99, 1.0}}, Relation::kLe, 0.0),
+               LpError);
+  EXPECT_THROW((void)m.add_var("bad", 5.0, 1.0), LpError);
+  EXPECT_THROW(m.set_var_lower(x, 20.0), LpError);
+  EXPECT_NE(m.to_string().find("Minimize"), std::string::npos);
+}
+
+TEST(Basic, TwoVarMaximization) {
+  // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6, x,y >= 0 -> (4, 0), obj 12.
+  Model m;
+  m.set_sense(Sense::kMaximize);
+  const int x = m.add_var("x", 0, kInf, 3.0);
+  const int y = m.add_var("y", 0, kInf, 2.0);
+  m.add_constraint({{x, 1}, {y, 1}}, Relation::kLe, 4);
+  m.add_constraint({{x, 1}, {y, 3}}, Relation::kLe, 6);
+  const Solution s = SimplexSolver{}.solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 12.0, 1e-9);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(x)], 4.0, 1e-9);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(y)], 0.0, 1e-9);
+}
+
+TEST(Basic, Minimization) {
+  // min x + 2y s.t. x + y >= 3, y >= 1 -> (2, 1), obj 4.
+  Model m;
+  const int x = m.add_var("x", 0, kInf, 1.0);
+  const int y = m.add_var("y", 0, kInf, 2.0);
+  m.add_constraint({{x, 1}, {y, 1}}, Relation::kGe, 3);
+  m.add_constraint({{y, 1}}, Relation::kGe, 1);
+  const Solution s = SimplexSolver{}.solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 4.0, 1e-9);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(x)], 2.0, 1e-9);
+}
+
+TEST(Basic, EqualityConstraints) {
+  // min x + y s.t. x + 2y = 4, x - y = 1 -> x = 2, y = 1.
+  Model m;
+  const int x = m.add_var("x", -kInf, kInf, 1.0);
+  const int y = m.add_var("y", -kInf, kInf, 1.0);
+  m.add_constraint({{x, 1}, {y, 2}}, Relation::kEq, 4);
+  m.add_constraint({{x, 1}, {y, -1}}, Relation::kEq, 1);
+  const Solution s = SimplexSolver{}.solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(x)], 2.0, 1e-9);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(y)], 1.0, 1e-9);
+  EXPECT_NEAR(s.objective, 3.0, 1e-9);
+}
+
+TEST(Basic, FreeVariables) {
+  // min y s.t. y >= x - 2, y >= -x, x free -> x = 1, y = -1.
+  Model m;
+  const int x = m.add_var("x", -kInf, kInf, 0.0);
+  const int y = m.add_var("y", -kInf, kInf, 1.0);
+  m.add_constraint({{y, 1}, {x, -1}}, Relation::kGe, -2);
+  m.add_constraint({{y, 1}, {x, 1}}, Relation::kGe, 0);
+  const Solution s = SimplexSolver{}.solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -1.0, 1e-9);
+}
+
+TEST(Statuses, Infeasible) {
+  Model m;
+  const int x = m.add_var("x", 0, kInf, 1.0);
+  m.add_constraint({{x, 1}}, Relation::kLe, 1);
+  m.add_constraint({{x, 1}}, Relation::kGe, 2);
+  EXPECT_EQ(SimplexSolver{}.solve(m).status, SolveStatus::kInfeasible);
+}
+
+TEST(Statuses, Unbounded) {
+  Model m;
+  m.set_sense(Sense::kMaximize);
+  const int x = m.add_var("x", 0, kInf, 1.0);
+  m.add_constraint({{x, -1}}, Relation::kLe, 0);
+  EXPECT_EQ(SimplexSolver{}.solve(m).status, SolveStatus::kUnbounded);
+}
+
+TEST(Statuses, EmptyFeasibleAtBounds) {
+  // No constraints: optimum at variable bounds.
+  Model m;
+  m.set_sense(Sense::kMaximize);
+  (void)m.add_var("x", 1.0, 5.0, 2.0);
+  const Solution s = SimplexSolver{}.solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 10.0, 1e-9);
+}
+
+TEST(BoundedVariables, BoundFlips) {
+  // max x + y with 0 <= x <= 1, 0 <= y <= 2, x + y <= 2.5.
+  Model m;
+  m.set_sense(Sense::kMaximize);
+  const int x = m.add_var("x", 0, 1, 1.0);
+  const int y = m.add_var("y", 0, 2, 1.0);
+  m.add_constraint({{x, 1}, {y, 1}}, Relation::kLe, 2.5);
+  const Solution s = SimplexSolver{}.solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 2.5, 1e-9);
+}
+
+TEST(Degeneracy, RedundantConstraintsStillSolve) {
+  Model m;
+  const int x = m.add_var("x", 0, kInf, 1.0);
+  for (int i = 0; i < 20; ++i) {
+    m.add_constraint({{x, 1}}, Relation::kGe, 5.0);  // same constraint 20x
+  }
+  const Solution s = SimplexSolver{}.solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 5.0, 1e-9);
+}
+
+TEST(Sensitivity, ReducedCostOfLowerBoundedVariable) {
+  // min t s.t. t >= l + 10, l >= 5: t = 15; dT/dl = 1 at the bound.
+  Model m;
+  const int l = m.add_var("l", 5.0, kInf, 0.0);
+  const int t = m.add_var("t", -kInf, kInf, 1.0);
+  m.add_constraint({{t, 1}, {l, -1}}, Relation::kGe, 10.0);
+  const Solution s = SimplexSolver{}.solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 15.0, 1e-9);
+  EXPECT_NEAR(s.reduced_cost[static_cast<std::size_t>(l)], 1.0, 1e-9);
+  EXPECT_FALSE(s.basic[static_cast<std::size_t>(l)]);
+}
+
+TEST(Sensitivity, DualsOfTightRows) {
+  // min 2x + 3y s.t. x + y >= 4, x >= 1: optimum (4, 0)... x has the
+  // cheaper cost, so x = 4, y = 0; row 1 dual = 2, row 2 slack.
+  Model m;
+  const int x = m.add_var("x", 0, kInf, 2.0);
+  const int y = m.add_var("y", 0, kInf, 3.0);
+  const int r1 = m.add_constraint({{x, 1}, {y, 1}}, Relation::kGe, 4.0);
+  const int r2 = m.add_constraint({{x, 1}}, Relation::kGe, 1.0);
+  const Solution s = SimplexSolver{}.solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 8.0, 1e-9);
+  EXPECT_TRUE(s.tight(m, r1));
+  EXPECT_FALSE(s.tight(m, r2));
+  EXPECT_NEAR(s.dual[static_cast<std::size_t>(r1)], 2.0, 1e-9);
+  EXPECT_NEAR(s.dual[static_cast<std::size_t>(r2)], 0.0, 1e-9);
+}
+
+TEST(Ranging, NonbasicVariableFeasibilityInterval) {
+  // min t s.t. t >= l + 1, t >= 10, l >= 2.
+  // l nonbasic at 2; it can rise to 9 before the second constraint stops
+  // binding the optimum (basis change), and fall without limit... the
+  // movement interval is bounded below by l's own influence: the basis
+  // stays primal feasible for l in (-inf, 9].
+  Model m;
+  const int l = m.add_var("l", 2.0, kInf, 0.0);
+  const int t = m.add_var("t", -kInf, kInf, 1.0);
+  m.add_constraint({{t, 1}, {l, -1}}, Relation::kGe, 1.0);
+  m.add_constraint({{t, 1}}, Relation::kGe, 10.0);
+  const Solution s = SimplexSolver{}.solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 10.0, 1e-9);
+  EXPECT_NEAR(s.reduced_cost[static_cast<std::size_t>(l)], 0.0, 1e-9);
+  const auto range = SimplexSolver{}.bound_range(m, s, l);
+  EXPECT_NEAR(range.hi, 9.0, 1e-6);
+}
+
+TEST(Ranging, RequiresOptimalSolution) {
+  Model m;
+  const int x = m.add_var("x", 0, kInf, 1.0);
+  m.add_constraint({{x, 1}}, Relation::kLe, 1);
+  m.add_constraint({{x, 1}}, Relation::kGe, 2);
+  const Solution s = SimplexSolver{}.solve(m);
+  EXPECT_THROW((void)SimplexSolver{}.bound_range(m, s, x), LpError);
+}
+
+TEST(IterationLimit, Reported) {
+  SimplexSolver::Config cfg;
+  cfg.max_iterations = 0;
+  Model m;
+  const int x = m.add_var("x", 0, kInf, 1.0);
+  m.add_constraint({{x, 1}}, Relation::kGe, 5.0);
+  EXPECT_EQ(SimplexSolver{cfg}.solve(m).status,
+            SolveStatus::kIterationLimit);
+}
+
+TEST(Orientation, MaxReportsPositiveDualConvention) {
+  // max l s.t. l <= 7: reduced cost in max orientation should be the rate
+  // of objective change per unit of bound increase.
+  Model m;
+  m.set_sense(Sense::kMaximize);
+  const int l = m.add_var("l", 0.0, 7.0, 1.0);
+  const Solution s = SimplexSolver{}.solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 7.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace llamp::lp

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "util/time.hpp"
+
+namespace llamp {
+namespace {
+
+TEST(Stats, MeanAndVariance) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(variance(xs), 1.25);
+  EXPECT_DOUBLE_EQ(stddev(xs), std::sqrt(1.25));
+  EXPECT_DOUBLE_EQ(min_of(xs), 1.0);
+  EXPECT_DOUBLE_EQ(max_of(xs), 4.0);
+}
+
+TEST(Stats, EmptyInputs) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(variance({}), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+}
+
+TEST(Stats, Rmse) {
+  const std::vector<double> m{10, 20, 30};
+  const std::vector<double> p{11, 19, 31};
+  EXPECT_NEAR(rmse(m, p), 1.0, 1e-12);
+  EXPECT_NEAR(rrmse_percent(m, p), 100.0 * 1.0 / 20.0, 1e-12);
+}
+
+TEST(Stats, RmseErrors) {
+  const std::vector<double> a{1.0};
+  const std::vector<double> b{1.0, 2.0};
+  EXPECT_THROW((void)rmse(a, b), Error);
+  const std::vector<double> zeros{0.0, 0.0};
+  EXPECT_THROW((void)rrmse_percent(zeros, zeros), Error);
+}
+
+TEST(Stats, Percentile) {
+  const std::vector<double> xs{4, 1, 3, 2};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 2.5);
+}
+
+TEST(Stats, RunningStatsMatchesBatch) {
+  RunningStats rs;
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (double x : xs) rs.add(x);
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-12);
+  EXPECT_NEAR(rs.variance(), variance(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto out = split("a::b:", ':');
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0], "a");
+  EXPECT_EQ(out[1], "");
+  EXPECT_EQ(out[2], "b");
+  EXPECT_EQ(out[3], "");
+}
+
+TEST(Strings, SplitWsDropsEmpty) {
+  const auto out = split_ws("  a \t b\nc  ");
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[2], "c");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x \t"), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, ParseValidation) {
+  EXPECT_EQ(parse_ll(" 42 "), 42);
+  EXPECT_DOUBLE_EQ(parse_double("2.5e3"), 2500.0);
+  EXPECT_THROW((void)parse_ll("4x"), Error);
+  EXPECT_THROW((void)parse_ll(""), Error);
+  EXPECT_THROW((void)parse_double("abc"), Error);
+}
+
+TEST(Strings, HumanFormats) {
+  EXPECT_EQ(human_count(48'300'000.0), "48.3 M");
+  EXPECT_EQ(human_time_ns(3'000.0), "3.000 us");
+  EXPECT_EQ(human_time_ns(1.5e9), "1.500 s");
+}
+
+TEST(TimeUnits, Conversions) {
+  EXPECT_DOUBLE_EQ(us(3.0), 3000.0);
+  EXPECT_DOUBLE_EQ(ms(1.0), 1e6);
+  EXPECT_DOUBLE_EQ(sec(2.0), 2e9);
+  EXPECT_DOUBLE_EQ(to_us(1500.0), 1.5);
+}
+
+TEST(Table, AlignedRender) {
+  Table t({"app", "T"});
+  t.add_row({"milc", "8.1"});
+  t.add_row({"lulesh2", "5"});
+  const auto s = t.to_string();
+  EXPECT_NE(s.find("app"), std::string::npos);
+  EXPECT_NE(s.find("lulesh2"), std::string::npos);
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Table, Csv) {
+  Table t({"a", "b"});
+  t.add_row({"x,y", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n\"x,y\",2\n");
+}
+
+TEST(Cli, ParsesFlagsAndValues) {
+  const char* argv[] = {"prog", "--runs=5", "--verbose", "positional",
+                        "--ratio=2.5"};
+  Cli cli(5, argv);
+  EXPECT_EQ(cli.get_int("runs", 0), 5);
+  EXPECT_TRUE(cli.get_bool("verbose", false));
+  EXPECT_DOUBLE_EQ(cli.get_double("ratio", 0.0), 2.5);
+  EXPECT_EQ(cli.get("missing", "dflt"), "dflt");
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "positional");
+}
+
+TEST(RngDeterminism, SameSeedSameStream) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngDeterminism, DifferentSeedsDiffer) {
+  Rng a(7), b(8);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngDistribution, UniformMoments) {
+  Rng rng(123);
+  RunningStats rs;
+  for (int i = 0; i < 20'000; ++i) rs.add(rng.uniform());
+  EXPECT_NEAR(rs.mean(), 0.5, 0.01);
+  EXPECT_NEAR(rs.stddev(), std::sqrt(1.0 / 12.0), 0.01);
+}
+
+TEST(RngDistribution, NormalMoments) {
+  Rng rng(321);
+  RunningStats rs;
+  for (int i = 0; i < 20'000; ++i) rs.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(rs.mean(), 10.0, 0.1);
+  EXPECT_NEAR(rs.stddev(), 2.0, 0.1);
+}
+
+TEST(RngDistribution, UniformIntBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+  }
+}
+
+}  // namespace
+}  // namespace llamp
