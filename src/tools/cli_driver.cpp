@@ -1,0 +1,383 @@
+#include "tools/cli_driver.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "apps/registry.hpp"
+#include "core/analyzer.hpp"
+#include "core/placement.hpp"
+#include "core/report.hpp"
+#include "lp/parametric.hpp"
+#include "schedgen/schedgen.hpp"
+#include "topo/spaces.hpp"
+#include "topo/topology.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace llamp::tools {
+namespace {
+
+constexpr const char* kUsage = R"(llamp — LP-based MPI latency-tolerance analysis (conf_sc_ShenHCSDGWH24)
+
+usage: llamp <subcommand> [options]
+
+subcommands:
+  analyze   full tolerance report: runtime forecast curve, lambda_L / rho_L,
+            tolerance bands, critical latencies, lambda_G
+  sweep     evaluate runtime / lambda_L / rho_L over a grid of latency
+            injections ΔL (LP solves run in parallel)
+  topo      per-wire latency sensitivity on Fat Tree vs Dragonfly, plus the
+            Dragonfly per-wire-class tolerance breakdown
+  place     compare block, volume-greedy, and LLAMP Algorithm-3 rank
+            placements on a Fat Tree
+  apps      list the registered proxy applications
+
+common options:
+  --app=NAME        proxy application (default lulesh; see `llamp apps`)
+  --ranks=N         requested rank count, clamped to the nearest supported
+                    value at or below N (default 8)
+  --scale=S         iteration-count multiplier for the proxy (default 0.25)
+  --net=cscs|daint  network preset: CSCS testbed or Piz Daint (default cscs)
+  --L=NS --o=NS --G=NS_PER_BYTE --S=BYTES
+                    override individual LogGPS parameters (ns / bytes);
+                    by default o comes from the paper's Table II per-app fit
+
+analyze/sweep options:
+  --dl-max-us=X     sweep ceiling ΔL_max in microseconds (default 100)
+  --points=N        grid points in [0, ΔL_max] (default 11)
+  --threads=N       sweep parallelism, <= 0 = hardware concurrency (default 0)
+  --csv             (sweep) emit CSV instead of an aligned table
+
+topo/place options:
+  --l-wire=NS --d-switch=NS   per-wire / per-switch latency (default 274/108)
+  --ft-radix=K                Fat Tree switch radix (default 8 -> 128 nodes)
+  --df-groups=G --df-routers=A --df-hosts=P
+                              Dragonfly shape (default 8x4x8 -> 256 nodes)
+  --max-rounds=N              (place) Algorithm-3 round cap (default 64)
+)";
+
+/// Options shared by every analysis subcommand: which proxy app, at what
+/// scale, under which LogGPS configuration.
+struct AppConfig {
+  std::string app;
+  int ranks = 0;
+  double scale = 0.0;
+  loggops::Params params;
+};
+
+AppConfig parse_app_config(const Cli& cli) {
+  AppConfig cfg;
+  cfg.app = cli.get("app", "lulesh");
+  cfg.ranks = apps::supported_ranks(
+      cfg.app, static_cast<int>(cli.get_int("ranks", 8)));
+  cfg.scale = cli.get_double("scale", 0.25);
+
+  const std::string net = cli.get("net", "cscs");
+  if (net == "cscs") {
+    cfg.params = loggops::NetworkConfig::cscs_testbed();
+  } else if (net == "daint") {
+    cfg.params = loggops::NetworkConfig::piz_daint();
+  } else {
+    throw Error("unknown --net preset '" + net + "' (want cscs or daint)");
+  }
+
+  // Per-application overhead from Table II where the paper measured one,
+  // keyed the way the validation benches key it (node count approximated by
+  // rank count); apps outside Table II (npb-*, namd) keep the preset's o.
+  const int node_key = cfg.ranks <= 8 ? 8 : (cfg.ranks <= 32 ? 32 : 64);
+  const int lulesh_key = cfg.ranks <= 8 ? 8 : (cfg.ranks <= 27 ? 27 : 64);
+  try {
+    cfg.params.o = loggops::NetworkConfig::table2_overhead(
+        cfg.app, cfg.app == "lulesh" ? lulesh_key : node_key);
+  } catch (const Error&) {
+    // Not a Table II application; the preset default stands.
+  }
+  cfg.params.L = cli.get_double("L", cfg.params.L);
+  cfg.params.o = cli.get_double("o", cfg.params.o);
+  cfg.params.G = cli.get_double("G", cfg.params.G);
+  cfg.params.S = static_cast<std::uint64_t>(
+      cli.get_int("S", static_cast<long long>(cfg.params.S)));
+  cfg.params.validate();
+  return cfg;
+}
+
+graph::Graph build_graph(const AppConfig& cfg) {
+  return schedgen::build_graph(
+      apps::make_app_trace(cfg.app, cfg.ranks, cfg.scale));
+}
+
+std::vector<TimeNs> sweep_grid(const Cli& cli) {
+  const double dl_max = us(cli.get_double("dl-max-us", 100.0));
+  const auto points = static_cast<int>(cli.get_int("points", 11));
+  if (points < 2) throw Error("need --points >= 2");
+  std::vector<TimeNs> grid;
+  grid.reserve(static_cast<std::size_t>(points));
+  for (int i = 0; i < points; ++i) {
+    grid.push_back(dl_max * i / (points - 1));
+  }
+  return grid;
+}
+
+int cmd_analyze(const Cli& cli, std::ostream& out) {
+  const AppConfig cfg = parse_app_config(cli);
+  const auto g = build_graph(cfg);
+  out << strformat("app: %s   ranks: %d   scale: %g\n", cfg.app.c_str(),
+                   cfg.ranks, cfg.scale);
+  out << "graph: " << g.stats_string() << '\n';
+  core::ReportOptions opts;
+  opts.sweep_max = us(cli.get_double("dl-max-us", 100.0));
+  opts.sweep_points = static_cast<int>(cli.get_int("points", 11));
+  opts.threads = static_cast<int>(cli.get_int("threads", 0));
+  out << core::make_report(g, cfg.params, opts).to_string();
+  return 0;
+}
+
+int cmd_sweep(const Cli& cli, std::ostream& out) {
+  const AppConfig cfg = parse_app_config(cli);
+  const auto g = build_graph(cfg);
+  core::LatencyAnalyzer an(g, cfg.params);
+  const auto points =
+      an.sweep(sweep_grid(cli), static_cast<int>(cli.get_int("threads", 0)));
+
+  const bool csv = cli.get_bool("csv", false);
+  if (!csv) {
+    out << strformat("app: %s   ranks: %d   scale: %g   base T: %s\n",
+                     cfg.app.c_str(), cfg.ranks, cfg.scale,
+                     human_time_ns(an.base_runtime()).c_str());
+  }
+  Table table(csv ? std::vector<std::string>{"delta_l_ns", "runtime_ns",
+                                             "lambda_l", "rho_l"}
+                  : std::vector<std::string>{"ΔL", "T(ΔL)", "slowdown",
+                                             "lambda_L", "rho_L"});
+  for (const auto& pt : points) {
+    if (csv) {
+      table.add_row({strformat("%.1f", pt.delta_L),
+                     strformat("%.1f", pt.runtime),
+                     strformat("%.6g", pt.lambda_L),
+                     strformat("%.6g", pt.rho_L)});
+    } else {
+      table.add_row(
+          {human_time_ns(pt.delta_L), human_time_ns(pt.runtime),
+           strformat("%+.2f%%",
+                     100.0 * (pt.runtime / an.base_runtime() - 1.0)),
+           strformat("%.0f", pt.lambda_L),
+           strformat("%.1f%%", 100.0 * pt.rho_L)});
+    }
+  }
+  out << (csv ? table.to_csv() : table.to_string());
+  return 0;
+}
+
+int cmd_topo(const Cli& cli, std::ostream& out) {
+  const AppConfig cfg = parse_app_config(cli);
+  const auto g = build_graph(cfg);
+  const double l_wire = cli.get_double("l-wire", 274.0);
+  const double d_switch = cli.get_double("d-switch", 108.0);
+
+  const topo::FatTree fat_tree(static_cast<int>(cli.get_int("ft-radix", 8)));
+  const topo::Dragonfly dragonfly(
+      static_cast<int>(cli.get_int("df-groups", 8)),
+      static_cast<int>(cli.get_int("df-routers", 4)),
+      static_cast<int>(cli.get_int("df-hosts", 8)));
+  const std::array<const topo::Topology*, 2> topologies{&fat_tree,
+                                                        &dragonfly};
+  for (const topo::Topology* t : topologies) {
+    if (t->nnodes() < cfg.ranks) {
+      throw Error(t->name() + " has only " + std::to_string(t->nnodes()) +
+                  " nodes for " + std::to_string(cfg.ranks) + " ranks");
+    }
+  }
+  const auto placement = topo::identity_placement(cfg.ranks);
+
+  out << strformat("app: %s   ranks: %d   per-wire latency sensitivity\n\n",
+                   cfg.app.c_str(), cfg.ranks);
+  Table table({"topology", "T(l_wire)", "dT/dl_wire", "1% tolerance l_wire"});
+  for (const topo::Topology* t : topologies) {
+    auto space = std::make_shared<lp::LinkClassParamSpace>(
+        topo::make_wire_latency_space(cfg.params, *t, placement, l_wire,
+                                      d_switch));
+    lp::ParametricSolver solver(g, space);
+    const auto sol = solver.solve(0, l_wire);
+    const double tol = solver.max_param_for_budget(0, sol.value * 1.01);
+    table.add_row({t->name(), human_time_ns(sol.value),
+                   strformat("%.0f", sol.gradient[0]),
+                   std::isfinite(tol) ? human_time_ns(tol) : "unbounded"});
+  }
+  out << table.to_string();
+
+  // Dragonfly per-class breakdown (Fig. 19): tolerance of each wire class
+  // with the other two held at their base values.
+  auto df_space = std::make_shared<lp::LinkClassParamSpace>(
+      topo::make_dragonfly_class_space(cfg.params, dragonfly, placement,
+                                       l_wire, l_wire, l_wire, d_switch));
+  lp::ParametricSolver df_solver(g, df_space);
+  const auto base_sol = df_solver.solve(0, l_wire);
+  const double T0 = base_sol.value;
+  out << strformat("\nDragonfly wire classes (budget = 1%% over T = %s):\n",
+                   human_time_ns(T0).c_str());
+  Table classes({"class", "lambda", "1% tolerance"});
+  for (int k = 0; k < df_space->num_params(); ++k) {
+    const auto sol = k == 0 ? base_sol : df_solver.solve(k, l_wire);
+    const double tol = df_solver.max_param_for_budget(k, T0 * 1.01);
+    classes.add_row(
+        {df_space->param_name(k),
+         strformat("%.0f", sol.gradient[static_cast<std::size_t>(k)]),
+         std::isfinite(tol) ? human_time_ns(tol) : "unbounded"});
+  }
+  out << classes.to_string();
+  return 0;
+}
+
+int cmd_place(const Cli& cli, std::ostream& out) {
+  const AppConfig cfg = parse_app_config(cli);
+  const auto g = build_graph(cfg);
+  const topo::FatTree ft(static_cast<int>(cli.get_int("ft-radix", 8)));
+  if (ft.nnodes() < cfg.ranks) {
+    throw Error(ft.name() + " has only " + std::to_string(ft.nnodes()) +
+                " nodes for " + std::to_string(cfg.ranks) + " ranks");
+  }
+  core::WireCost wire;
+  wire.l_wire = cli.get_double("l-wire", wire.l_wire);
+  wire.d_switch = cli.get_double("d-switch", wire.d_switch);
+  const auto max_rounds = static_cast<int>(cli.get_int("max-rounds", 64));
+
+  const auto block = core::block_placement(g, cfg.params, ft, wire);
+  const auto volume = core::volume_greedy_placement(g, cfg.params, ft, wire);
+  const auto opt =
+      core::optimize_placement(g, cfg.params, ft, wire, {}, max_rounds);
+
+  out << strformat("app: %s   ranks: %d on %s\n\n", cfg.app.c_str(),
+                   cfg.ranks, ft.name().c_str());
+  Table table({"strategy", "predicted runtime", "vs block"});
+  const auto pct = [&](double t) {
+    return strformat("%+.2f%%", 100.0 * (t - block.predicted_runtime) /
+                                    block.predicted_runtime);
+  };
+  table.add_row({"block (default)", human_time_ns(block.predicted_runtime),
+                 "+0.00%"});
+  table.add_row({"volume-greedy", human_time_ns(volume.predicted_runtime),
+                 pct(volume.predicted_runtime)});
+  table.add_row({strformat("llamp algorithm 3 (%d swaps)", opt.swaps),
+                 human_time_ns(opt.predicted_runtime),
+                 pct(opt.predicted_runtime)});
+  out << table.to_string();
+  return 0;
+}
+
+int cmd_apps(std::ostream& out) {
+  for (const auto& name : apps::app_names()) out << name << '\n';
+  return 0;
+}
+
+/// Boolean flags: these never take a following value, so a token after them
+/// must not be folded — it is a stray positional the validation below should
+/// reject, not the flag's value.
+constexpr std::string_view kBoolKeys[] = {"csv"};
+
+/// The subcommands take no positional arguments, so both `--key=value` and
+/// `--key value` are accepted: a bare non-boolean `--key` followed by a
+/// non-flag token is folded into the `=` form the shared Cli parser
+/// understands.
+std::vector<std::string> normalize_args(int argc, const char* const* argv) {
+  std::vector<std::string> args;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (starts_with(arg, "--") && arg.find('=') == std::string::npos &&
+        i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+      const std::string_view key = std::string_view(arg).substr(2);
+      if (std::find(std::begin(kBoolKeys), std::end(kBoolKeys), key) ==
+          std::end(kBoolKeys)) {
+        arg += '=';
+        arg += argv[++i];
+      }
+    }
+    args.push_back(std::move(arg));
+  }
+  return args;
+}
+
+constexpr std::string_view kCommonKeys[] = {"app", "ranks", "scale", "net",
+                                            "L",   "o",     "G",     "S"};
+constexpr std::string_view kGridKeys[] = {"dl-max-us", "points", "threads"};
+constexpr std::string_view kTopoKeys[] = {"l-wire",    "d-switch",
+                                          "ft-radix",  "df-groups",
+                                          "df-routers", "df-hosts"};
+constexpr std::string_view kPlaceKeys[] = {"l-wire", "d-switch", "ft-radix",
+                                           "max-rounds"};
+
+/// Reject misspelled options and stray positionals: a typo'd flag must be a
+/// usage error, not a silent fall-back to the default value.  Returns an
+/// empty string when every token is a known `--key[=value]`.
+std::string first_bad_arg(const std::string& sub,
+                          const std::vector<std::string>& args) {
+  std::vector<std::string_view> known(std::begin(kCommonKeys),
+                                      std::end(kCommonKeys));
+  const auto add = [&](auto& keys) {
+    known.insert(known.end(), std::begin(keys), std::end(keys));
+  };
+  if (sub == "analyze" || sub == "sweep") add(kGridKeys);
+  if (sub == "sweep") known.push_back("csv");
+  if (sub == "topo") add(kTopoKeys);
+  if (sub == "place") add(kPlaceKeys);
+  if (sub == "apps") known.clear();
+
+  for (const std::string& arg : args) {
+    if (!starts_with(arg, "--")) return arg;  // stray positional
+    const auto eq = arg.find('=');
+    const std::string_view key =
+        std::string_view(arg).substr(2, eq == std::string::npos ? arg.npos
+                                                                : eq - 2);
+    if (std::find(known.begin(), known.end(), key) == known.end()) return arg;
+  }
+  return {};
+}
+
+}  // namespace
+
+int run(int argc, const char* const* argv, std::ostream& out,
+        std::ostream& err) {
+  if (argc < 2) {
+    err << kUsage;
+    return 2;
+  }
+  const std::string sub = argv[1];
+  if (sub == "help" || sub == "--help" || sub == "-h") {
+    out << kUsage;
+    return 0;
+  }
+  if (sub != "analyze" && sub != "sweep" && sub != "topo" && sub != "place" &&
+      sub != "apps") {
+    err << "llamp: unknown subcommand '" << sub << "'\n\n" << kUsage;
+    return 2;
+  }
+  const std::vector<std::string> args = normalize_args(argc, argv);
+  if (const std::string bad = first_bad_arg(sub, args); !bad.empty()) {
+    err << "llamp " << sub << ": unrecognized argument '" << bad
+        << "' (see `llamp help`)\n";
+    return 2;
+  }
+  std::vector<const char*> cargs;
+  cargs.push_back("llamp");
+  for (const auto& a : args) cargs.push_back(a.c_str());
+  const Cli cli(static_cast<int>(cargs.size()), cargs.data());
+  try {
+    if (sub == "analyze") return cmd_analyze(cli, out);
+    if (sub == "sweep") return cmd_sweep(cli, out);
+    if (sub == "topo") return cmd_topo(cli, out);
+    if (sub == "place") return cmd_place(cli, out);
+    return cmd_apps(out);
+  } catch (const Error& e) {
+    err << "llamp " << sub << ": " << e.what() << '\n';
+    return 1;
+  }
+}
+
+}  // namespace llamp::tools

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <iosfwd>
+
+namespace llamp::tools {
+
+/// Entry point of the unified `llamp` command-line driver.  Dispatches
+/// `argv[1]` as a subcommand:
+///
+///   analyze  tolerance / λ_L / ρ_L report for one proxy application
+///   sweep    multi-threaded ΔL sweep (runtime, λ_L, ρ_L per injection)
+///   topo     per-wire latency sensitivity under Fat Tree vs Dragonfly
+///   place    block vs volume-greedy vs LLAMP Algorithm-3 rank placement
+///   apps     list the registered proxy applications
+///
+/// Output goes to `out`, usage/errors to `err`, so tests can drive every
+/// subcommand in-process.  Returns 0 on success, 1 on an analysis error
+/// (llamp::Error), 2 on a usage error.
+int run(int argc, const char* const* argv, std::ostream& out,
+        std::ostream& err);
+
+}  // namespace llamp::tools

@@ -1,0 +1,10 @@
+// The unified `llamp` CLI: every scenario the benches exercise, reachable
+// from one entry point.  See `llamp help` or tools/cli_driver.hpp.
+
+#include <iostream>
+
+#include "tools/cli_driver.hpp"
+
+int main(int argc, char** argv) {
+  return llamp::tools::run(argc, argv, std::cout, std::cerr);
+}

@@ -44,10 +44,28 @@ class Rng {
   /// Uniform double in [lo, hi).
   double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
 
-  /// Uniform integer in [lo, hi] (inclusive).
+  /// Uniform integer in [lo, hi] (inclusive).  Bitmask rejection sampling:
+  /// draw ceil(log2(span)) bits and retry until the value lands in range,
+  /// so every value is exactly equally likely (`next_u64() % span` would
+  /// bias toward small values whenever span does not divide 2^64).  Still
+  /// fully deterministic per seed; expected < 2 draws per call.
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
-    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
-    return lo + static_cast<std::int64_t>(next_u64() % span);
+    // All arithmetic in uint64: `hi - lo` and `lo + v` could overflow the
+    // signed type for spans beyond 2^63 (wrapping unsigned math gives the
+    // right answer in two's complement either way).
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+    if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+    std::uint64_t mask = span - 1;
+    mask |= mask >> 1;
+    mask |= mask >> 2;
+    mask |= mask >> 4;
+    mask |= mask >> 8;
+    mask |= mask >> 16;
+    mask |= mask >> 32;
+    std::uint64_t v = next_u64() & mask;
+    while (v >= span) v = next_u64() & mask;
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + v);
   }
 
   /// Standard normal via Box-Muller (one value per call; the pair's second

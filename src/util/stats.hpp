@@ -9,9 +9,17 @@ namespace llamp {
 /// Summary statistics and error metrics used throughout the validation
 /// benches (RRMSE is the accuracy metric the paper reports in Fig. 9 and
 /// Table II).
+///
+/// Variance convention: **population** variance (divide by N, not N-1),
+/// here and in RunningStats below.  The benches summarize the dispersion of
+/// a complete, deterministic set of emulator runs — not a sample drawn from
+/// a larger population — so the uncorrected estimator is the intended
+/// quantity, and both code paths must agree so streaming and batch
+/// summaries of the same data are interchangeable.  Inputs with fewer than
+/// two elements return 0.  Pinned by the Stats.*Convention tests.
 double mean(std::span<const double> xs);
-double variance(std::span<const double> xs);  // population variance
-double stddev(std::span<const double> xs);
+double variance(std::span<const double> xs);  // population: sum((x-m)^2) / N
+double stddev(std::span<const double> xs);    // sqrt of population variance
 double min_of(std::span<const double> xs);
 double max_of(std::span<const double> xs);
 
@@ -23,17 +31,21 @@ double rmse(std::span<const double> measured, std::span<const double> predicted)
 double rrmse_percent(std::span<const double> measured,
                      std::span<const double> predicted);
 
-/// p-th percentile (0..100) with linear interpolation; copies + sorts.
+/// p-th percentile (0..100) with linear interpolation between order
+/// statistics (the "exclusive of the correction" R-7 scheme used by numpy's
+/// default): index = p/100 * (N-1), endpoints clamp to min (p <= 0) and max
+/// (p >= 100).  Copies + sorts.
 double percentile(std::span<const double> xs, double p);
 
 /// Incremental mean/variance accumulator (Welford) for streaming use in the
-/// benches.
+/// benches.  Same population-variance convention (divide by N) as the free
+/// variance() above.
 class RunningStats {
  public:
   void add(double x);
   std::size_t count() const { return n_; }
   double mean() const { return mean_; }
-  double variance() const;
+  double variance() const;  ///< population: M2 / N
   double stddev() const;
   double min() const { return min_; }
   double max() const { return max_; }

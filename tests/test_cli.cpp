@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/cli_driver.hpp"
+
+namespace llamp {
+namespace {
+
+/// Drive the unified CLI in-process and capture its streams.
+struct CliResult {
+  int code = -1;
+  std::string out;
+  std::string err;
+};
+
+CliResult run_cli(std::vector<const char*> args) {
+  args.insert(args.begin(), "llamp");
+  std::ostringstream out, err;
+  CliResult r;
+  r.code = tools::run(static_cast<int>(args.size()), args.data(), out, err);
+  r.out = out.str();
+  r.err = err.str();
+  return r;
+}
+
+bool contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+TEST(CliSmoke, AnalyzeSmallApp) {
+  const auto r =
+      run_cli({"analyze", "--app=lulesh", "--ranks=8", "--scale=0.05",
+               "--points=3", "--dl-max-us=50"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_TRUE(contains(r.out, "app: lulesh"));
+  EXPECT_TRUE(contains(r.out, "base runtime T(L):"));
+  EXPECT_TRUE(contains(r.out, "lambda_L"));
+  EXPECT_TRUE(contains(r.out, "latency tolerance"));
+}
+
+TEST(CliSmoke, SweepEmitsCsvRows) {
+  const auto r = run_cli({"sweep", "--app=hpcg", "--ranks=8", "--scale=0.05",
+                          "--points=4", "--dl-max-us=30", "--csv"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_TRUE(contains(r.out, "delta_l_ns,runtime_ns,lambda_l,rho_l"));
+  // Header + the 4 grid points.
+  EXPECT_EQ(std::count(r.out.begin(), r.out.end(), '\n'), 5);
+}
+
+TEST(CliSmoke, SweepAcceptsSpaceSeparatedFlags) {
+  const auto r = run_cli({"sweep", "--app", "lulesh", "--ranks", "8",
+                          "--scale", "0.05", "--points", "3"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_TRUE(contains(r.out, "app: lulesh   ranks: 8"));
+  EXPECT_TRUE(contains(r.out, "lambda_L"));
+}
+
+TEST(CliSmoke, TopoComparesTopologies) {
+  const auto r =
+      run_cli({"topo", "--app=icon", "--ranks=8", "--scale=0.05"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_TRUE(contains(r.out, "fat-tree"));
+  EXPECT_TRUE(contains(r.out, "dragonfly"));
+  EXPECT_TRUE(contains(r.out, "dT/dl_wire"));
+  EXPECT_TRUE(contains(r.out, "l_tc"));  // per-class breakdown
+}
+
+TEST(CliSmoke, PlaceComparesStrategies) {
+  const auto r =
+      run_cli({"place", "--app=icon", "--ranks=8", "--scale=0.05"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_TRUE(contains(r.out, "block (default)"));
+  EXPECT_TRUE(contains(r.out, "volume-greedy"));
+  EXPECT_TRUE(contains(r.out, "algorithm 3"));
+  EXPECT_TRUE(contains(r.out, "predicted runtime"));
+}
+
+// Applications outside the paper's Table II (npb-*, namd) must still be
+// analyzable: they fall back to the network preset's default overhead.
+TEST(CliSmoke, AnalyzeAppWithoutTable2Overhead) {
+  const auto r = run_cli({"analyze", "--app=npb-cg", "--ranks=8",
+                          "--scale=0.05", "--points=3"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_TRUE(contains(r.out, "base runtime T(L):"));
+}
+
+TEST(CliSmoke, AppsListsRegistry) {
+  const auto r = run_cli({"apps"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_TRUE(contains(r.out, "lulesh"));
+  EXPECT_TRUE(contains(r.out, "icon"));
+  EXPECT_TRUE(contains(r.out, "npb-cg"));
+}
+
+TEST(CliSmoke, HelpAndUsageErrors) {
+  const auto help = run_cli({"help"});
+  EXPECT_EQ(help.code, 0);
+  EXPECT_TRUE(contains(help.out, "usage: llamp"));
+
+  const auto none = run_cli({});
+  EXPECT_EQ(none.code, 2);
+  EXPECT_TRUE(contains(none.err, "usage: llamp"));
+
+  const auto unknown = run_cli({"frobnicate"});
+  EXPECT_EQ(unknown.code, 2);
+  EXPECT_TRUE(contains(unknown.err, "unknown subcommand"));
+}
+
+// A typo'd option or stray positional must be a usage error (exit 2), not a
+// silent fall-back to the default value.
+TEST(CliSmoke, RejectsUnknownOptionsAndPositionals) {
+  const auto typo = run_cli({"sweep", "--app=lulesh", "--pionts=5"});
+  EXPECT_EQ(typo.code, 2);
+  EXPECT_TRUE(contains(typo.err, "unrecognized argument '--pionts=5'"));
+
+  const auto wrong_sub = run_cli({"place", "--app=icon", "--csv"});
+  EXPECT_EQ(wrong_sub.code, 2);  // --csv is a sweep option, not place
+
+  const auto stray = run_cli({"apps", "lulesh"});
+  EXPECT_EQ(stray.code, 2);
+  EXPECT_TRUE(contains(stray.err, "unrecognized argument 'lulesh'"));
+
+  // A boolean flag must not swallow a following stray token as its value.
+  const auto after_bool = run_cli({"sweep", "--app=lulesh", "--ranks=8",
+                                   "--scale=0.05", "--points=2", "--csv",
+                                   "extra"});
+  EXPECT_EQ(after_bool.code, 2);
+  EXPECT_TRUE(contains(after_bool.err, "unrecognized argument 'extra'"));
+}
+
+TEST(CliSmoke, AnalysisErrorsReportAndFail) {
+  const auto bad_app = run_cli({"analyze", "--app=not-an-app", "--ranks=8"});
+  EXPECT_EQ(bad_app.code, 1);
+  EXPECT_TRUE(contains(bad_app.err, "llamp analyze:"));
+
+  const auto bad_net = run_cli({"sweep", "--app=lulesh", "--net=slurm"});
+  EXPECT_EQ(bad_net.code, 1);
+  EXPECT_TRUE(contains(bad_net.err, "--net"));
+}
+
+}  // namespace
+}  // namespace llamp

@@ -50,6 +50,38 @@ TEST(Stats, Percentile) {
   EXPECT_DOUBLE_EQ(percentile(xs, 50), 2.5);
 }
 
+// Pins the documented population-variance convention (divide by N): the
+// sample estimator would give 5/3 for this input, not 1.25.
+TEST(Stats, PopulationVarianceConvention) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(variance(xs), 1.25);
+  EXPECT_NE(variance(xs), 5.0 / 3.0);
+  // Degenerate inputs: fewer than two elements have zero dispersion.
+  EXPECT_DOUBLE_EQ(variance(std::vector<double>{7.0}), 0.0);
+
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  EXPECT_DOUBLE_EQ(rs.variance(), 1.25);
+  RunningStats one;
+  one.add(7.0);
+  EXPECT_DOUBLE_EQ(one.variance(), 0.0);
+}
+
+// Pins the R-7 interpolation scheme: index = p/100 * (N-1), endpoint clamp.
+TEST(Stats, PercentileInterpolationEndpoints) {
+  const std::vector<double> xs{10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(percentile(xs, -5), 10.0);    // clamps below 0
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 20.0);    // lands on an element
+  EXPECT_DOUBLE_EQ(percentile(xs, 37.5), 25.0);  // interpolates halfway
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 120), 50.0);   // clamps above 100
+  const std::vector<double> single{3.5};
+  EXPECT_DOUBLE_EQ(percentile(single, 0), 3.5);
+  EXPECT_DOUBLE_EQ(percentile(single, 50), 3.5);
+  EXPECT_DOUBLE_EQ(percentile(single, 100), 3.5);
+}
+
 TEST(Stats, RunningStatsMatchesBatch) {
   RunningStats rs;
   const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
@@ -166,6 +198,37 @@ TEST(RngDistribution, UniformIntBounds) {
     EXPECT_GE(v, -3);
     EXPECT_LE(v, 5);
   }
+}
+
+TEST(RngDistribution, UniformIntDeterministicPerSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 6), b.uniform_int(0, 6));
+  }
+}
+
+// With rejection sampling every value of a non-power-of-two span is equally
+// likely.  The second check uses a span of 0.75 * 2^63, where `next_u64() %
+// span` would put only ~43.75% of the mass above the midpoint (the lowest
+// two-thirds of the range is hit by three 64-bit words instead of two) —
+// far outside the band below for the fixed seed.
+TEST(RngDistribution, UniformIntUnbiased) {
+  Rng rng(77);
+  constexpr int kDraws = 27'000;
+  int counts[9] = {};
+  for (int i = 0; i < kDraws; ++i) counts[rng.uniform_int(0, 8)]++;
+  for (int c : counts) {
+    EXPECT_GT(c, 2'700);  // expectation 3000; loose 10x-sigma band
+    EXPECT_LT(c, 3'300);
+  }
+
+  const std::int64_t hi = (std::int64_t{1} << 62) + (std::int64_t{1} << 61);
+  int upper_half = 0;
+  for (int i = 0; i < 40'000; ++i) {
+    upper_half += rng.uniform_int(0, hi) > hi / 2;
+  }
+  EXPECT_GT(upper_half, 19'400);  // ~6 sigma around the unbiased 20'000;
+  EXPECT_LT(upper_half, 20'600);  // the biased draw sits near 17'500
 }
 
 }  // namespace
