@@ -3,12 +3,16 @@
 // (cluster-emulator) vs predicted runtimes across the ΔL sweep and the
 // 1% / 2% / 5% tolerance boundaries computed *directly from the LP* (not by
 // scanning the curves), exactly as the paper emphasizes.
+//
+// The sweep itself runs through the core::Campaign engine: one scenario per
+// application, the emulator attached as the campaign's probe, tolerance
+// bands evaluated per scenario by the engine.
 
 #include <cmath>
 #include <cstdio>
 
 #include "bench_support.hpp"
-#include "core/analyzer.hpp"
+#include "core/campaign.hpp"
 #include "injector/cluster_emulator.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -23,32 +27,49 @@ int main() {
       {"icon", 32, 0.3, 1000.0},
   };
 
+  std::vector<core::Scenario> scenarios;
   for (const AppScale& cfg : configs) {
-    const auto g = bench::app_graph(cfg);
-    const auto params = bench::params_for(cfg.app, cfg.ranks);
-    core::LatencyAnalyzer an(g, params);
-    injector::ClusterEmulator emulator(g, params);
+    core::Scenario s;
+    s.app = cfg.app;
+    s.ranks = cfg.ranks;
+    s.scale = cfg.scale;
+    s.config = "cscs";
+    s.params = bench::params_for(cfg.app, cfg.ranks);
+    s.delta_Ls = core::linear_grid(us(cfg.dl_max_us), 6);
+    s.band_percents = {1.0, 2.0, 5.0};
+    scenarios.push_back(std::move(s));
+  }
 
-    std::printf("=== %s, %d ranks ===\n", cfg.app.c_str(), cfg.ranks);
+  // "Measured" column: 5-run cluster-emulator averages, one emulator per
+  // scenario so every run reproduces the exact same noise sequence.
+  const core::Campaign::Probe probe = [](const core::Scenario& s,
+                                         const graph::Graph& g) {
+    injector::ClusterEmulator emulator(g, s.params);
+    return emulator.sweep(s.delta_Ls, 5);
+  };
+
+  core::Campaign campaign(std::move(scenarios));
+  const auto results = campaign.run(probe);
+
+  for (const auto& res : results) {
+    std::printf("=== %s, %d ranks ===\n", res.scenario.app.c_str(),
+                res.scenario.ranks);
     Table t({"ΔL", "measured", "predicted", "err"});
     std::vector<double> measured, predicted;
-    const int points = 6;
-    for (int i = 0; i < points; ++i) {
-      const double d = us(cfg.dl_max_us) * i / (points - 1);
-      const double m = emulator.measure(d, 5);
-      const double f = an.predict_runtime(d);
-      measured.push_back(m);
-      predicted.push_back(f);
-      t.add_row({human_time_ns(d), human_time_ns(m), human_time_ns(f),
-                 strformat("%+.2f%%", 100.0 * (f - m) / m)});
+    for (const auto& pt : res.points) {
+      measured.push_back(pt.probe);
+      predicted.push_back(pt.runtime);
+      t.add_row({human_time_ns(pt.delta_L), human_time_ns(pt.probe),
+                 human_time_ns(pt.runtime),
+                 strformat("%+.2f%%", 100.0 * (pt.runtime - pt.probe) / pt.probe)});
     }
     std::printf("%s", t.to_string().c_str());
     std::printf("RRMSE: %.2f%%\n", rrmse_percent(measured, predicted));
     std::printf("tolerance bands (ΔL before degradation):  "
                 "1%%: %s   2%%: %s   5%%: %s\n\n",
-                human_time_ns(an.tolerance_delta(1.0)).c_str(),
-                human_time_ns(an.tolerance_delta(2.0)).c_str(),
-                human_time_ns(an.tolerance_delta(5.0)).c_str());
+                human_time_ns(res.bands[0].tolerance_delta).c_str(),
+                human_time_ns(res.bands[1].tolerance_delta).c_str(),
+                human_time_ns(res.bands[2].tolerance_delta).c_str());
   }
   std::printf("Paper's qualitative result: MILC tolerates the least "
               "(~20 us scale), ICON the most (>650 us).\n");

@@ -5,6 +5,11 @@
 // A systematic-bias variant reproduces the MILC persistent-ops mismatch the
 // paper observes at 32/64 nodes.  A noise-σ sweep at the end quantifies how
 // much measurement noise the <2% RRMSE headline survives (DESIGN.md §5).
+//
+// The whole grid runs through the core::Campaign engine: one scenario per
+// (app, ranks) configuration with its own ΔL ceiling, the emulator attached
+// as the campaign probe, graphs built once per configuration and scenarios
+// evaluated on the shared thread pool.
 
 #include <cstdio>
 #include <filesystem>
@@ -12,6 +17,7 @@
 
 #include "bench_support.hpp"
 #include "core/analyzer.hpp"
+#include "core/campaign.hpp"
 #include "injector/cluster_emulator.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -24,61 +30,75 @@ int main() {
 
   std::filesystem::create_directories("results");
 
-  auto run_config = [&](const bench::AppScale& cfg, double bias) {
-    const auto g = bench::app_graph(cfg);
-    const auto params = bench::params_for(cfg.app, cfg.ranks);
-    core::LatencyAnalyzer an(g, params);
-    injector::ClusterEmulator::Config emu_cfg;
-    emu_cfg.systematic_bias = bias;
-    injector::ClusterEmulator emulator(g, params, emu_cfg);
+  // The paper observes a small systematic bias for MILC at 32/64 nodes from
+  // persistent-operation overheads; model it for those configurations.
+  const auto bias_for = [](const core::Scenario& s) {
+    return (s.app == "milc" && s.ranks >= 32) ? 0.004 : 0.0;
+  };
 
-    std::printf("--- %s %d ranks (ΔL 0..%g us) ---\n", cfg.app.c_str(),
-                cfg.ranks, cfg.dl_max_us);
+  std::vector<core::Scenario> scenarios;
+  auto add_config = [&](const bench::AppScale& cfg) {
+    core::Scenario s;
+    s.app = cfg.app;
+    s.ranks = cfg.ranks;
+    s.scale = cfg.scale;
+    s.config = "cscs";
+    s.params = bench::params_for(cfg.app, cfg.ranks);
+    s.delta_Ls = core::linear_grid(us(cfg.dl_max_us), 11);
+    s.band_percents = {1.0, 2.0, 5.0};
+    scenarios.push_back(std::move(s));
+  };
+  for (const auto& cfg : bench::fig9_configs()) add_config(cfg);
+  for (const auto& cfg : bench::table2_extra_configs()) add_config(cfg);
+
+  const core::Campaign::Probe probe = [&](const core::Scenario& s,
+                                          const graph::Graph& g) {
+    injector::ClusterEmulator::Config emu_cfg;
+    emu_cfg.systematic_bias = bias_for(s);
+    injector::ClusterEmulator emulator(g, s.params, emu_cfg);
+    return emulator.sweep(s.delta_Ls, 5);
+  };
+
+  core::Campaign campaign(std::move(scenarios));
+  const auto results = campaign.run(probe);
+
+  for (const auto& res : results) {
+    const core::Scenario& sc = res.scenario;
+    std::printf("--- %s %d ranks (ΔL 0..%g us) ---\n", sc.app.c_str(),
+                sc.ranks, to_us(sc.delta_Ls.back()));
     Table curve({"ΔL", "measured", "predicted", "lambda_L", "rho_L"});
     Table csv({"delta_l_ns", "measured_ns", "predicted_ns", "lambda_l",
                "rho_l"});
     std::vector<double> measured, predicted;
-    const int points = 11;
-    for (int i = 0; i < points; ++i) {
-      const double d = us(cfg.dl_max_us) * i / (points - 1);
-      const double m = emulator.measure(d, 5);
-      const double f = an.predict_runtime(d);
-      measured.push_back(m);
-      predicted.push_back(f);
-      curve.add_row({human_time_ns(d), human_time_ns(m), human_time_ns(f),
-                     strformat("%.0f", an.lambda_L(d)),
-                     strformat("%.1f%%", 100.0 * an.rho_L(d))});
-      csv.add_row({strformat("%.1f", d), strformat("%.1f", m),
-                   strformat("%.1f", f), strformat("%.0f", an.lambda_L(d)),
-                   strformat("%.6f", an.rho_L(d))});
+    for (const auto& pt : res.points) {
+      measured.push_back(pt.probe);
+      predicted.push_back(pt.runtime);
+      curve.add_row({human_time_ns(pt.delta_L), human_time_ns(pt.probe),
+                     human_time_ns(pt.runtime),
+                     strformat("%.0f", pt.lambda),
+                     strformat("%.1f%%", 100.0 * pt.rho)});
+      csv.add_row({strformat("%.1f", pt.delta_L), strformat("%.1f", pt.probe),
+                   strformat("%.1f", pt.runtime),
+                   strformat("%.0f", pt.lambda),
+                   strformat("%.6f", pt.rho)});
     }
     std::printf("%s", curve.to_string().c_str());
-    std::ofstream(strformat("results/fig9_%s_%d.csv", cfg.app.c_str(),
-                            cfg.ranks))
+    std::ofstream(strformat("results/fig9_%s_%d.csv", sc.app.c_str(),
+                            sc.ranks))
         << csv.to_csv();
     const double rmse_v = rmse(measured, predicted);
     const double rrmse_v = rrmse_percent(measured, predicted);
     std::printf("RRMSE %.2f%%%s\n\n", rrmse_v,
-                bias != 0.0 ? " (with the MILC-style systematic bias)" : "");
-    summary.add_row({cfg.app, strformat("%d", cfg.ranks),
-                     strformat("%.1f", to_us(params.o)),
-                     human_count(static_cast<double>(g.num_vertices())),
+                bias_for(sc) != 0.0
+                    ? " (with the MILC-style systematic bias)" : "");
+    summary.add_row({sc.app, strformat("%d", sc.ranks),
+                     strformat("%.1f", to_us(sc.params.o)),
+                     human_count(static_cast<double>(res.graph_vertices)),
                      strformat("%.3f", to_ms(rmse_v)),
                      strformat("%.2f", rrmse_v),
-                     human_time_ns(an.tolerance_delta(1.0)),
-                     human_time_ns(an.tolerance_delta(2.0)),
-                     human_time_ns(an.tolerance_delta(5.0))});
-  };
-
-  for (const auto& cfg : bench::fig9_configs()) {
-    // The paper observes a small systematic bias for MILC at 32/64 nodes
-    // from persistent-operation overheads; model it for those configs.
-    const double bias =
-        (cfg.app == "milc" && cfg.ranks >= 32) ? 0.004 : 0.0;
-    run_config(cfg, bias);
-  }
-  for (const auto& cfg : bench::table2_extra_configs()) {
-    run_config(cfg, 0.0);
+                     human_time_ns(res.bands[0].tolerance_delta),
+                     human_time_ns(res.bands[1].tolerance_delta),
+                     human_time_ns(res.bands[2].tolerance_delta)});
   }
 
   std::printf("=== Table II analogue (validation summary) ===\n%s\n",
@@ -88,6 +108,8 @@ int main() {
               "results/table2_summary.csv)\n\n");
 
   // Noise ablation: how does RRMSE respond to the emulator's noise level?
+  // (A sweep over the *emulator's* σ, not a campaign axis: the forecast side
+  // is one scenario evaluated once.)
   std::printf("=== Noise ablation (LULESH, 27 ranks) ===\n");
   const bench::AppScale cfg{"lulesh", 27, 0.25, 100.0};
   const auto g = bench::app_graph(cfg);

@@ -4,6 +4,12 @@
 // Fat Tree vs Dragonfly, plus the per-class tolerance breakdown on the
 // Dragonfly (terminal / intra-group / inter-group wires).
 //
+// The Fat Tree vs Dragonfly comparison runs through the core::Campaign
+// engine — topology is just a grid axis, and the campaign builds one graph
+// shared by both topology scenarios.  The Dragonfly per-class breakdown
+// needs the multi-parameter space the engine does not expose, so it keeps a
+// direct solver (and builds its own copy of the graph).
+//
 //   $ ./topology_study [--ranks=64] [--scale=0.2]
 
 #include <cmath>
@@ -11,6 +17,7 @@
 #include <memory>
 
 #include "apps/registry.hpp"
+#include "core/campaign.hpp"
 #include "lp/parametric.hpp"
 #include "schedgen/schedgen.hpp"
 #include "topo/spaces.hpp"
@@ -25,51 +32,67 @@ int main(int argc, char** argv) {
   const int ranks = static_cast<int>(cli.get_int("ranks", 64));
   const double scale = cli.get_double("scale", 0.2);
 
-  const auto trace = apps::make_app_trace("icon", ranks, scale);
-  const auto g = schedgen::build_graph(trace);
   const loggops::Params params = loggops::NetworkConfig::piz_daint(8'500.0);
 
   // Zambre et al. values used by the paper: 274 ns per wire, 108 ns per
   // switch.
-  const double l_wire = 274.0;
-  const double d_switch = 108.0;
-  const auto placement = topo::identity_placement(ranks);
+  core::TopologyOptions topo;
+  topo.l_wire = 274.0;
+  topo.d_switch = 108.0;
+  topo.ft_radix = 16;
+  topo.df_groups = 8;
+  topo.df_routers = 4;
+  topo.df_hosts = 8;
 
-  const topo::FatTree fat_tree(16);
-  const topo::Dragonfly dragonfly(8, 4, 8);
+  core::CampaignSpec spec;
+  spec.apps = {"icon"};
+  spec.ranks = {ranks};
+  spec.scales = {scale};
+  spec.topologies = {"fat-tree", "dragonfly"};
+  spec.configs = {{"daint", params, /*o_is_default=*/false}};
+  spec.delta_Ls = {0.0};          // evaluate at the base per-wire latency
+  spec.band_percents = {1.0};     // 1% degradation boundary per topology
+  spec.topo = topo;
+  core::Campaign campaign(spec);
+  const auto results = campaign.run();
 
   std::printf("ICON proxy, %d ranks: per-wire latency sensitivity\n\n", ranks);
+  const auto describe = [&](const std::string& t) {
+    if (t == "fat-tree") return topo::FatTree(topo.ft_radix).name();
+    return topo::Dragonfly(topo.df_groups, topo.df_routers, topo.df_hosts)
+        .name();
+  };
   Table table({"topology", "T(l_wire=274ns)", "dT/dl_wire",
                "1% degradation at l_wire"});
-  for (const topo::Topology* topo :
-       std::initializer_list<const topo::Topology*>{&fat_tree, &dragonfly}) {
-    auto space = std::make_shared<lp::LinkClassParamSpace>(
-        topo::make_wire_latency_space(params, *topo, placement, l_wire,
-                                      d_switch));
-    lp::ParametricSolver solver(g, space);
-    const auto sol = solver.solve(0, l_wire);
-    const double budget = sol.value * 1.01;
-    const double tol = solver.max_param_for_budget(0, budget);
-    table.add_row({topo->name(), human_time_ns(sol.value),
-                   strformat("%.0f", sol.gradient[0]),
-                   std::isfinite(tol) ? human_time_ns(tol) : "unbounded"});
+  for (const auto& res : results) {
+    const auto& pt = res.points[0];
+    const double tol = res.bands[0].tolerance_delta;  // over the base l_wire
+    table.add_row({describe(res.scenario.topology), human_time_ns(pt.runtime),
+                   strformat("%.0f", pt.lambda),
+                   std::isfinite(tol) ? human_time_ns(topo.l_wire + tol)
+                                      : "unbounded"});
   }
   std::printf("%s\n", table.to_string().c_str());
 
   // Dragonfly per-class analysis (Fig. 19): tolerance of each wire class
   // with the other two held at their base values.
+  const auto g = schedgen::build_graph(apps::make_app_trace("icon", ranks, scale));
+  const topo::Dragonfly dragonfly(topo.df_groups, topo.df_routers,
+                                  topo.df_hosts);
+  const auto placement = topo::identity_placement(ranks);
   auto df_space = std::make_shared<lp::LinkClassParamSpace>(
-      topo::make_dragonfly_class_space(params, dragonfly, placement, l_wire,
-                                       l_wire, l_wire, d_switch));
+      topo::make_dragonfly_class_space(params, dragonfly, placement,
+                                       topo.l_wire, topo.l_wire, topo.l_wire,
+                                       topo.d_switch));
   lp::ParametricSolver df_solver(g, df_space);
-  const double T0 = df_solver.solve(0, l_wire).value;
+  const double T0 = df_solver.solve(0, topo.l_wire).value;
   std::printf("Dragonfly wire classes (budget = 1%% over T = %s):\n",
               human_time_ns(T0).c_str());
   for (int k = 0; k < df_space->num_params(); ++k) {
     const double tol = df_solver.max_param_for_budget(k, T0 * 1.01);
     std::printf("  %-8s lambda = %5.0f   tolerance = %s\n",
                 df_space->param_name(k).c_str(),
-                df_solver.solve(k, l_wire).gradient[static_cast<std::size_t>(k)],
+                df_solver.solve(k, topo.l_wire).gradient[static_cast<std::size_t>(k)],
                 std::isfinite(tol) ? human_time_ns(tol).c_str() : "unbounded");
   }
   return 0;

@@ -3,10 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <mutex>
-#include <thread>
 
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 
 namespace llamp::core {
 
@@ -64,41 +63,14 @@ double LatencyAnalyzer::lambda_G() const {
 std::vector<LatencyAnalyzer::SweepPoint> LatencyAnalyzer::sweep(
     const std::vector<TimeNs>& delta_Ls, int threads) const {
   std::vector<SweepPoint> out(delta_Ls.size());
-  const auto eval = [&](std::size_t i) {
+  parallel_for(delta_Ls.size(), threads, [&](std::size_t i) {
     const TimeNs d = delta_Ls[i];
     if (d < 0.0) throw Error("sweep: negative latency injection");
     const auto sol = solver_.solve(0, params_.L + d);
     out[i] = {d, sol.value, sol.gradient[0],
               sol.value > 0.0 ? (params_.L + d) * sol.gradient[0] / sol.value
                               : 0.0};
-  };
-  int nthreads = threads > 0
-                     ? threads
-                     : static_cast<int>(std::thread::hardware_concurrency());
-  nthreads = std::max(1, std::min<int>(nthreads,
-                                       static_cast<int>(delta_Ls.size())));
-  if (nthreads == 1) {
-    for (std::size_t i = 0; i < delta_Ls.size(); ++i) eval(i);
-    return out;
-  }
-  std::vector<std::thread> pool;
-  std::exception_ptr error;
-  std::mutex error_mutex;
-  for (int t = 0; t < nthreads; ++t) {
-    pool.emplace_back([&, t] {
-      try {
-        for (std::size_t i = static_cast<std::size_t>(t); i < delta_Ls.size();
-             i += static_cast<std::size_t>(nthreads)) {
-          eval(i);
-        }
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!error) error = std::current_exception();
-      }
-    });
-  }
-  for (auto& th : pool) th.join();
-  if (error) std::rethrow_exception(error);
+  });
   return out;
 }
 

@@ -1,0 +1,383 @@
+#include "core/campaign.hpp"
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <tuple>
+#include <utility>
+
+#include "apps/registry.hpp"
+#include "lp/param_space.hpp"
+#include "lp/parametric.hpp"
+#include "schedgen/schedgen.hpp"
+#include "topo/spaces.hpp"
+#include "topo/topology.hpp"
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+#include "util/strings.hpp"
+
+namespace llamp::core {
+namespace {
+
+bool known_topology(const std::string& name) {
+  return name == "none" || name == "fat-tree" || name == "dragonfly";
+}
+
+void validate_scenario(const Scenario& s) {
+  if (s.app.empty()) throw UsageError("campaign: scenario with empty app");
+  if (s.ranks < 1) {
+    throw UsageError(strformat("campaign: need ranks >= 1 (got %d)", s.ranks));
+  }
+  if (!(s.scale > 0.0) || !std::isfinite(s.scale)) {
+    throw UsageError(
+        strformat("campaign: need finite scale > 0 (got %g)", s.scale));
+  }
+  if (!known_topology(s.topology)) {
+    throw UsageError("campaign: unknown topology '" + s.topology +
+                     "' (want none, fat-tree, or dragonfly)");
+  }
+  if (s.delta_Ls.empty()) throw UsageError("campaign: empty ΔL grid");
+  for (const TimeNs d : s.delta_Ls) {
+    if (!(d >= 0.0) || !std::isfinite(d)) {
+      throw UsageError(
+          strformat("campaign: ΔL grid values must be finite and >= 0 "
+                    "(got %g)", d));
+    }
+  }
+  for (const double pct : s.band_percents) {
+    if (!(pct >= 0.0)) {
+      throw UsageError(
+          strformat("campaign: tolerance band percent must be >= 0 (got %g)",
+                    pct));
+    }
+  }
+  // The LogGPS values are part of the user-supplied grid spec, so a bad
+  // variant (negative L from --L-list, ...) is a usage error like every
+  // other degenerate axis, not an analysis failure.
+  try {
+    s.params.validate();
+  } catch (const Error& e) {
+    throw UsageError(strformat("campaign: config '%s' invalid: %s",
+                               s.config.c_str(), e.what()));
+  }
+}
+
+/// First-occurrence-preserving dedup for a grid axis: the engine's contract
+/// is that a grid never analyzes one scenario twice, whatever the user
+/// typed (--apps=lulesh,lulesh, repeated scales, rank-clamp collisions).
+template <typename T>
+std::vector<T> dedup(const std::vector<T>& values) {
+  std::vector<T> out;
+  for (const T& v : values) {
+    bool seen = false;
+    for (const T& prev : out) seen = seen || prev == v;
+    if (!seen) out.push_back(v);
+  }
+  return out;
+}
+
+bool same_params(const loggops::Params& a, const loggops::Params& b) {
+  return a.L == b.L && a.o == b.o && a.g == b.g && a.G == b.G && a.O == b.O &&
+         a.S == b.S;
+}
+
+/// The cache key under which a scenario's execution graph is shared: the
+/// graph depends only on the trace (app, ranks, scale) and the rendezvous
+/// threshold baked into the schedule, never on L/o/G or the topology.
+using GraphKey = std::tuple<std::string, int, double, std::uint64_t>;
+
+GraphKey graph_key(const Scenario& s) {
+  return {s.app, s.ranks, s.scale, s.params.S};
+}
+
+std::unique_ptr<topo::Topology> make_topology(const std::string& name,
+                                              const TopologyOptions& topo) {
+  try {
+    if (name == "fat-tree") {
+      return std::make_unique<topo::FatTree>(topo.ft_radix);
+    }
+    return std::make_unique<topo::Dragonfly>(topo.df_groups, topo.df_routers,
+                                             topo.df_hosts);
+  } catch (const Error& e) {
+    throw UsageError(strformat("campaign: bad %s shape: %s", name.c_str(),
+                               e.what()));
+  }
+}
+
+/// Topology shape and fit are part of the user-supplied spec, so a
+/// too-small network or an invalid radix is a usage error, raised at
+/// construction time — before any graph is built.
+void validate_topology(const Scenario& s, const TopologyOptions& topo) {
+  if (s.topology == "none") return;
+  const auto t = make_topology(s.topology, topo);
+  if (t->nnodes() < s.ranks) {
+    throw UsageError(strformat("campaign: %s has only %d nodes for %d ranks",
+                               t->name().c_str(), t->nnodes(), s.ranks));
+  }
+}
+
+/// The active-parameter space of a scenario plus its base value: flat L for
+/// "none", the shared per-wire latency for the physical topologies.
+struct ScenarioSpace {
+  std::shared_ptr<const lp::ParamSpace> space;
+  double base = 0.0;
+};
+
+ScenarioSpace make_space(const Scenario& s, const TopologyOptions& topo) {
+  if (s.topology == "none") {
+    return {std::make_shared<lp::LatencyParamSpace>(s.params), s.params.L};
+  }
+  // Shape and fit were already validated by the Campaign constructors.
+  const auto t = make_topology(s.topology, topo);
+  return {std::make_shared<lp::LinkClassParamSpace>(topo::make_wire_latency_space(
+              s.params, *t, topo::identity_placement(s.ranks), topo.l_wire,
+              topo.d_switch)),
+          topo.l_wire};
+}
+
+Campaign::ScenarioResult eval_scenario(const Scenario& s,
+                                       const graph::Graph& g,
+                                       const TopologyOptions& topo,
+                                       const Campaign::Probe& probe) {
+  Campaign::ScenarioResult res;
+  res.scenario = s;
+  res.graph_vertices = g.num_vertices();
+  res.graph_edges = g.num_edges();
+
+  const ScenarioSpace ss = make_space(s, topo);
+  const lp::ParametricSolver solver(g, ss.space);
+  const auto base_sol = solver.solve(0, ss.base);
+  res.base_runtime = base_sol.value;
+
+  res.points.reserve(s.delta_Ls.size());
+  for (const TimeNs d : s.delta_Ls) {
+    // Every CLI grid starts at ΔL = 0; that point is the base solve.
+    const auto sol = d == 0.0 ? base_sol : solver.solve(0, ss.base + d);
+    Campaign::Point pt;
+    pt.delta_L = d;
+    pt.runtime = sol.value;
+    pt.lambda = sol.gradient[0];
+    pt.rho = sol.value > 0.0 ? (ss.base + d) * sol.gradient[0] / sol.value
+                             : 0.0;
+    res.points.push_back(pt);
+  }
+
+  res.bands.reserve(s.band_percents.size());
+  for (const double pct : s.band_percents) {
+    const double budget = res.base_runtime * (1.0 + pct / 100.0);
+    const double tol = solver.max_param_for_budget(0, budget);
+    res.bands.push_back(
+        {pct, std::isfinite(tol) ? tol - ss.base : tol});
+  }
+
+  if (probe) {
+    const auto values = probe(s, g);
+    if (values.size() != res.points.size()) {
+      throw Error(strformat(
+          "campaign: probe returned %zu values for %zu ΔL points",
+          values.size(), res.points.size()));
+    }
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      res.points[i].probe = values[i];
+    }
+  }
+  return res;
+}
+
+}  // namespace
+
+std::vector<TimeNs> linear_grid(TimeNs dl_max, int points) {
+  if (points < 2) {
+    throw UsageError(strformat("need --points >= 2 (got %d)", points));
+  }
+  if (!(dl_max > 0.0) || !std::isfinite(dl_max)) {
+    throw UsageError(strformat(
+        "need --dl-max-us > 0 (got %g us): a ΔL sweep needs a positive "
+        "ceiling", to_us(dl_max)));
+  }
+  std::vector<TimeNs> grid;
+  grid.reserve(static_cast<std::size_t>(points));
+  for (int i = 0; i < points; ++i) {
+    grid.push_back(dl_max * i / (points - 1));
+  }
+  return grid;
+}
+
+void apply_table2_overhead(loggops::Params& p, const std::string& app,
+                           int ranks) {
+  // Table II keys overhead by node count; approximate it by rank count the
+  // way the validation benches do (LULESH's middle scale is 27 = 3^3).
+  const int node_key = ranks <= 8 ? 8 : (ranks <= 32 ? 32 : 64);
+  const int lulesh_key = ranks <= 8 ? 8 : (ranks <= 27 ? 27 : 64);
+  try {
+    p.o = loggops::NetworkConfig::table2_overhead(
+        app, app == "lulesh" ? lulesh_key : node_key);
+  } catch (const Error&) {
+    // Not a Table II application; the preset default stands.
+  }
+}
+
+Campaign::Campaign(const CampaignSpec& spec)
+    : topo_(spec.topo), threads_(spec.threads) {
+  if (spec.apps.empty()) throw UsageError("campaign: empty app list");
+  if (spec.ranks.empty()) throw UsageError("campaign: empty ranks list");
+  if (spec.scales.empty()) throw UsageError("campaign: empty scales list");
+  if (spec.topologies.empty()) {
+    throw UsageError("campaign: empty topology list");
+  }
+  std::vector<ConfigVariant> configs;
+  for (const ConfigVariant& cfg : spec.configs) {
+    // Dedupe variants with equal parameter vectors whatever their spelling
+    // ("--L-list=5,5.0"): like every other axis, a grid never analyzes one
+    // scenario twice.  The first spelling names the surviving variant.
+    bool seen = false;
+    for (const ConfigVariant& prev : configs) {
+      seen = seen || (same_params(prev.params, cfg.params) &&
+                      prev.o_is_default == cfg.o_is_default);
+    }
+    if (!seen) configs.push_back(cfg);
+  }
+  if (configs.empty()) {
+    configs.push_back({"cscs", loggops::NetworkConfig::cscs_testbed(), true});
+  }
+  {
+    // Distinct surviving variants sharing one name would make result rows
+    // indistinguishable — reject rather than guess.
+    std::vector<std::string> names;
+    for (const ConfigVariant& cfg : configs) names.push_back(cfg.name);
+    if (dedup(names).size() != names.size()) {
+      throw UsageError(
+          "campaign: duplicate config variant names for distinct parameters");
+    }
+  }
+  const auto apps_axis = dedup(spec.apps);
+  const auto scales_axis = dedup(spec.scales);
+  const auto topologies_axis = dedup(spec.topologies);
+  for (const std::string& app : apps_axis) {
+    // Clamp the requested rank counts to the app's supported values and
+    // drop collisions (e.g. 8 and 9 both clamp to 8 for LULESH) so the
+    // grid never runs one scenario twice.
+    std::vector<int> ranks;
+    for (const int want : spec.ranks) {
+      if (want < 1) {
+        throw UsageError(
+            strformat("campaign: need ranks >= 1 (got %d)", want));
+      }
+      ranks.push_back(apps::supported_ranks(app, want));
+    }
+    ranks = dedup(ranks);
+    for (const int r : ranks) {
+      for (const double scale : scales_axis) {
+        for (const std::string& topology : topologies_axis) {
+          for (const ConfigVariant& cfg : configs) {
+            Scenario s;
+            s.app = app;
+            s.ranks = r;
+            s.scale = scale;
+            s.topology = topology;
+            s.config = cfg.name;
+            s.params = cfg.params;
+            if (cfg.o_is_default) apply_table2_overhead(s.params, app, r);
+            s.delta_Ls = spec.delta_Ls;
+            s.band_percents = spec.band_percents;
+            validate_scenario(s);
+            validate_topology(s, topo_);
+            scenarios_.push_back(std::move(s));
+          }
+        }
+      }
+    }
+  }
+}
+
+Campaign::Campaign(std::vector<Scenario> scenarios, TopologyOptions topo,
+                   int threads)
+    : scenarios_(std::move(scenarios)), topo_(topo), threads_(threads) {
+  if (scenarios_.empty()) throw UsageError("campaign: empty scenario list");
+  for (const Scenario& s : scenarios_) {
+    validate_scenario(s);
+    validate_topology(s, topo_);
+  }
+}
+
+std::vector<Campaign::ScenarioResult> Campaign::run(const Probe& probe) {
+  // Phase 1: build every distinct execution graph once, in parallel.  Keys
+  // are collected in first-appearance order; the map only indexes them.
+  std::map<GraphKey, std::size_t> key_index;
+  std::vector<const Scenario*> key_scenario;
+  for (const Scenario& s : scenarios_) {
+    if (key_index.emplace(graph_key(s), key_scenario.size()).second) {
+      key_scenario.push_back(&s);
+    }
+  }
+  std::vector<std::unique_ptr<graph::Graph>> graphs(key_scenario.size());
+  parallel_for(key_scenario.size(), threads_, [&](std::size_t i) {
+    const Scenario& s = *key_scenario[i];
+    schedgen::Options opt;
+    opt.rendezvous_threshold = s.params.S;
+    graphs[i] = std::make_unique<graph::Graph>(schedgen::build_graph(
+        apps::make_app_trace(s.app, s.ranks, s.scale), opt));
+  });
+
+  // Phase 2: one solver per scenario over the cached (now read-only)
+  // graphs; each job writes only its own slot, so result order is grid
+  // order whatever the thread count.
+  std::vector<ScenarioResult> results(scenarios_.size());
+  parallel_for(scenarios_.size(), threads_, [&](std::size_t i) {
+    const Scenario& s = scenarios_[i];
+    const graph::Graph& g = *graphs[key_index.at(graph_key(s))];
+    results[i] = eval_scenario(s, g, topo_, probe);
+  });
+
+  stats_.graphs_built = graphs.size();
+  stats_.scenarios_run = scenarios_.size();
+  return results;
+}
+
+Table campaign_points_table(const std::vector<Campaign::ScenarioResult>& results,
+                            bool human, const std::string& probe_name) {
+  std::vector<std::string> headers =
+      human ? std::vector<std::string>{"app", "ranks", "scale", "topo",
+                                       "config", "ΔL", "T(ΔL)", "slowdown",
+                                       "lambda_L", "rho_L"}
+            : std::vector<std::string>{"app", "ranks", "scale", "topology",
+                                       "config", "delta_l_ns", "runtime_ns",
+                                       "lambda_l", "rho_l"};
+  if (!probe_name.empty()) headers.push_back(probe_name);
+  Table t(std::move(headers));
+  for (const auto& res : results) {
+    const Scenario& s = res.scenario;
+    for (const auto& pt : res.points) {
+      std::vector<std::string> row;
+      if (human) {
+        row = {s.app,
+               strformat("%d", s.ranks),
+               strformat("%g", s.scale),
+               s.topology,
+               s.config,
+               human_time_ns(pt.delta_L),
+               human_time_ns(pt.runtime),
+               strformat("%+.2f%%",
+                         100.0 * (pt.runtime / res.base_runtime - 1.0)),
+               strformat("%.0f", pt.lambda),
+               strformat("%.1f%%", 100.0 * pt.rho)};
+        if (!probe_name.empty()) row.push_back(human_time_ns(pt.probe));
+      } else {
+        row = {s.app,
+               strformat("%d", s.ranks),
+               strformat("%g", s.scale),
+               s.topology,
+               s.config,
+               strformat("%.1f", pt.delta_L),
+               strformat("%.1f", pt.runtime),
+               strformat("%.6g", pt.lambda),
+               strformat("%.6g", pt.rho)};
+        if (!probe_name.empty()) row.push_back(strformat("%.1f", pt.probe));
+      }
+      t.add_row(std::move(row));
+    }
+  }
+  return t;
+}
+
+}  // namespace llamp::core

@@ -1,6 +1,7 @@
 #include "core/report.hpp"
 
 #include <cmath>
+#include <cstdlib>
 #include <sstream>
 
 #include "util/error.hpp"
@@ -8,6 +9,99 @@
 #include "util/table.hpp"
 
 namespace llamp::core {
+
+OutputFormat parse_output_format(const std::string& name) {
+  if (name == "table") return OutputFormat::kTable;
+  if (name == "csv") return OutputFormat::kCsv;
+  if (name == "json") return OutputFormat::kJson;
+  throw UsageError("unknown --format '" + name +
+                   "' (want table, csv, or json)");
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          out += strformat("\\u%04x", ch);
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// A cell is emitted as a bare JSON number iff strtod consumes it entirely
+/// and the value is finite ("inf" and "unbounded" stay strings).
+bool is_json_number(const std::string& cell) {
+  if (cell.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(cell.c_str(), &end);
+  return end == cell.c_str() + cell.size() && std::isfinite(v);
+}
+
+std::string to_json_rows(const Table& t) {
+  std::ostringstream os;
+  os << "[\n";
+  const auto& rows = t.data();
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    os << "  {";
+    for (std::size_t c = 0; c < rows[r].size(); ++c) {
+      os << '"' << json_escape(t.headers()[c]) << "\": ";
+      if (is_json_number(rows[r][c])) {
+        os << rows[r][c];
+      } else {
+        os << '"' << json_escape(rows[r][c]) << '"';
+      }
+      if (c + 1 < rows[r].size()) os << ", ";
+    }
+    os << (r + 1 < rows.size() ? "},\n" : "}\n");
+  }
+  os << "]\n";
+  return os.str();
+}
+
+}  // namespace
+
+std::string render(const Table& table, OutputFormat format) {
+  switch (format) {
+    case OutputFormat::kTable: return table.to_string();
+    case OutputFormat::kCsv: return table.to_csv();
+    case OutputFormat::kJson: return to_json_rows(table);
+  }
+  throw Error("render: bad format");
+}
+
+Table sweep_curve_table(const std::vector<LatencyAnalyzer::SweepPoint>& curve,
+                        TimeNs base_runtime, bool human) {
+  Table t(human ? std::vector<std::string>{"ΔL", "T(ΔL)", "slowdown",
+                                           "lambda_L", "rho_L"}
+                : std::vector<std::string>{"delta_l_ns", "runtime_ns",
+                                           "lambda_l", "rho_l"});
+  for (const auto& pt : curve) {
+    if (human) {
+      t.add_row({human_time_ns(pt.delta_L), human_time_ns(pt.runtime),
+                 strformat("%+.2f%%", 100.0 * (pt.runtime / base_runtime - 1.0)),
+                 strformat("%.0f", pt.lambda_L),
+                 strformat("%.1f%%", 100.0 * pt.rho_L)});
+    } else {
+      t.add_row({strformat("%.1f", pt.delta_L), strformat("%.1f", pt.runtime),
+                 strformat("%.6g", pt.lambda_L),
+                 strformat("%.6g", pt.rho_L)});
+    }
+  }
+  return t;
+}
 
 ToleranceReport make_report(const graph::Graph& g, const loggops::Params& p,
                             const ReportOptions& opts) {
@@ -53,14 +147,7 @@ std::string ToleranceReport::to_string() const {
                         : "unbounded");
   }
   os << '\n';
-  Table t({"ΔL", "T(ΔL)", "slowdown", "lambda_L", "rho_L"});
-  for (const auto& pt : curve) {
-    t.add_row({human_time_ns(pt.delta_L), human_time_ns(pt.runtime),
-               strformat("%+.2f%%", 100.0 * (pt.runtime / base_runtime - 1.0)),
-               strformat("%.0f", pt.lambda_L),
-               strformat("%.1f%%", 100.0 * pt.rho_L)});
-  }
-  os << t.to_string();
+  os << sweep_curve_table(curve, base_runtime, /*human=*/true).to_string();
   if (!critical_latencies.empty()) {
     os << "critical latencies (lambda changes):";
     for (const TimeNs c : critical_latencies) {
@@ -68,6 +155,48 @@ std::string ToleranceReport::to_string() const {
     }
     os << '\n';
   }
+  return os.str();
+}
+
+std::string ToleranceReport::to_json() const {
+  const auto num = [](double v) { return strformat("%.10g", v); };
+  std::ostringstream os;
+  os << "{\n";
+  os << strformat(
+      "  \"params\": {\"L_ns\": %s, \"o_ns\": %s, \"g_ns\": %s, "
+      "\"G_ns_per_byte\": %s, \"O_ns_per_byte\": %s, \"S_bytes\": %llu},\n",
+      num(params.L).c_str(), num(params.o).c_str(), num(params.g).c_str(),
+      num(params.G).c_str(), num(params.O).c_str(),
+      static_cast<unsigned long long>(params.S));
+  os << "  \"base_runtime_ns\": " << num(base_runtime) << ",\n";
+  os << "  \"lambda_l\": " << num(lambda_L_base) << ",\n";
+  os << "  \"lambda_g\": " << num(lambda_G) << ",\n";
+  os << "  \"bands\": [";
+  for (std::size_t i = 0; i < bands.size(); ++i) {
+    os << strformat("{\"percent\": %s, \"tolerance_delta_ns\": %s}",
+                    num(bands[i].percent).c_str(),
+                    std::isfinite(bands[i].tolerance_delta)
+                        ? num(bands[i].tolerance_delta).c_str()
+                        : "null");
+    if (i + 1 < bands.size()) os << ", ";
+  }
+  os << "],\n";
+  os << "  \"curve\": [";
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    os << strformat(
+        "{\"delta_l_ns\": %s, \"runtime_ns\": %s, \"lambda_l\": %s, "
+        "\"rho_l\": %s}",
+        num(curve[i].delta_L).c_str(), num(curve[i].runtime).c_str(),
+        num(curve[i].lambda_L).c_str(), num(curve[i].rho_L).c_str());
+    if (i + 1 < curve.size()) os << ", ";
+  }
+  os << "],\n";
+  os << "  \"critical_latencies_ns\": [";
+  for (std::size_t i = 0; i < critical_latencies.size(); ++i) {
+    os << num(critical_latencies[i]);
+    if (i + 1 < critical_latencies.size()) os << ", ";
+  }
+  os << "]\n}\n";
   return os.str();
 }
 

@@ -7,8 +7,37 @@
 #include "graph/graph.hpp"
 #include "loggops/params.hpp"
 #include "trace/trace.hpp"
+#include "util/table.hpp"
 
 namespace llamp::core {
+
+/// Output formats shared by every grid-emitting surface (`llamp analyze`,
+/// `sweep`, `campaign`, and the bench harnesses).  Keeping the renderers in
+/// one place is what lets the golden-output tests pin formatting once for
+/// all of them.
+enum class OutputFormat {
+  kTable,  ///< aligned human-readable columns (util/table.hpp)
+  kCsv,    ///< comma-separated, header row first
+  kJson,   ///< array of row objects keyed by header name
+};
+
+/// Parse "table" / "csv" / "json"; throws UsageError otherwise.
+OutputFormat parse_output_format(const std::string& name);
+
+/// Render a table in the requested format.  The JSON renderer emits one
+/// object per row keyed by header name; cells that parse completely as
+/// finite numbers are emitted unquoted, everything else as a JSON string.
+std::string render(const Table& table, OutputFormat format);
+
+/// JSON string escaping (quotes, backslashes, control characters).
+std::string json_escape(const std::string& s);
+
+/// The ΔL-sweep curve as a table, shared by `llamp sweep`, the analyze
+/// report, and the campaign emitters.  `human` selects report formatting
+/// (adaptive time units, a slowdown column vs `base_runtime`); otherwise
+/// the numeric CSV/JSON schema (delta_l_ns, runtime_ns, lambda_l, rho_l).
+Table sweep_curve_table(const std::vector<LatencyAnalyzer::SweepPoint>& curve,
+                        TimeNs base_runtime, bool human);
 
 /// One-call "what does LLAMP say about this application" summary: the
 /// consolidated output of the toolchain (runtime forecast curve, λ_L/ρ_L,
@@ -31,6 +60,10 @@ struct ToleranceReport {
   std::vector<TimeNs> critical_latencies;  ///< within the sweep window
 
   std::string to_string() const;
+  /// The whole report as one JSON object (params, base runtime, λ_L/λ_G,
+  /// tolerance bands, forecast curve, critical latencies).  Unbounded
+  /// tolerances serialize as null.
+  std::string to_json() const;
 };
 
 struct ReportOptions {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <ostream>
 #include <string>
@@ -11,6 +12,7 @@
 
 #include "apps/registry.hpp"
 #include "core/analyzer.hpp"
+#include "core/campaign.hpp"
 #include "core/placement.hpp"
 #include "core/report.hpp"
 #include "lp/parametric.hpp"
@@ -34,13 +36,17 @@ subcommands:
             tolerance bands, critical latencies, lambda_G
   sweep     evaluate runtime / lambda_L / rho_L over a grid of latency
             injections ΔL (LP solves run in parallel)
+  campaign  batch engine for multi-scenario studies: expand
+            {apps} x {ranks} x {scales} x {topologies} x {LogGPS variants}
+            x ΔL grid into analysis jobs, run them on a thread pool (one
+            graph build and one solver per scenario), emit the whole grid
   topo      per-wire latency sensitivity on Fat Tree vs Dragonfly, plus the
             Dragonfly per-wire-class tolerance breakdown
   place     compare block, volume-greedy, and LLAMP Algorithm-3 rank
             placements on a Fat Tree
   apps      list the registered proxy applications
 
-common options:
+common options (analyze/sweep/topo/place; campaign has its own axes below):
   --app=NAME        proxy application (default lulesh; see `llamp apps`)
   --ranks=N         requested rank count, clamped to the nearest supported
                     value at or below N (default 8)
@@ -50,11 +56,23 @@ common options:
                     override individual LogGPS parameters (ns / bytes);
                     by default o comes from the paper's Table II per-app fit
 
-analyze/sweep options:
-  --dl-max-us=X     sweep ceiling ΔL_max in microseconds (default 100)
-  --points=N        grid points in [0, ΔL_max] (default 11)
-  --threads=N       sweep parallelism, <= 0 = hardware concurrency (default 0)
-  --csv             (sweep) emit CSV instead of an aligned table
+analyze/sweep/campaign options:
+  --dl-max-us=X     sweep ceiling ΔL_max in microseconds (default 100, > 0)
+  --points=N        grid points in [0, ΔL_max] (default 11, >= 2)
+  --threads=N       parallelism, <= 0 = hardware concurrency (default 0)
+  --format=F        table (default), csv, or json
+  --csv             (sweep) shorthand for --format=csv
+
+campaign options (comma-separated grid axes; scenarios = cross product):
+  --apps=A,B,...    proxy applications (default lulesh)
+  --ranks=N,M,...   rank counts, each clamped per app (default 8)
+  --scales=S,...    iteration-count multipliers (default 0.25)
+  --topos=T,...     none, fat-tree, dragonfly (default none); with a
+                    physical topology ΔL injects on the per-wire latency
+  --nets=P,...      LogGPS presets: cscs, daint (default cscs)
+  --L-list=NS,...   --o-list=NS,...  --G-list=NS_PER_BYTE,...
+                    LogGPS override axes crossed with --nets; --S applies
+                    to every variant; topology shape via the topo options
 
 topo/place options:
   --l-wire=NS --d-switch=NS   per-wire / per-switch latency (default 274/108)
@@ -73,12 +91,42 @@ struct AppConfig {
   loggops::Params params;
 };
 
+/// Integer flag values outside int range must be usage errors, not silent
+/// truncation through static_cast (a mistyped --ranks=2^32+8 would
+/// otherwise analyze ranks=8 with exit 0).
+int int_flag(const Cli& cli, const std::string& key, long long fallback) {
+  const long long v = cli.get_int(key, fallback);
+  if (v < std::numeric_limits<int>::min() ||
+      v > std::numeric_limits<int>::max()) {
+    throw UsageError(
+        strformat("--%s value %lld out of range", key.c_str(), v));
+  }
+  return static_cast<int>(v);
+}
+
+/// S is graph-shaping (it selects eager vs rendezvous per message), so a
+/// negative value must be a usage error — not wrap through the uint64
+/// conversion into an "everything eager" threshold that silently analyzes a
+/// different execution graph.
+std::uint64_t rendezvous_threshold_flag(const Cli& cli,
+                                        std::uint64_t fallback) {
+  const long long S = cli.get_int("S", static_cast<long long>(fallback));
+  if (S < 1) throw UsageError(strformat("need --S >= 1 (got %lld)", S));
+  return static_cast<std::uint64_t>(S);
+}
+
 AppConfig parse_app_config(const Cli& cli) {
   AppConfig cfg;
   cfg.app = cli.get("app", "lulesh");
   cfg.ranks = apps::supported_ranks(
-      cfg.app, static_cast<int>(cli.get_int("ranks", 8)));
+      cfg.app, int_flag(cli, "ranks", 8));
   cfg.scale = cli.get_double("scale", 0.25);
+  // Same rule the campaign engine enforces: a non-finite or non-positive
+  // scale would silently analyze a clamped or nonsense trace.
+  if (!(cfg.scale > 0.0) || !std::isfinite(cfg.scale)) {
+    throw UsageError(
+        strformat("need finite --scale > 0 (got %g)", cfg.scale));
+  }
 
   const std::string net = cli.get("net", "cscs");
   if (net == "cscs") {
@@ -89,90 +137,250 @@ AppConfig parse_app_config(const Cli& cli) {
     throw Error("unknown --net preset '" + net + "' (want cscs or daint)");
   }
 
-  // Per-application overhead from Table II where the paper measured one,
-  // keyed the way the validation benches key it (node count approximated by
-  // rank count); apps outside Table II (npb-*, namd) keep the preset's o.
-  const int node_key = cfg.ranks <= 8 ? 8 : (cfg.ranks <= 32 ? 32 : 64);
-  const int lulesh_key = cfg.ranks <= 8 ? 8 : (cfg.ranks <= 27 ? 27 : 64);
-  try {
-    cfg.params.o = loggops::NetworkConfig::table2_overhead(
-        cfg.app, cfg.app == "lulesh" ? lulesh_key : node_key);
-  } catch (const Error&) {
-    // Not a Table II application; the preset default stands.
-  }
+  // Per-application overhead from Table II where the paper measured one;
+  // apps outside Table II (npb-*, namd) keep the preset's o.
+  core::apply_table2_overhead(cfg.params, cfg.app, cfg.ranks);
   cfg.params.L = cli.get_double("L", cfg.params.L);
   cfg.params.o = cli.get_double("o", cfg.params.o);
   cfg.params.G = cli.get_double("G", cfg.params.G);
-  cfg.params.S = static_cast<std::uint64_t>(
-      cli.get_int("S", static_cast<long long>(cfg.params.S)));
+  cfg.params.S = rendezvous_threshold_flag(cli, cfg.params.S);
   cfg.params.validate();
   return cfg;
 }
 
 graph::Graph build_graph(const AppConfig& cfg) {
+  // S is graph-shaping: the eager/rendezvous protocol choice is baked into
+  // the emitted edges, so an --S override must reach schedgen (keeping
+  // analyze/sweep consistent with the campaign engine's graphs).
+  schedgen::Options opt;
+  opt.rendezvous_threshold = cfg.params.S;
   return schedgen::build_graph(
-      apps::make_app_trace(cfg.app, cfg.ranks, cfg.scale));
+      apps::make_app_trace(cfg.app, cfg.ranks, cfg.scale), opt);
 }
 
-std::vector<TimeNs> sweep_grid(const Cli& cli) {
-  const double dl_max = us(cli.get_double("dl-max-us", 100.0));
-  const auto points = static_cast<int>(cli.get_int("points", 11));
-  if (points < 2) throw Error("need --points >= 2");
-  std::vector<TimeNs> grid;
-  grid.reserve(static_cast<std::size_t>(points));
-  for (int i = 0; i < points; ++i) {
-    grid.push_back(dl_max * i / (points - 1));
+/// Validated ΔL-grid flags shared by analyze/sweep/campaign.  Degenerate
+/// grids (a single point cannot anchor a sweep, a non-positive ceiling
+/// cannot span one) are usage errors, not silent empty output.
+struct GridFlags {
+  TimeNs dl_max = 0.0;
+  int points = 0;
+};
+
+GridFlags grid_flags(const Cli& cli) {
+  GridFlags gf;
+  gf.dl_max = us(cli.get_double("dl-max-us", 100.0));
+  gf.points = int_flag(cli, "points", 11);
+  // One copy of the degenerate-grid rules lives in linear_grid; surface its
+  // UsageError here even for commands that build the grid later.
+  (void)core::linear_grid(gf.dl_max, gf.points);
+  return gf;
+}
+
+std::vector<TimeNs> sweep_grid(const GridFlags& gf) {
+  return core::linear_grid(gf.dl_max, gf.points);
+}
+
+core::OutputFormat output_format(const Cli& cli, bool allow_csv_flag) {
+  if (cli.has("format")) {
+    return core::parse_output_format(cli.get("format", "table"));
   }
-  return grid;
+  if (allow_csv_flag && cli.get_bool("csv", false)) {
+    return core::OutputFormat::kCsv;
+  }
+  return core::OutputFormat::kTable;
 }
 
 int cmd_analyze(const Cli& cli, std::ostream& out) {
   const AppConfig cfg = parse_app_config(cli);
+  const GridFlags gf = grid_flags(cli);
+  const auto format = output_format(cli, /*allow_csv_flag=*/false);
   const auto g = build_graph(cfg);
-  out << strformat("app: %s   ranks: %d   scale: %g\n", cfg.app.c_str(),
-                   cfg.ranks, cfg.scale);
-  out << "graph: " << g.stats_string() << '\n';
   core::ReportOptions opts;
-  opts.sweep_max = us(cli.get_double("dl-max-us", 100.0));
-  opts.sweep_points = static_cast<int>(cli.get_int("points", 11));
-  opts.threads = static_cast<int>(cli.get_int("threads", 0));
-  out << core::make_report(g, cfg.params, opts).to_string();
+  opts.sweep_max = gf.dl_max;
+  opts.sweep_points = gf.points;
+  opts.threads = int_flag(cli, "threads", 0);
+  const auto rep = core::make_report(g, cfg.params, opts);
+  switch (format) {
+    case core::OutputFormat::kTable:
+      out << strformat("app: %s   ranks: %d   scale: %g\n", cfg.app.c_str(),
+                       cfg.ranks, cfg.scale);
+      out << "graph: " << g.stats_string() << '\n';
+      out << rep.to_string();
+      break;
+    case core::OutputFormat::kCsv:
+      out << core::render(
+          core::sweep_curve_table(rep.curve, rep.base_runtime, false),
+          core::OutputFormat::kCsv);
+      break;
+    case core::OutputFormat::kJson:
+      out << rep.to_json();
+      break;
+  }
   return 0;
 }
 
 int cmd_sweep(const Cli& cli, std::ostream& out) {
   const AppConfig cfg = parse_app_config(cli);
+  const GridFlags gf = grid_flags(cli);
+  const auto format = output_format(cli, /*allow_csv_flag=*/true);
   const auto g = build_graph(cfg);
   core::LatencyAnalyzer an(g, cfg.params);
   const auto points =
-      an.sweep(sweep_grid(cli), static_cast<int>(cli.get_int("threads", 0)));
+      an.sweep(sweep_grid(gf), int_flag(cli, "threads", 0));
 
-  const bool csv = cli.get_bool("csv", false);
-  if (!csv) {
+  const bool human = format == core::OutputFormat::kTable;
+  if (human) {
     out << strformat("app: %s   ranks: %d   scale: %g   base T: %s\n",
                      cfg.app.c_str(), cfg.ranks, cfg.scale,
                      human_time_ns(an.base_runtime()).c_str());
   }
-  Table table(csv ? std::vector<std::string>{"delta_l_ns", "runtime_ns",
-                                             "lambda_l", "rho_l"}
-                  : std::vector<std::string>{"ΔL", "T(ΔL)", "slowdown",
-                                             "lambda_L", "rho_L"});
-  for (const auto& pt : points) {
-    if (csv) {
-      table.add_row({strformat("%.1f", pt.delta_L),
-                     strformat("%.1f", pt.runtime),
-                     strformat("%.6g", pt.lambda_L),
-                     strformat("%.6g", pt.rho_L)});
-    } else {
-      table.add_row(
-          {human_time_ns(pt.delta_L), human_time_ns(pt.runtime),
-           strformat("%+.2f%%",
-                     100.0 * (pt.runtime / an.base_runtime() - 1.0)),
-           strformat("%.0f", pt.lambda_L),
-           strformat("%.1f%%", 100.0 * pt.rho_L)});
+  out << core::render(core::sweep_curve_table(points, an.base_runtime(), human),
+                      format);
+  return 0;
+}
+
+/// Comma-separated list flags for the campaign grid axes.  Blank fields are
+/// dropped; an effectively empty axis is a usage error.
+std::vector<std::string> name_list(const Cli& cli, const std::string& key,
+                                   const std::string& fallback) {
+  std::vector<std::string> out;
+  for (const auto& field : split(cli.get(key, fallback), ',')) {
+    const auto f = trim(field);
+    if (!f.empty()) out.emplace_back(f);
+  }
+  if (out.empty()) throw UsageError("empty --" + key + " list");
+  return out;
+}
+
+std::vector<double> double_list(const Cli& cli, const std::string& key,
+                                const std::string& fallback) {
+  std::vector<double> out;
+  for (const auto& field : name_list(cli, key, fallback)) {
+    try {
+      out.push_back(parse_double(field));
+    } catch (const Error&) {
+      throw UsageError("bad --" + key + " value '" + field + "'");
     }
   }
-  out << (csv ? table.to_csv() : table.to_string());
+  return out;
+}
+
+std::vector<int> int_list(const Cli& cli, const std::string& key,
+                          const std::string& fallback) {
+  std::vector<int> out;
+  for (const auto& field : name_list(cli, key, fallback)) {
+    long long v = 0;
+    try {
+      v = parse_ll(field);
+    } catch (const Error&) {
+      throw UsageError("bad --" + key + " value '" + field + "'");
+    }
+    if (v < std::numeric_limits<int>::min() ||
+        v > std::numeric_limits<int>::max()) {
+      throw UsageError(
+          strformat("--%s value %lld out of range", key.c_str(), v));
+    }
+    out.push_back(static_cast<int>(v));
+  }
+  return out;
+}
+
+/// The LogGPS axis of a campaign: network presets crossed with the optional
+/// L/o/G override lists; a single --S override applies to every variant.
+/// Variant names embed the user's original field text (not a re-formatted
+/// value), so two distinct list entries can never collide into one label.
+std::vector<core::ConfigVariant> campaign_configs(const Cli& cli) {
+  struct Override {
+    std::string text;  ///< the user's spelling, used in the variant name
+    double value = 0.0;
+  };
+  const auto overrides = [&](const std::string& key) {
+    std::vector<Override> out;
+    if (!cli.has(key)) return out;
+    const auto values = double_list(cli, key, "");
+    const auto texts = name_list(cli, key, "");
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      out.push_back({texts[i], values[i]});
+    }
+    return out;
+  };
+  const auto Ls = overrides("L-list");
+  const auto os_ = overrides("o-list");
+  const auto Gs = overrides("G-list");
+  // An absent axis contributes one pass-through (null) slot to the cross
+  // product.
+  const auto axis = [](const std::vector<Override>& list) {
+    std::vector<const Override*> ptrs;
+    for (const auto& o : list) ptrs.push_back(&o);
+    if (ptrs.empty()) ptrs.push_back(nullptr);
+    return ptrs;
+  };
+  std::vector<core::ConfigVariant> out;
+  for (const std::string& net : name_list(cli, "nets", "cscs")) {
+    loggops::Params base;
+    if (net == "cscs") {
+      base = loggops::NetworkConfig::cscs_testbed();
+    } else if (net == "daint") {
+      base = loggops::NetworkConfig::piz_daint();
+    } else {
+      throw UsageError("unknown --nets preset '" + net +
+                       "' (want cscs or daint)");
+    }
+    for (const Override* L : axis(Ls)) {
+      for (const Override* o : axis(os_)) {
+        for (const Override* G : axis(Gs)) {
+          core::ConfigVariant v;
+          v.name = net;
+          v.params = base;
+          if (L) {
+            v.params.L = L->value;
+            v.name += "/L=" + L->text;
+          }
+          if (o) {
+            v.params.o = o->value;
+            v.o_is_default = false;
+            v.name += "/o=" + o->text;
+          }
+          if (G) {
+            v.params.G = G->value;
+            v.name += "/G=" + G->text;
+          }
+          v.params.S = rendezvous_threshold_flag(cli, v.params.S);
+          out.push_back(std::move(v));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+int cmd_campaign(const Cli& cli, std::ostream& out) {
+  core::CampaignSpec spec;
+  spec.apps = name_list(cli, "apps", "lulesh");
+  spec.ranks = int_list(cli, "ranks", "8");
+  spec.scales = double_list(cli, "scales", "0.25");
+  spec.topologies = name_list(cli, "topos", "none");
+  spec.configs = campaign_configs(cli);
+  spec.delta_Ls = sweep_grid(grid_flags(cli));
+  spec.threads = int_flag(cli, "threads", 0);
+  spec.topo.l_wire = cli.get_double("l-wire", spec.topo.l_wire);
+  spec.topo.d_switch = cli.get_double("d-switch", spec.topo.d_switch);
+  spec.topo.ft_radix = int_flag(cli, "ft-radix", spec.topo.ft_radix);
+  spec.topo.df_groups = int_flag(cli, "df-groups", spec.topo.df_groups);
+  spec.topo.df_routers = int_flag(cli, "df-routers", spec.topo.df_routers);
+  spec.topo.df_hosts = int_flag(cli, "df-hosts", spec.topo.df_hosts);
+  const auto format = output_format(cli, /*allow_csv_flag=*/false);
+
+  core::Campaign campaign(spec);
+  const auto results = campaign.run();
+  const bool human = format == core::OutputFormat::kTable;
+  if (human) {
+    out << strformat(
+        "campaign: %zu scenarios x %zu ΔL points (%zu distinct graphs)\n",
+        campaign.stats().scenarios_run, spec.delta_Ls.size(),
+        campaign.stats().graphs_built);
+  }
+  out << core::render(core::campaign_points_table(results, human), format);
   return 0;
 }
 
@@ -182,11 +390,11 @@ int cmd_topo(const Cli& cli, std::ostream& out) {
   const double l_wire = cli.get_double("l-wire", 274.0);
   const double d_switch = cli.get_double("d-switch", 108.0);
 
-  const topo::FatTree fat_tree(static_cast<int>(cli.get_int("ft-radix", 8)));
+  const topo::FatTree fat_tree(int_flag(cli, "ft-radix", 8));
   const topo::Dragonfly dragonfly(
-      static_cast<int>(cli.get_int("df-groups", 8)),
-      static_cast<int>(cli.get_int("df-routers", 4)),
-      static_cast<int>(cli.get_int("df-hosts", 8)));
+      int_flag(cli, "df-groups", 8),
+      int_flag(cli, "df-routers", 4),
+      int_flag(cli, "df-hosts", 8));
   const std::array<const topo::Topology*, 2> topologies{&fat_tree,
                                                         &dragonfly};
   for (const topo::Topology* t : topologies) {
@@ -239,7 +447,7 @@ int cmd_topo(const Cli& cli, std::ostream& out) {
 int cmd_place(const Cli& cli, std::ostream& out) {
   const AppConfig cfg = parse_app_config(cli);
   const auto g = build_graph(cfg);
-  const topo::FatTree ft(static_cast<int>(cli.get_int("ft-radix", 8)));
+  const topo::FatTree ft(int_flag(cli, "ft-radix", 8));
   if (ft.nnodes() < cfg.ranks) {
     throw Error(ft.name() + " has only " + std::to_string(ft.nnodes()) +
                 " nodes for " + std::to_string(cfg.ranks) + " ranks");
@@ -247,7 +455,7 @@ int cmd_place(const Cli& cli, std::ostream& out) {
   core::WireCost wire;
   wire.l_wire = cli.get_double("l-wire", wire.l_wire);
   wire.d_switch = cli.get_double("d-switch", wire.d_switch);
-  const auto max_rounds = static_cast<int>(cli.get_int("max-rounds", 64));
+  const auto max_rounds = int_flag(cli, "max-rounds", 64);
 
   const auto block = core::block_placement(g, cfg.params, ft, wire);
   const auto volume = core::volume_greedy_placement(g, cfg.params, ft, wire);
@@ -306,28 +514,36 @@ std::vector<std::string> normalize_args(int argc, const char* const* argv) {
 
 constexpr std::string_view kCommonKeys[] = {"app", "ranks", "scale", "net",
                                             "L",   "o",     "G",     "S"};
-constexpr std::string_view kGridKeys[] = {"dl-max-us", "points", "threads"};
+constexpr std::string_view kGridKeys[] = {"dl-max-us", "points", "threads",
+                                          "format"};
 constexpr std::string_view kTopoKeys[] = {"l-wire",    "d-switch",
                                           "ft-radix",  "df-groups",
                                           "df-routers", "df-hosts"};
 constexpr std::string_view kPlaceKeys[] = {"l-wire", "d-switch", "ft-radix",
                                            "max-rounds"};
+constexpr std::string_view kCampaignKeys[] = {"apps",   "ranks",  "scales",
+                                              "topos",  "nets",   "L-list",
+                                              "o-list", "G-list", "S"};
 
 /// Reject misspelled options and stray positionals: a typo'd flag must be a
 /// usage error, not a silent fall-back to the default value.  Returns an
 /// empty string when every token is a known `--key[=value]`.
 std::string first_bad_arg(const std::string& sub,
                           const std::vector<std::string>& args) {
-  std::vector<std::string_view> known(std::begin(kCommonKeys),
-                                      std::end(kCommonKeys));
+  std::vector<std::string_view> known;
   const auto add = [&](auto& keys) {
     known.insert(known.end(), std::begin(keys), std::end(keys));
   };
+  if (sub != "apps" && sub != "campaign") add(kCommonKeys);
   if (sub == "analyze" || sub == "sweep") add(kGridKeys);
   if (sub == "sweep") known.push_back("csv");
   if (sub == "topo") add(kTopoKeys);
   if (sub == "place") add(kPlaceKeys);
-  if (sub == "apps") known.clear();
+  if (sub == "campaign") {
+    add(kCampaignKeys);
+    add(kGridKeys);
+    add(kTopoKeys);
+  }
 
   for (const std::string& arg : args) {
     if (!starts_with(arg, "--")) return arg;  // stray positional
@@ -353,8 +569,8 @@ int run(int argc, const char* const* argv, std::ostream& out,
     out << kUsage;
     return 0;
   }
-  if (sub != "analyze" && sub != "sweep" && sub != "topo" && sub != "place" &&
-      sub != "apps") {
+  if (sub != "analyze" && sub != "sweep" && sub != "campaign" &&
+      sub != "topo" && sub != "place" && sub != "apps") {
     err << "llamp: unknown subcommand '" << sub << "'\n\n" << kUsage;
     return 2;
   }
@@ -371,9 +587,13 @@ int run(int argc, const char* const* argv, std::ostream& out,
   try {
     if (sub == "analyze") return cmd_analyze(cli, out);
     if (sub == "sweep") return cmd_sweep(cli, out);
+    if (sub == "campaign") return cmd_campaign(cli, out);
     if (sub == "topo") return cmd_topo(cli, out);
     if (sub == "place") return cmd_place(cli, out);
     return cmd_apps(out);
+  } catch (const UsageError& e) {
+    err << "llamp " << sub << ": " << e.what() << '\n';
+    return 2;
   } catch (const Error& e) {
     err << "llamp " << sub << ": " << e.what() << '\n';
     return 1;

@@ -1,8 +1,24 @@
 #include "util/cli.hpp"
 
+#include "util/error.hpp"
 #include "util/strings.hpp"
 
 namespace llamp {
+namespace {
+
+/// A flag value that fails to parse is a usage error (exit 2 in the CLI
+/// driver), named after the offending flag — never a bare parse Error that
+/// would be reported as an analysis failure.
+template <typename Fn>
+auto parse_flag(const std::string& key, const std::string& value, Fn parse) {
+  try {
+    return parse(value);
+  } catch (const Error&) {
+    throw UsageError("bad --" + key + " value '" + value + "'");
+  }
+}
+
+}  // namespace
 
 Cli::Cli(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
@@ -29,12 +45,16 @@ std::string Cli::get(const std::string& key, const std::string& fallback) const 
 
 long long Cli::get_int(const std::string& key, long long fallback) const {
   const auto it = kv_.find(key);
-  return it == kv_.end() ? fallback : parse_ll(it->second);
+  if (it == kv_.end()) return fallback;
+  return parse_flag(key, it->second,
+                    [](const std::string& v) { return parse_ll(v); });
 }
 
 double Cli::get_double(const std::string& key, double fallback) const {
   const auto it = kv_.find(key);
-  return it == kv_.end() ? fallback : parse_double(it->second);
+  if (it == kv_.end()) return fallback;
+  return parse_flag(key, it->second,
+                    [](const std::string& v) { return parse_double(v); });
 }
 
 bool Cli::get_bool(const std::string& key, bool fallback) const {

@@ -13,6 +13,16 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Invalid user-supplied configuration: malformed CLI flags, degenerate
+/// sweep grids, empty campaign axes.  The CLI driver maps this class to
+/// exit code 2 (usage error) while every other Error maps to exit code 1
+/// (analysis failure), so a typo'd grid spec can never masquerade as a
+/// clean-but-empty result.
+class UsageError : public Error {
+ public:
+  explicit UsageError(const std::string& what) : Error(what) {}
+};
+
 /// Malformed or inconsistent trace input (bad syntax, non-monotonic
 /// timestamps, unknown operation, rank mismatch).
 class TraceError : public Error {

@@ -1,0 +1,41 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace llamp {
+
+void parallel_for(std::size_t n, int threads,
+                  const std::function<void(std::size_t)>& fn) {
+  int nthreads = threads > 0
+                     ? threads
+                     : static_cast<int>(std::thread::hardware_concurrency());
+  nthreads = std::max(1, std::min<int>(nthreads, static_cast<int>(n)));
+  if (nthreads == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::vector<std::thread> pool;
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  for (int t = 0; t < nthreads; ++t) {
+    pool.emplace_back([&, t] {
+      try {
+        for (std::size_t i = static_cast<std::size_t>(t); i < n;
+             i += static_cast<std::size_t>(nthreads)) {
+          fn(i);
+        }
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace llamp

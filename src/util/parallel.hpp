@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace llamp {
+
+/// Run fn(0), ..., fn(n-1) across a pool of worker threads, striding the
+/// index range so consecutive indices land on different workers (the LP
+/// solves of a sweep have similar cost, so striding balances well).
+///
+/// `threads` <= 0 uses the hardware concurrency; the pool never exceeds `n`
+/// workers, and n <= 1 or threads == 1 degrades to a plain loop on the
+/// calling thread.  The first exception thrown by any fn is rethrown on the
+/// caller after all workers join.
+///
+/// Determinism contract: fn(i) must depend only on i (and read-only shared
+/// state).  Under that contract results are independent of the thread
+/// count — the property the campaign engine's byte-identical-output tests
+/// pin.
+void parallel_for(std::size_t n, int threads,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace llamp

@@ -24,6 +24,11 @@ class Table {
 
   std::size_t rows() const { return rows_.size(); }
 
+  /// Raw cell access for the structured emitters in core/report.*
+  /// (e.g. the JSON renderer keys objects by header name).
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& data() const { return rows_; }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

@@ -132,6 +132,141 @@ TEST(CliSmoke, RejectsUnknownOptionsAndPositionals) {
   EXPECT_TRUE(contains(after_bool.err, "unrecognized argument 'extra'"));
 }
 
+TEST(CliSmoke, CampaignEmitsGridInEveryFormat) {
+  const std::vector<const char*> base = {
+      "campaign", "--apps=lulesh,hpcg", "--ranks=8",   "--scales=0.02",
+      "--topos=none",                   "--points=3",  "--dl-max-us=20"};
+  auto with_format = [&](const char* fmt) {
+    auto args = base;
+    args.push_back(fmt);
+    return run_cli(args);
+  };
+  const auto table = run_cli(base);
+  EXPECT_EQ(table.code, 0) << table.err;
+  EXPECT_TRUE(contains(table.out, "campaign: 2 scenarios"));
+  EXPECT_TRUE(contains(table.out, "lulesh"));
+  EXPECT_TRUE(contains(table.out, "hpcg"));
+
+  const auto csv = with_format("--format=csv");
+  EXPECT_EQ(csv.code, 0) << csv.err;
+  EXPECT_TRUE(contains(
+      csv.out,
+      "app,ranks,scale,topology,config,delta_l_ns,runtime_ns,lambda_l,rho_l"));
+  // Header + 2 scenarios x 3 points.
+  EXPECT_EQ(std::count(csv.out.begin(), csv.out.end(), '\n'), 7);
+
+  const auto json = with_format("--format=json");
+  EXPECT_EQ(json.code, 0) << json.err;
+  EXPECT_TRUE(contains(json.out, "\"app\": \"lulesh\""));
+  EXPECT_TRUE(contains(json.out, "\"topology\": \"none\""));
+}
+
+// The campaign determinism wall (the engine's core contract): the same grid
+// must produce byte-identical output under --threads=1 and --threads=8, in
+// every output format.  This is the acceptance grid of ISSUE 2: 3 apps x
+// 2 rank counts x 2 topologies.
+TEST(CliCampaignDeterminism, ThreadCountNeverChangesTheBytes) {
+  for (const char* fmt : {"--format=csv", "--format=json", "--format=table"}) {
+    auto run_with = [&](const char* threads) {
+      return run_cli({"campaign", "--apps=lulesh,hpcg,milc", "--ranks=8,27",
+                      "--topos=none,fat-tree", "--scales=0.02", "--points=3",
+                      "--dl-max-us=20", fmt, threads});
+    };
+    const auto serial = run_with("--threads=1");
+    const auto parallel = run_with("--threads=8");
+    ASSERT_EQ(serial.code, 0) << serial.err;
+    ASSERT_EQ(parallel.code, 0) << parallel.err;
+    EXPECT_FALSE(serial.out.empty());
+    EXPECT_EQ(serial.out, parallel.out) << "format " << fmt;
+  }
+}
+
+// Degenerate grid specs must exit 2 with a clear message — never UB, a
+// crash, or silent empty output.
+TEST(CliGridEdgeCases, DegenerateGridsAreUsageErrors) {
+  for (const auto& args : std::vector<std::vector<const char*>>{
+           {"sweep", "--app=lulesh", "--points=0"},
+           {"sweep", "--app=lulesh", "--points=1"},
+           {"analyze", "--app=lulesh", "--points=1"},
+           {"campaign", "--apps=lulesh", "--points=1"},
+           {"sweep", "--app=lulesh", "--dl-max-us=0"},
+           {"campaign", "--apps=lulesh", "--dl-max-us=0"},
+           {"campaign", "--apps=lulesh", "--dl-max-us=-5"},
+           {"campaign", "--apps="},
+           {"campaign", "--apps=lulesh", "--ranks="},
+           {"campaign", "--apps=lulesh", "--topos=torus"},
+           {"campaign", "--apps=lulesh", "--nets=slurm"},
+           {"campaign", "--apps=lulesh", "--ranks=abc"},
+           {"campaign", "--apps=lulesh", "--L-list=-5"},
+           {"campaign", "--apps=lulesh", "--scales=inf"},
+           {"sweep", "--app=lulesh", "--scale=inf"},
+           {"sweep", "--app=lulesh", "--scale=0"},
+           {"analyze", "--app=lulesh", "--scale=-1"},
+           {"campaign", "--apps=lulesh", "--S=-5"},
+           {"sweep", "--app=lulesh", "--S=-5"},
+           {"campaign", "--apps=hpcg", "--ranks=512", "--topos=fat-tree"},
+           {"campaign", "--apps=lulesh", "--topos=fat-tree", "--ft-radix=0"},
+           {"sweep", "--app=lulesh", "--points=abc"},
+           {"sweep", "--app=lulesh", "--points=4294967298"},
+           {"campaign", "--apps=lulesh", "--ranks=4294967304"},
+           {"analyze", "--app=lulesh", "--dl-max-us=abc"},
+           {"sweep", "--app=lulesh", "--format=yaml"},
+       }) {
+    const auto r = run_cli(args);
+    EXPECT_EQ(r.code, 2) << args[0] << ' ' << args[1];
+    EXPECT_FALSE(r.err.empty());
+  }
+}
+
+// --S is graph-shaping (it selects eager vs rendezvous per message), so the
+// same scenario must forecast identically through sweep and campaign.
+TEST(CliSmoke, RendezvousThresholdShapesTheGraphConsistently) {
+  const auto sweep =
+      run_cli({"sweep", "--app=lulesh", "--ranks=8", "--scale=0.02",
+               "--points=2", "--dl-max-us=10", "--S=1024", "--format=csv"});
+  const auto camp = run_cli({"campaign", "--apps=lulesh", "--ranks=8",
+                             "--scales=0.02", "--points=2", "--dl-max-us=10",
+                             "--S=1024", "--format=csv"});
+  ASSERT_EQ(sweep.code, 0) << sweep.err;
+  ASSERT_EQ(camp.code, 0) << camp.err;
+  // The sweep row (delta,runtime,lambda,rho) must be the tail of the
+  // campaign row (app,ranks,scale,topology,config,delta,runtime,...).
+  const auto last_line = [](const std::string& s) {
+    const auto end = s.find_last_not_of('\n');
+    const auto start = s.rfind('\n', end);
+    return s.substr(start + 1, end - start);
+  };
+  const std::string sweep_row = last_line(sweep.out);
+  const std::string camp_row = last_line(camp.out);
+  ASSERT_GE(camp_row.size(), sweep_row.size());
+  EXPECT_EQ(camp_row.substr(camp_row.size() - sweep_row.size()), sweep_row);
+}
+
+TEST(CliSmoke, SweepFormatFlagMatchesCsvShorthand) {
+  const std::vector<const char*> common = {"sweep", "--app=hpcg", "--ranks=8",
+                                           "--scale=0.02", "--points=3"};
+  auto shorthand = common;
+  shorthand.push_back("--csv");
+  auto explicit_fmt = common;
+  explicit_fmt.push_back("--format=csv");
+  EXPECT_EQ(run_cli(shorthand).out, run_cli(explicit_fmt).out);
+
+  auto json = common;
+  json.push_back("--format=json");
+  const auto r = run_cli(json);
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_TRUE(contains(r.out, "\"delta_l_ns\": "));
+}
+
+TEST(CliSmoke, AnalyzeJsonIsAStructuredReport) {
+  const auto r = run_cli({"analyze", "--app=lulesh", "--ranks=8",
+                          "--scale=0.02", "--points=3", "--format=json"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_TRUE(contains(r.out, "\"base_runtime_ns\": "));
+  EXPECT_TRUE(contains(r.out, "\"bands\": "));
+  EXPECT_TRUE(contains(r.out, "\"critical_latencies_ns\": "));
+}
+
 TEST(CliSmoke, AnalysisErrorsReportAndFail) {
   const auto bad_app = run_cli({"analyze", "--app=not-an-app", "--ranks=8"});
   EXPECT_EQ(bad_app.code, 1);
