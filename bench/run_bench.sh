@@ -1,0 +1,37 @@
+#!/bin/sh
+# Run the solver hot-path benchmark and write the perf trajectory file
+# BENCH_solver.json at the repository root.  Requires google-benchmark.
+#
+# Usage: bench/run_bench.sh [--quick] [--build-dir=DIR]
+#   --quick       shorter measurement window (CI perf-smoke; numbers are
+#                 informational there, never gating)
+#   --build-dir   build tree to use/create (default: build)
+set -eu
+
+quick=0
+build_dir=build
+for arg in "$@"; do
+  case "$arg" in
+    --quick) quick=1 ;;
+    --build-dir=*) build_dir="${arg#--build-dir=}" ;;
+    *) echo "usage: bench/run_bench.sh [--quick] [--build-dir=DIR]" >&2
+       exit 2 ;;
+  esac
+done
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$root"
+
+if [ ! -x "$build_dir/bench_solver_hotpath" ]; then
+  cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release \
+    -DLLAMP_BUILD_TESTS=OFF -DLLAMP_BUILD_EXAMPLES=OFF
+  cmake --build "$build_dir" -j --target bench_solver_hotpath
+fi
+
+set -- "--out=$root/BENCH_solver.json"
+if [ "$quick" = 1 ]; then
+  set -- "$@" --benchmark_min_time=0.05
+fi
+
+"$build_dir/bench_solver_hotpath" "$@"
+echo "wrote $root/BENCH_solver.json"

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <span>
 
 #include "util/error.hpp"
 #include "util/parallel.hpp"
+#include "util/strings.hpp"
 
 namespace llamp::core {
 
@@ -62,15 +64,57 @@ double LatencyAnalyzer::lambda_G() const {
 
 std::vector<LatencyAnalyzer::SweepPoint> LatencyAnalyzer::sweep(
     const std::vector<TimeNs>& delta_Ls, int threads) const {
-  std::vector<SweepPoint> out(delta_Ls.size());
-  parallel_for(delta_Ls.size(), threads, [&](std::size_t i) {
+  // Validate the whole grid before any worker thread exists, so bad input
+  // raises a clean Error on the calling thread instead of depending on
+  // exception propagation out of the pool.
+  bool ascending = true;
+  for (std::size_t i = 0; i < delta_Ls.size(); ++i) {
     const TimeNs d = delta_Ls[i];
     if (d < 0.0) throw Error("sweep: negative latency injection");
-    const auto sol = solver_.solve(0, params_.L + d);
-    out[i] = {d, sol.value, sol.gradient[0],
-              sol.value > 0.0 ? (params_.L + d) * sol.gradient[0] / sol.value
-                              : 0.0};
-  });
+    if (!std::isfinite(d)) {
+      throw Error(
+          strformat("sweep: latency injection must be finite (got %g)", d));
+    }
+    if (i > 0 && delta_Ls[i - 1] > d) ascending = false;
+  }
+  const std::size_t n = delta_Ls.size();
+  std::vector<SweepPoint> out(n);
+  if (n == 0) return out;
+  std::vector<double> xs(n);
+  for (std::size_t i = 0; i < n; ++i) xs[i] = params_.L + delta_Ls[i];
+  const auto fill = [&](std::size_t i, double value, double lambda) {
+    out[i] = {delta_Ls[i], value, lambda,
+              value > 0.0 ? xs[i] * lambda / value : 0.0};
+  };
+
+  if (ascending) {
+    // Segment walk over contiguous chunks, one workspace per chunk.  Every
+    // point's value is bitwise identical to a dense solve at that point, so
+    // the chunk boundaries (and therefore the thread count) cannot change
+    // the bytes of the result.
+    const std::size_t nchunks =
+        static_cast<std::size_t>(effective_threads(n, threads));
+    std::vector<lp::ParametricSolver::Workspace> wss(nchunks);
+    std::vector<lp::ParametricSolver::SweepEval> evals(n);
+    parallel_for(nchunks, threads, [&](std::size_t c) {
+      const std::size_t begin = n * c / nchunks;
+      const std::size_t end = n * (c + 1) / nchunks;
+      solver_.sweep(0, std::span(xs).subspan(begin, end - begin), wss[c],
+                    evals.data() + begin);
+    });
+    for (std::size_t i = 0; i < n; ++i) fill(i, evals[i].value, evals[i].slope);
+  } else {
+    // Unordered grids keep the dense per-point path, allocation-free via
+    // one workspace per worker.
+    const int nworkers = effective_threads(n, threads);
+    std::vector<lp::ParametricSolver::Workspace> wss(
+        static_cast<std::size_t>(nworkers));
+    parallel_for_workers(n, threads, [&](int w, std::size_t i) {
+      const auto& sol =
+          solver_.solve(0, xs[i], wss[static_cast<std::size_t>(w)]);
+      fill(i, sol.value, sol.gradient[0]);
+    });
+  }
   return out;
 }
 

@@ -138,7 +138,8 @@ ScenarioSpace make_space(const Scenario& s, const TopologyOptions& topo) {
 Campaign::ScenarioResult eval_scenario(const Scenario& s,
                                        const graph::Graph& g,
                                        const TopologyOptions& topo,
-                                       const Campaign::Probe& probe) {
+                                       const Campaign::Probe& probe,
+                                       lp::ParametricSolver::Workspace& ws) {
   Campaign::ScenarioResult res;
   res.scenario = s;
   res.graph_vertices = g.num_vertices();
@@ -146,26 +147,45 @@ Campaign::ScenarioResult eval_scenario(const Scenario& s,
 
   const ScenarioSpace ss = make_space(s, topo);
   const lp::ParametricSolver solver(g, ss.space);
-  const auto base_sol = solver.solve(0, ss.base);
-  res.base_runtime = base_sol.value;
+  res.base_runtime = solver.solve(0, ss.base, ws).value;
 
-  res.points.reserve(s.delta_Ls.size());
-  for (const TimeNs d : s.delta_Ls) {
-    // Every CLI grid starts at ΔL = 0; that point is the base solve.
-    const auto sol = d == 0.0 ? base_sol : solver.solve(0, ss.base + d);
-    Campaign::Point pt;
-    pt.delta_L = d;
-    pt.runtime = sol.value;
-    pt.lambda = sol.gradient[0];
-    pt.rho = sol.value > 0.0 ? (ss.base + d) * sol.gradient[0] / sol.value
-                             : 0.0;
-    res.points.push_back(pt);
+  const std::size_t npts = s.delta_Ls.size();
+  std::vector<double> xs(npts);
+  bool ascending = true;
+  for (std::size_t i = 0; i < npts; ++i) {
+    xs[i] = ss.base + s.delta_Ls[i];
+    if (i > 0 && s.delta_Ls[i - 1] > s.delta_Ls[i]) ascending = false;
+  }
+  res.points.resize(npts);
+  const auto fill = [&](std::size_t i, double value, double lambda) {
+    Campaign::Point& pt = res.points[i];
+    pt.delta_L = s.delta_Ls[i];
+    pt.runtime = value;
+    pt.lambda = lambda;
+    pt.rho = value > 0.0 ? xs[i] * lambda / value : 0.0;
+  };
+  if (ascending) {
+    // Every CLI grid is ascending: one segment walk answers the whole grid
+    // in O(#linear pieces) forward passes, bitwise identical to per-point
+    // solves.
+    std::vector<lp::ParametricSolver::SweepEval> evals(npts);
+    solver.sweep(0, xs, ws, evals.data());
+    for (std::size_t i = 0; i < npts; ++i) {
+      fill(i, evals[i].value, evals[i].slope);
+    }
+  } else {
+    // Explicit scenario lists may order their grids arbitrarily; fall back
+    // to dense per-point solves through the same workspace.
+    for (std::size_t i = 0; i < npts; ++i) {
+      const auto& sol = solver.solve(0, xs[i], ws);
+      fill(i, sol.value, sol.gradient[0]);
+    }
   }
 
   res.bands.reserve(s.band_percents.size());
   for (const double pct : s.band_percents) {
     const double budget = res.base_runtime * (1.0 + pct / 100.0);
-    const double tol = solver.max_param_for_budget(0, budget);
+    const double tol = solver.max_param_for_budget(0, budget, ws);
     res.bands.push_back(
         {pct, std::isfinite(tol) ? tol - ss.base : tol});
   }
@@ -321,12 +341,18 @@ std::vector<Campaign::ScenarioResult> Campaign::run(const Probe& probe) {
 
   // Phase 2: one solver per scenario over the cached (now read-only)
   // graphs; each job writes only its own slot, so result order is grid
-  // order whatever the thread count.
+  // order whatever the thread count.  Each worker thread owns one solve
+  // workspace, reused across all scenarios it serves — steady-state solves
+  // allocate nothing.
   std::vector<ScenarioResult> results(scenarios_.size());
-  parallel_for(scenarios_.size(), threads_, [&](std::size_t i) {
+  const int nworkers = effective_threads(scenarios_.size(), threads_);
+  std::vector<lp::ParametricSolver::Workspace> wss(
+      static_cast<std::size_t>(nworkers));
+  parallel_for_workers(scenarios_.size(), threads_, [&](int w, std::size_t i) {
     const Scenario& s = scenarios_[i];
     const graph::Graph& g = *graphs[key_index.at(graph_key(s))];
-    results[i] = eval_scenario(s, g, topo_, probe);
+    results[i] = eval_scenario(s, g, topo_, probe,
+                               wss[static_cast<std::size_t>(w)]);
   });
 
   stats_.graphs_built = graphs.size();

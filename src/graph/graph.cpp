@@ -177,7 +177,13 @@ void Graph::finalize() {
   require_building();
   const std::size_t n = vertices_.size();
 
-  // Build CSR adjacency (out and in).
+  // The construction vectors grew geometrically; campaigns cache finalized
+  // graphs for their whole run, so trim the slack (up to ~2x) now.
+  vertices_.shrink_to_fit();
+  edges_.shrink_to_fit();
+
+  // Build CSR adjacency (out and in); assign/resize below size every
+  // array exactly.
   out_offsets_.assign(n + 1, 0);
   in_offsets_.assign(n + 1, 0);
   for (const Edge& e : edges_) {
@@ -294,6 +300,15 @@ std::pair<int, int> Graph::edge_wire_pair(const Edge& e) const {
   }
 }
 
+std::size_t Graph::memory_bytes() const {
+  const auto bytes = [](const auto& v) {
+    return v.capacity() * sizeof(v[0]);
+  };
+  return bytes(vertices_) + bytes(edges_) + bytes(out_offsets_) +
+         bytes(out_adj_) + bytes(in_offsets_) + bytes(in_adj_) +
+         bytes(topo_) + bytes(comm_partner_);
+}
+
 std::string Graph::stats_string() const {
   std::size_t calc = 0, send = 0, recv = 0, post = 0;
   for (const Vertex& v : vertices_) {
@@ -305,9 +320,9 @@ std::string Graph::stats_string() const {
     }
   }
   return strformat("graph{ranks=%d vertices=%zu (calc=%zu send=%zu recv=%zu "
-                   "post=%zu) edges=%zu comm=%zu}",
+                   "post=%zu) edges=%zu comm=%zu bytes=%zu}",
                    nranks_, vertices_.size(), calc, send, recv, post,
-                   edges_.size(), num_comm_edges_);
+                   edges_.size(), num_comm_edges_, memory_bytes());
 }
 
 }  // namespace llamp::graph

@@ -135,6 +135,11 @@ class Graph {
   /// Raw edge list (stable order of insertion).
   std::span<const Edge> edges() const { return edges_; }
 
+  /// Heap bytes held by this graph (vertex/edge lists, CSR adjacency, topo
+  /// order, partner table).  finalize() trims construction slack, so this
+  /// is the steady-state footprint a campaign's graph cache pays per entry.
+  std::size_t memory_bytes() const;
+
   std::string stats_string() const;
 
  private:

@@ -17,6 +17,15 @@ struct ParamTerm {
 
 /// An affine function constant + Σ coeff_k · x_k over the decision
 /// parameters of a ParamSpace.
+///
+/// Lowering contract (see DESIGN.md §4b): ParametricSolver flattens these
+/// expressions at construction and replicates the term list's *order* in
+/// its floating-point summations, so `terms` order is part of a space's
+/// observable behavior — emit terms deterministically.  Coefficients are
+/// nonnegative by convention (edge costs are monotone in every parameter;
+/// tolerance search relies on it), and spaces whose edges carry at most
+/// one term each (LatencyParamSpace, the wire-latency space) get the
+/// fastest per-parameter flat lowering.
 struct Affine {
   double constant = 0.0;
   std::vector<ParamTerm> terms;

@@ -13,18 +13,35 @@ namespace {
 constexpr double kInfD = std::numeric_limits<double>::infinity();
 constexpr std::uint32_t kNoEdge = std::numeric_limits<std::uint32_t>::max();
 
+/// Parameter-count ceiling for the per-active-parameter flat lowering; the
+/// pairwise HLogGP space (O(ranks²) parameters) stays on the CSR fallback
+/// rather than materializing O(ranks² · edges) doubles.
+constexpr int kFlatParamLimit = 8;
+
+/// Fuzzy-selection guard for the segment walk: the dense pass breaks
+/// near-ties within value_eps toward the larger slope, so critical-path
+/// replay is only trusted while every losing candidate is at least this
+/// many eps away from entering the winner's tie band.
+constexpr double kStableMarginFactor = 32.0;
+
 /// Relative tolerance for value comparisons (times are O(1e10) ns).
 double value_eps(double v) { return 1e-9 * (1.0 + std::fabs(v)); }
 
 /// Upper-envelope bookkeeping: given the winning affine piece
 /// (value, slope) at δ=0 and a losing candidate, tighten the interval of δ
-/// on which the winner stays maximal: V_w + S_w·δ >= V_c + S_c·δ.
+/// on which the winner stays maximal: V_w + S_w·δ >= V_c + S_c·δ.  Also
+/// tightens `stable_dhi`, the sub-interval on which the winner additionally
+/// stays clear of the dense pass's fuzzy tie band (see kStableMarginFactor),
+/// i.e. on which a dense re-solve provably re-selects the same basis.
 void constrain(double win_val, double win_slope, double cand_val,
-               double cand_slope, double& dlo, double& dhi) {
+               double cand_slope, double& dlo, double& dhi,
+               double& stable_dhi) {
   const double dv = std::max(win_val - cand_val, 0.0);
   const double ds = cand_slope - win_slope;
   if (ds > 1e-12) {
     dhi = std::min(dhi, dv / ds);
+    const double margin = kStableMarginFactor * value_eps(win_val);
+    stable_dhi = std::min(stable_dhi, std::max((dv - margin) / ds, 0.0));
   } else if (ds < -1e-12) {
     dlo = std::max(dlo, dv / ds);  // dv/ds <= 0
   }
@@ -32,144 +49,400 @@ void constrain(double win_val, double win_slope, double cand_val,
 
 }  // namespace
 
+/// (cost, slope) of an in-edge under the flat lowering: two contiguous
+/// loads and one multiply-add, no inner term loop, no per-edge heap
+/// vectors.  Indexed by adjacency slot `j`, so the forward pass streams the
+/// cost arrays strictly sequentially.
+struct ParametricSolver::FlatEdgeAt {
+  const double* cst;  ///< slot-permuted constants of the active parameter
+  const double* slp;  ///< slot-permuted slopes of the active parameter
+  double x;
+  std::pair<double, double> operator()(std::uint32_t j,
+                                       std::uint32_t /*edge*/) const {
+    return {cst[j] + slp[j] * x, slp[j]};
+  }
+};
+
+/// General multi-parameter fallback: walk the CSR term list exactly like
+/// the seed walked the per-edge Affine::terms vectors (same term order,
+/// same floating-point summation order, flat contiguous storage).
+struct ParametricSolver::CsrEdgeAt {
+  const ParametricSolver* s;
+  const double* point;
+  int active;
+  std::pair<double, double> operator()(std::uint32_t /*slot*/,
+                                       std::uint32_t e) const {
+    double c = s->edge_const_[e];
+    double sl = 0.0;
+    const std::uint32_t end = s->term_offsets_[e + 1];
+    for (std::uint32_t i = s->term_offsets_[e]; i < end; ++i) {
+      const std::int32_t p = s->term_param_[i];
+      c += s->term_coeff_[i] * point[static_cast<std::size_t>(p)];
+      if (p == active) sl += s->term_coeff_[i];
+    }
+    return {c, sl};
+  }
+};
+
 ParametricSolver::ParametricSolver(const graph::Graph& g,
                                    std::shared_ptr<const ParamSpace> space)
     : g_(g), space_(std::move(space)) {
   if (!g.finalized()) throw LpError("graph must be finalized");
   if (!space_) throw LpError("null parameter space");
-  const auto edges = g_.edges();
-  edge_affine_.reserve(edges.size());
-  for (const graph::Edge& e : edges) {
-    edge_affine_.push_back(space_->edge_cost(g_, e));
-  }
-  vertex_cost_.reserve(g_.num_vertices());
-  const loggops::Params& p = space_->params();
-  for (graph::VertexId v = 0; v < g_.num_vertices(); ++v) {
-    vertex_cost_.push_back(graph::vertex_cost(g_.vertex(v), p));
-  }
-  base_.reserve(static_cast<std::size_t>(space_->num_params()));
-  for (int k = 0; k < space_->num_params(); ++k) {
+  num_params_ = space_->num_params();
+  base_.reserve(static_cast<std::size_t>(num_params_));
+  for (int k = 0; k < num_params_; ++k) {
     base_.push_back(space_->base_value(k));
   }
+
+  // Lower the per-edge Affine expressions into CSR structure-of-arrays
+  // storage; the transient Affine (and its heap-allocated term vector) dies
+  // here instead of being walked on every solve.
+  const auto edges = g_.edges();
+  const std::size_t ne = edges.size();
+  edge_const_.reserve(ne);
+  term_offsets_.reserve(ne + 1);
+  term_offsets_.push_back(0);
+  bool one_term_per_edge = true;
+  for (const graph::Edge& e : edges) {
+    const Affine a = space_->edge_cost(g_, e);
+    edge_const_.push_back(a.constant);
+    for (const ParamTerm& t : a.terms) {
+      if (t.param < 0 || t.param >= num_params_) {
+        throw LpError(strformat("edge cost references parameter %d outside "
+                                "the space's %d parameters",
+                                t.param, num_params_));
+      }
+      term_param_.push_back(t.param);
+      term_coeff_.push_back(t.coeff);
+    }
+    one_term_per_edge = one_term_per_edge && a.terms.size() <= 1;
+    term_offsets_.push_back(static_cast<std::uint32_t>(term_param_.size()));
+  }
+
+  // Flat lowering: per activatable parameter, a per-edge (constant, slope)
+  // pair with the inactive parameter (if any) folded in at its base value.
+  // Folding performs the seed's own `c += coeff * point[param]` operation,
+  // so evaluation stays bit-for-bit identical to the term walk.
+  flat_ =
+      one_term_per_edge && num_params_ > 0 && num_params_ <= kFlatParamLimit;
+  if (flat_) {
+    flat_const_.resize(static_cast<std::size_t>(num_params_) * ne);
+    flat_slope_.assign(static_cast<std::size_t>(num_params_) * ne, 0.0);
+    for (int k = 0; k < num_params_; ++k) {
+      double* fc = flat_const_.data() + static_cast<std::size_t>(k) * ne;
+      double* fs = flat_slope_.data() + static_cast<std::size_t>(k) * ne;
+      for (std::size_t e = 0; e < ne; ++e) {
+        double c = edge_const_[e];
+        if (term_offsets_[e] < term_offsets_[e + 1]) {
+          const std::uint32_t i = term_offsets_[e];
+          if (term_param_[i] == k) {
+            fs[e] = term_coeff_[i];
+          } else {
+            c += term_coeff_[i] *
+                 base_[static_cast<std::size_t>(term_param_[i])];
+          }
+        }
+        fc[e] = c;
+      }
+    }
+  }
+
+  const std::size_t n = g_.num_vertices();
+  vertex_cost_.reserve(n);
+  const loggops::Params& p = space_->params();
+  for (graph::VertexId v = 0; v < n; ++v) {
+    vertex_cost_.push_back(graph::vertex_cost(g_.vertex(v), p));
+    max_in_degree_ = std::max(
+        max_in_degree_, static_cast<std::uint32_t>(g_.in_edges(v).size()));
+  }
+
+  // Topo-permuted adjacency: the forward pass visits vertices in topo
+  // order anyway, so lay everything out in that order and the pass becomes
+  // a sequential stream instead of a pointer chase.  Per-vertex in-edge
+  // order is preserved, so every floating-point comparison and sum happens
+  // in the seed's order.
+  const auto topo = g_.topo_order();
+  topo_pos_.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    topo_pos_[topo[i]] = static_cast<std::uint32_t>(i);
+  }
+  in_off_.reserve(n + 1);
+  in_off_.push_back(0);
+  in_other_.reserve(ne);
+  in_edge_.reserve(ne);
+  vertex_cost_topo_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const graph::VertexId v = topo[i];
+    vertex_cost_topo_.push_back(vertex_cost_[v]);
+    for (const auto& a : g_.in_edges(v)) {
+      in_other_.push_back(topo_pos_[a.other]);
+      in_edge_.push_back(a.edge);
+    }
+    in_off_.push_back(static_cast<std::uint32_t>(in_edge_.size()));
+  }
+  for (graph::VertexId v = 0; v < n; ++v) {
+    if (g_.out_edges(v).empty()) sink_pos_.push_back(topo_pos_[v]);
+  }
+  if (flat_) {
+    const std::size_t slots = in_edge_.size();
+    flat_const_slot_.resize(static_cast<std::size_t>(num_params_) * slots);
+    flat_slope_slot_.resize(static_cast<std::size_t>(num_params_) * slots);
+    for (int k = 0; k < num_params_; ++k) {
+      const std::size_t ko = static_cast<std::size_t>(k);
+      for (std::size_t j = 0; j < slots; ++j) {
+        flat_const_slot_[ko * slots + j] = flat_const_[ko * ne + in_edge_[j]];
+        flat_slope_slot_[ko * slots + j] = flat_slope_[ko * ne + in_edge_[j]];
+      }
+    }
+  }
+}
+
+void ParametricSolver::prepare(Workspace& ws) const {
+  // The pass writes finish/slope/arg_edge for every vertex before reading
+  // it, so the arrays are resized without clearing; the variable-length
+  // buffers are reserved to their structural maxima.  Steady state never
+  // allocates.
+  const std::size_t n = g_.num_vertices();
+  if (ws.finish_.size() != n) {
+    ws.finish_.resize(n);
+    ws.slope_.resize(n);
+    ws.arg_edge_.resize(n);
+  }
+  if (ws.chain_.capacity() < n) ws.chain_.reserve(n);
+  if (ws.cands_.capacity() < max_in_degree_) ws.cands_.reserve(max_in_degree_);
+}
+
+template <typename EdgeAt>
+void ParametricSolver::forward_pass(int active, double value, Workspace& ws,
+                                    const EdgeAt& edge_at) const {
+  const std::size_t n = g_.num_vertices();
+  double* const finish = ws.finish_.data();
+  double* const slope = ws.slope_.data();
+  std::uint32_t* const arg_edge = ws.arg_edge_.data();
+  auto& cands = ws.cands_;
+
+  // Allowed movement of the active parameter relative to `value` keeping
+  // every max-argument selection (the LP basis) valid.
+  double dlo = -kInfD;
+  double dhi = kInfD;
+  double stable_dhi = kInfD;
+
+  for (std::size_t i = 0; i < n; ++i) {  // topo position order
+    const std::uint32_t jlo = in_off_[i];
+    const std::uint32_t jhi = in_off_[i + 1];
+    if (jlo == jhi) {
+      finish[i] = vertex_cost_topo_[i];
+      slope[i] = 0.0;
+      arg_edge[i] = kNoEdge;
+      continue;
+    }
+    // The first candidate is selected unconditionally (exactly the seed's
+    // `best_edge == kNoEdge` short-circuit, which never evaluated eps).
+    const auto [c0, s0] = edge_at(jlo, in_edge_[jlo]);
+    const std::uint32_t u0 = in_other_[jlo];
+    double best_val = finish[u0] + c0;
+    double best_slope = slope[u0] + s0;
+    std::uint32_t best_edge = in_edge_[jlo];
+    if (jhi - jlo == 1) {
+      // Single predecessor: the candidate is the winner, and the seed's
+      // envelope loop skipped it as such — no eps, no constrain.
+      finish[i] = best_val + vertex_cost_topo_[i];
+      slope[i] = best_slope;
+      arg_edge[i] = best_edge;
+      continue;
+    }
+    cands.clear();
+    cands.emplace_back(best_val, best_slope);
+    for (std::uint32_t j = jlo + 1; j < jhi; ++j) {
+      const auto [c, s] = edge_at(j, in_edge_[j]);
+      const std::uint32_t u = in_other_[j];
+      const double cv = finish[u] + c;
+      const double cs = slope[u] + s;
+      cands.emplace_back(cv, cs);
+      const double be = value_eps(best_val);
+      if (cv > best_val + be || (cv > best_val - be && cs > best_slope)) {
+        best_val = cv;
+        best_slope = cs;
+        best_edge = in_edge_[j];
+      }
+    }
+    for (const auto& [cv, cs] : cands) {
+      if (cv == best_val && cs == best_slope) continue;  // the winner itself
+      constrain(best_val, best_slope, cv, cs, dlo, dhi, stable_dhi);
+    }
+    finish[i] = best_val + vertex_cost_topo_[i];
+    slope[i] = best_slope;
+    arg_edge[i] = best_edge;
+  }
+
+  // T = max over sinks (visited in ascending vertex-id order, exactly like
+  // the seed's 0..n scan), with the same envelope bookkeeping.
+  Solution& sol = ws.solution_;
+  sol.active = active;
+  sol.at = value;
+  sol.messages = 0;
+  double best_val = -kInfD;
+  double best_slope = 0.0;
+  std::uint32_t best_sink = kNoEdge;  // topo position of the critical sink
+  for (const std::uint32_t pos : sink_pos_) {
+    if (best_sink == kNoEdge || finish[pos] > best_val + value_eps(best_val) ||
+        (finish[pos] > best_val - value_eps(best_val) &&
+         slope[pos] > best_slope)) {
+      best_val = finish[pos];
+      best_slope = slope[pos];
+      best_sink = pos;
+    }
+  }
+  if (best_sink == kNoEdge) {
+    throw LpError("graph has no sink vertex");
+  }
+  for (const std::uint32_t pos : sink_pos_) {
+    if (pos == best_sink) continue;
+    constrain(best_val, best_slope, finish[pos], slope[pos], dlo, dhi,
+              stable_dhi);
+  }
+  sol.value = best_val;
+  sol.lo = value + dlo;
+  sol.hi = value + dhi;
+  ws.stable_hi_ = value + stable_dhi;
+
+  // Gradient for *all* parameters: walk the argmax chain from the critical
+  // sink, accumulating each edge's coefficients, and cache the chain
+  // (source -> sink order) for interior-point replay by the segment walk.
+  sol.gradient.assign(static_cast<std::size_t>(num_params_), 0.0);
+  ws.chain_.clear();
+  std::uint32_t pos = best_sink;
+  while (arg_edge[pos] != kNoEdge) {
+    const std::uint32_t e = arg_edge[pos];
+    const std::uint32_t end = term_offsets_[e + 1];
+    for (std::uint32_t i = term_offsets_[e]; i < end; ++i) {
+      sol.gradient[static_cast<std::size_t>(term_param_[i])] +=
+          term_coeff_[i];
+    }
+    if (g_.edge(e).kind == graph::EdgeKind::kComm) ++sol.messages;
+    ws.chain_.push_back(e);
+    pos = topo_pos_[g_.edge(e).from];
+  }
+  ws.chain_src_ = g_.topo_order()[pos];
+  std::reverse(ws.chain_.begin(), ws.chain_.end());
+}
+
+void ParametricSolver::solve_into(int active, double value,
+                                  Workspace& ws) const {
+  if (active < 0 || active >= num_params_) {
+    throw LpError("parametric: active parameter out of range");
+  }
+  prepare(ws);
+  if (flat_) {
+    const std::size_t slots = in_edge_.size();
+    const FlatEdgeAt at{
+        flat_const_slot_.data() + static_cast<std::size_t>(active) * slots,
+        flat_slope_slot_.data() + static_cast<std::size_t>(active) * slots,
+        value};
+    forward_pass(active, value, ws, at);
+  } else {
+    ws.point_.assign(base_.begin(), base_.end());
+    ws.point_[static_cast<std::size_t>(active)] = value;
+    const CsrEdgeAt at{this, ws.point_.data(), active};
+    forward_pass(active, value, ws, at);
+  }
+}
+
+double ParametricSolver::replay(int active, double x, Workspace& ws) const {
+  // Re-sum the cached critical path with the dense pass's exact operation
+  // order: finish[src] = vc[src]; then per chain edge e=(u,w):
+  // best = finish[u] + cost(e); finish[w] = best + vc[w].
+  double acc = vertex_cost_[ws.chain_src_];
+  if (flat_) {
+    const std::size_t ne = g_.num_edges();
+    // Edge-id-indexed flat arrays; the chain stores edge ids.
+    const double* cst =
+        flat_const_.data() + static_cast<std::size_t>(active) * ne;
+    const double* slp =
+        flat_slope_.data() + static_cast<std::size_t>(active) * ne;
+    for (const std::uint32_t e : ws.chain_) {
+      acc += cst[e] + slp[e] * x;
+      acc += vertex_cost_[g_.edge(e).to];
+    }
+  } else {
+    ws.point_[static_cast<std::size_t>(active)] = x;
+    const CsrEdgeAt at{this, ws.point_.data(), active};
+    for (const std::uint32_t e : ws.chain_) {
+      acc += at(0, e).first;
+      acc += vertex_cost_[g_.edge(e).to];
+    }
+  }
+  return acc;
+}
+
+const ParametricSolver::Solution& ParametricSolver::solve(int active,
+                                                          double value,
+                                                          Workspace& ws) const {
+  solve_into(active, value, ws);
+  return ws.solution_;
+}
+
+ParametricSolver::Solution ParametricSolver::solve(int active,
+                                                   double value) const {
+  Workspace ws;
+  solve_into(active, value, ws);
+  return std::move(ws.solution_);
 }
 
 ParametricSolver::Solution ParametricSolver::solve() const {
   return solve(0, base_.empty() ? 0.0 : base_[0]);
 }
 
-ParametricSolver::Solution ParametricSolver::solve(int active,
-                                                   double value) const {
-  if (active < 0 || active >= space_->num_params()) {
+void ParametricSolver::sweep(int k, std::span<const double> xs, Workspace& ws,
+                             SweepEval* out, SweepStats* stats) const {
+  if (k < 0 || k >= num_params_) {
     throw LpError("parametric: active parameter out of range");
   }
-  std::vector<double> point = base_;
-  point[static_cast<std::size_t>(active)] = value;
-
-  const std::size_t n = g_.num_vertices();
-  std::vector<double> finish(n, 0.0);
-  std::vector<double> slope(n, 0.0);
-  std::vector<std::uint32_t> arg_edge(n, kNoEdge);
-
-  // Allowed movement of the active parameter relative to `value` keeping
-  // every max-argument selection (the LP basis) valid.
-  double dlo = -kInfD;
-  double dhi = kInfD;
-
-  // (cost, slope) of an edge at the evaluation point.
-  const auto edge_at = [&](std::uint32_t e) {
-    double c = edge_affine_[e].constant;
-    double s = 0.0;
-    for (const ParamTerm& t : edge_affine_[e].terms) {
-      c += t.coeff * point[static_cast<std::size_t>(t.param)];
-      if (t.param == active) s += t.coeff;
+  SweepStats local;
+  bool have = false;  // never trust state a previous caller left in ws
+  double prev = -kInfD;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double x = xs[i];
+    if (!(x >= prev)) {
+      throw LpError(strformat("sweep: values must be ascending "
+                              "(x[%zu] = %g after %g)", i, x, prev));
     }
-    return std::pair(c, s);
-  };
-
-  std::vector<std::pair<double, double>> cands;  // (value, slope) scratch
-  for (const graph::VertexId v : g_.topo_order()) {
-    const auto ins = g_.in_edges(v);
-    if (ins.empty()) {
-      finish[v] = vertex_cost_[v];
-      continue;
-    }
-    cands.clear();
-    double best_val = -kInfD;
-    double best_slope = 0.0;
-    std::uint32_t best_edge = kNoEdge;
-    for (const auto& a : ins) {
-      const auto [c, s] = edge_at(a.edge);
-      const double cv = finish[a.other] + c;
-      const double cs = slope[a.other] + s;
-      cands.emplace_back(cv, cs);
-      if (best_edge == kNoEdge || cv > best_val + value_eps(best_val) ||
-          (cv > best_val - value_eps(best_val) && cs > best_slope)) {
-        best_val = cv;
-        best_slope = cs;
-        best_edge = a.edge;
-      }
-    }
-    for (const auto& [cv, cs] : cands) {
-      if (cv == best_val && cs == best_slope) continue;  // the winner itself
-      constrain(best_val, best_slope, cv, cs, dlo, dhi);
-    }
-    finish[v] = best_val + vertex_cost_[v];
-    slope[v] = best_slope;
-    arg_edge[v] = best_edge;
-  }
-
-  // T = max over sinks, with the same envelope bookkeeping.
-  Solution sol;
-  sol.active = active;
-  sol.at = value;
-  double best_val = -kInfD;
-  double best_slope = 0.0;
-  graph::VertexId best_sink = graph::kInvalidVertex;
-  for (graph::VertexId v = 0; v < n; ++v) {
-    if (!g_.out_edges(v).empty()) continue;
-    if (best_sink == graph::kInvalidVertex ||
-        finish[v] > best_val + value_eps(best_val) ||
-        (finish[v] > best_val - value_eps(best_val) && slope[v] > best_slope)) {
-      best_val = finish[v];
-      best_slope = slope[v];
-      best_sink = v;
+    prev = x;
+    const Solution& sol = ws.solution_;
+    if (have && x == sol.at) {
+      out[i] = {x, sol.value, sol.gradient[static_cast<std::size_t>(k)]};
+    } else if (have && x > sol.at && x < ws.stable_hi_) {
+      ++local.replays;
+      out[i] = {x, replay(k, x, ws),
+                sol.gradient[static_cast<std::size_t>(k)]};
+    } else {
+      ++local.anchor_solves;
+      solve_into(k, x, ws);
+      have = true;
+      out[i] = {x, sol.value, sol.gradient[static_cast<std::size_t>(k)]};
     }
   }
-  if (best_sink == graph::kInvalidVertex) {
-    throw LpError("graph has no sink vertex");
-  }
-  for (graph::VertexId v = 0; v < n; ++v) {
-    if (!g_.out_edges(v).empty() || v == best_sink) continue;
-    constrain(best_val, best_slope, finish[v], slope[v], dlo, dhi);
-  }
-  sol.value = best_val;
-  sol.lo = value + dlo;
-  sol.hi = value + dhi;
+  if (stats) *stats = local;
+}
 
-  // Gradient for *all* parameters: walk the argmax chain from the critical
-  // sink and accumulate each edge's coefficients.
-  sol.gradient.assign(static_cast<std::size_t>(space_->num_params()), 0.0);
-  graph::VertexId v = best_sink;
-  while (arg_edge[v] != kNoEdge) {
-    const std::uint32_t e = arg_edge[v];
-    for (const ParamTerm& t : edge_affine_[e].terms) {
-      sol.gradient[static_cast<std::size_t>(t.param)] += t.coeff;
-    }
-    if (g_.edge(e).kind == graph::EdgeKind::kComm) ++sol.messages;
-    v = g_.edge(e).from;
-  }
-  return sol;
+std::vector<ParametricSolver::SweepEval> ParametricSolver::sweep(
+    int k, std::span<const double> xs) const {
+  Workspace ws;
+  std::vector<SweepEval> out(xs.size());
+  sweep(k, xs, ws, out.data());
+  return out;
 }
 
 std::vector<ParametricSolver::Segment> ParametricSolver::piecewise(
-    int k, double lo, double hi) const {
+    int k, double lo, double hi, Workspace& ws) const {
   if (!(lo <= hi)) throw LpError("piecewise: empty interval");
   std::vector<Segment> segs;
   double x = lo;
   const double eps = std::max(1e-6, (hi - lo) * 1e-12);
   constexpr std::size_t kMaxSegments = 1u << 20;
   while (x <= hi) {
-    const Solution s = solve(k, x);
+    const Solution& s = solve(k, x, ws);
     const double slope = s.gradient[static_cast<std::size_t>(k)];
     const double seg_hi = std::min(s.hi, hi);
     if (!segs.empty() && std::fabs(segs.back().slope - slope) < 1e-9) {
@@ -186,20 +459,34 @@ std::vector<ParametricSolver::Segment> ParametricSolver::piecewise(
   return segs;
 }
 
+std::vector<ParametricSolver::Segment> ParametricSolver::piecewise(
+    int k, double lo, double hi) const {
+  Workspace ws;
+  return piecewise(k, lo, hi, ws);
+}
+
 std::vector<double> ParametricSolver::critical_values(int k, double lo,
-                                                      double hi) const {
+                                                      double hi,
+                                                      Workspace& ws) const {
   std::vector<double> out;
-  const auto segs = piecewise(k, lo, hi);
+  const auto segs = piecewise(k, lo, hi, ws);
   for (std::size_t i = 1; i < segs.size(); ++i) {
     out.push_back(segs[i].lo);
   }
   return out;
 }
 
+std::vector<double> ParametricSolver::critical_values(int k, double lo,
+                                                      double hi) const {
+  Workspace ws;
+  return critical_values(k, lo, hi, ws);
+}
+
 std::vector<double> ParametricSolver::critical_values_algorithm2(
     int k, double lo, double hi, double step, double eps) const {
   if (!(lo <= hi)) throw LpError("algorithm2: empty interval");
   if (eps <= 0.0) throw LpError("algorithm2: eps must be positive");
+  Workspace ws;
   std::vector<double> lc;
   double L = hi;
   double lambda = std::numeric_limits<double>::quiet_NaN();
@@ -208,7 +495,7 @@ std::vector<double> ParametricSolver::critical_values_algorithm2(
   for (std::size_t iter = 0; iter < kMaxIters; ++iter) {
     // "Assign constraint l >= L; optimize" — one solve yields the objective,
     // the reduced cost λ', and SALBLow (the basis' feasibility floor).
-    const Solution s = solve(k, L);
+    const Solution& s = solve(k, L, ws);
     const double lambda_new = s.gradient[static_cast<std::size_t>(k)];
     const double lo_new = s.lo;
     if (!std::isnan(lambda) && std::fabs(lambda_new - lambda) > 1e-12) {
@@ -223,7 +510,7 @@ std::vector<double> ParametricSolver::critical_values_algorithm2(
     if (L < lo) {
       // One final probe at the interval's left end covers a boundary that
       // sits between lo and the current basis' floor.
-      const Solution tail = solve(k, lo);
+      const Solution& tail = solve(k, lo, ws);
       const double tail_lambda = tail.gradient[static_cast<std::size_t>(k)];
       if (std::fabs(tail_lambda - lambda) > 1e-12 && lo_new >= lo - eps &&
           lo_new <= hi + eps) {
@@ -239,8 +526,9 @@ std::vector<double> ParametricSolver::critical_values_algorithm2(
   return lc;
 }
 
-double ParametricSolver::max_param_for_budget(int k, double budget) const {
-  if (k < 0 || k >= space_->num_params()) {
+double ParametricSolver::max_param_for_budget(int k, double budget,
+                                              Workspace& ws) const {
+  if (k < 0 || k >= num_params_) {
     throw LpError("tolerance: parameter out of range");
   }
   // T(x) is convex, piecewise linear, and non-decreasing in any parameter
@@ -252,27 +540,27 @@ double ParametricSolver::max_param_for_budget(int k, double budget) const {
   // jittered application graphs with thousands of near-ties.
   const double eps = std::max(1e-6, std::fabs(budget) * 1e-12);
   double x = base_[static_cast<std::size_t>(k)];
-  Solution s = solve(k, x);
-  if (s.value > budget + value_eps(budget)) {
+  const Solution* s = &solve(k, x, ws);
+  if (s->value > budget + value_eps(budget)) {
     throw LpError(strformat("tolerance: T(%g) = %g already exceeds budget %g",
-                            x, s.value, budget));
+                            x, s->value, budget));
   }
   double bracket_lo = x;        // T(bracket_lo) <= budget
   double bracket_hi = kInfD;    // T(bracket_hi) > budget (once finite)
 
   for (int iter = 0; iter < 512; ++iter) {
-    const double slope = s.gradient[static_cast<std::size_t>(k)];
-    const bool below = s.value <= budget + value_eps(budget);
+    const double slope = s->gradient[static_cast<std::size_t>(k)];
+    const bool below = s->value <= budget + value_eps(budget);
     if (below) {
       bracket_lo = std::max(bracket_lo, x);
       double proposal;
       if (slope > 1e-12) {
-        proposal = x + (budget - s.value) / slope;
+        proposal = x + (budget - s->value) / slope;
         // Tangent crossing inside the current piece: exact answer.
-        if (proposal <= s.hi + eps) return proposal;
+        if (proposal <= s->hi + eps) return proposal;
       } else {
-        if (!std::isfinite(s.hi)) return kInfD;  // flat forever
-        proposal = s.hi + eps;
+        if (!std::isfinite(s->hi)) return kInfD;  // flat forever
+        proposal = s->hi + eps;
       }
       if (std::isfinite(bracket_hi) &&
           (proposal >= bracket_hi || proposal <= bracket_lo)) {
@@ -283,8 +571,8 @@ double ParametricSolver::max_param_for_budget(int k, double budget) const {
       bracket_hi = std::min(bracket_hi, x);
       // Walk the current piece's line back down to the budget.
       double proposal =
-          slope > 1e-12 ? x - (s.value - budget) / slope : s.lo - eps;
-      if (slope > 1e-12 && proposal >= s.lo - eps) return proposal;
+          slope > 1e-12 ? x - (s->value - budget) / slope : s->lo - eps;
+      if (slope > 1e-12 && proposal >= s->lo - eps) return proposal;
       if (proposal <= bracket_lo || proposal >= bracket_hi) {
         proposal = 0.5 * (bracket_lo + bracket_hi);
       }
@@ -293,9 +581,14 @@ double ParametricSolver::max_param_for_budget(int k, double budget) const {
     if (std::isfinite(bracket_hi) && bracket_hi - bracket_lo <= eps) {
       return bracket_lo;
     }
-    s = solve(k, x);
+    s = &solve(k, x, ws);
   }
   throw LpError("tolerance: did not converge");
+}
+
+double ParametricSolver::max_param_for_budget(int k, double budget) const {
+  Workspace ws;
+  return max_param_for_budget(k, budget, ws);
 }
 
 }  // namespace llamp::lp

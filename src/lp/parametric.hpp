@@ -1,7 +1,9 @@
 #pragma once
 
+#include <cstdint>
 #include <limits>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -24,6 +26,19 @@ namespace llamp::lp {
 /// off Gurobi (objective, reduced costs, SALBLow/SALBUp), which makes this
 /// class a drop-in high-capacity replacement for the simplex path; the test
 /// suite proves the two agree on random graphs.
+///
+/// Hot-path layout (see DESIGN.md §"Solver internals"): at construction the
+/// ParamSpace's per-edge Affine expressions are lowered into flat
+/// structure-of-arrays storage.  When every edge carries at most one
+/// parametric term and the space is small (LatencyParamSpace, the shared
+/// wire-latency space), each activatable parameter additionally gets a
+/// per-edge (constant, slope) pair with every inactive parameter folded in,
+/// so evaluating an edge is two contiguous loads and one multiply-add.  The
+/// general CSR term walk remains as the multi-parameter fallback
+/// (PairwiseLatencyParamSpace, multi-term link-class edges).  Both paths
+/// replicate the seed implementation's floating-point operation order
+/// exactly, so results are bit-for-bit identical to the original per-edge
+/// heap-vector walk.
 class ParametricSolver {
  public:
   ParametricSolver(const graph::Graph& g,
@@ -49,8 +64,48 @@ class ParametricSolver {
     std::size_t messages = 0;
   };
 
+  /// Reusable scratch for the solve/sweep hot path.  A workspace owns the
+  /// forward-pass arrays, the cached critical path of its last solve, and a
+  /// Solution slot that solve(active, value, ws) reuses, so steady-state
+  /// solves perform zero heap allocations (buffers grow to the largest
+  /// graph/space seen and are then only reused).
+  ///
+  /// Ownership rules: one workspace per thread.  A workspace may be shared
+  /// freely across ParametricSolver instances and scenarios — every solve
+  /// rewrites all state it reads — but never across concurrent callers.
+  class Workspace {
+   public:
+    Workspace() = default;
+    Workspace(const Workspace&) = delete;
+    Workspace& operator=(const Workspace&) = delete;
+    Workspace(Workspace&&) = default;
+    Workspace& operator=(Workspace&&) = default;
+
+   private:
+    friend class ParametricSolver;
+    std::vector<double> finish_;
+    std::vector<double> slope_;
+    std::vector<std::uint32_t> arg_edge_;
+    /// (value, slope) candidates of the vertex currently being maximized.
+    std::vector<std::pair<double, double>> cands_;
+    /// Evaluation point for the CSR fallback (base values + active).
+    std::vector<double> point_;
+    /// Critical-path edges of the last solve, source -> sink order.
+    std::vector<std::uint32_t> chain_;
+    graph::VertexId chain_src_ = graph::kInvalidVertex;
+    /// Absolute active-parameter bound below which the last solve's basis
+    /// is provably re-selected by a dense pass (stability zone for the
+    /// segment walk's critical-path replay; always <= solution_.hi).
+    double stable_hi_ = -std::numeric_limits<double>::infinity();
+    Solution solution_;
+  };
+
   /// Evaluate with parameter `active` set to `value` and all others at
-  /// their base values.
+  /// their base values, reusing `ws` for all scratch state.  The returned
+  /// reference lives in `ws` and is invalidated by the next solve through
+  /// the same workspace.  Steady state performs no heap allocations.
+  const Solution& solve(int active, double value, Workspace& ws) const;
+  /// Convenience form that allocates a transient workspace.
   Solution solve(int active, double value) const;
   /// Evaluate at the base point (active parameter 0).
   Solution solve() const;
@@ -64,15 +119,19 @@ class ParametricSolver {
   };
 
   /// The exact piecewise-linear T over [lo, hi] for parameter k, assembled
-  /// by hopping across feasibility ranges (the exact version of
-  /// Algorithm 2).  Adjacent pieces with equal slope are merged, so piece
-  /// boundaries are precisely the critical latencies L_c.
+  /// by a left-to-right walk hopping across feasibility ranges (the exact
+  /// version of Algorithm 2).  Adjacent pieces with equal slope are merged,
+  /// so piece boundaries are precisely the critical latencies L_c.
   std::vector<Segment> piecewise(int k, double lo, double hi) const;
+  std::vector<Segment> piecewise(int k, double lo, double hi,
+                                 Workspace& ws) const;
 
   /// Critical latencies within [lo, hi]: the parameter values where λ
   /// changes (Algorithm 2's output list), derived from the exact piecewise
   /// curve.
   std::vector<double> critical_values(int k, double lo, double hi) const;
+  std::vector<double> critical_values(int k, double lo, double hi,
+                                      Workspace& ws) const;
 
   /// Faithful port of the paper's Algorithm 2 (Appendix D): scan the
   /// interval right-to-left, hopping to SALBLow − ε after each solve and
@@ -90,13 +149,87 @@ class ParametricSolver {
   /// a critical path up to the budget; throws LpError if even the base
   /// value exceeds the budget.
   double max_param_for_budget(int k, double budget) const;
+  double max_param_for_budget(int k, double budget, Workspace& ws) const;
+
+  /// One evaluated point of a segment-walk sweep.
+  struct SweepEval {
+    double at = 0.0;     ///< evaluated value of the active parameter
+    double value = 0.0;  ///< T at that point
+    double slope = 0.0;  ///< λ = ∂T/∂x_k at that point
+  };
+
+  /// Work counters of one sweep() call (perf observability: the benchmark
+  /// harness records anchor_solves per sweep in BENCH_solver.json).
+  struct SweepStats {
+    std::size_t anchor_solves = 0;  ///< full forward passes performed
+    std::size_t replays = 0;        ///< points served by chain replay
+  };
+
+  /// Evaluate T and λ at every value of `xs` (which must be ascending) for
+  /// parameter k in a single left-to-right segment walk: one full forward
+  /// pass per linear piece of the solver's basis structure, advancing from
+  /// each solve's breakpoint; points interior to a piece are evaluated by
+  /// replaying the anchor solve's critical path, which reproduces the dense
+  /// forward pass's floating-point sums operation for operation.  Results
+  /// are therefore bitwise identical to calling solve(k, x) at every
+  /// point, at a cost of O(#pieces hit) instead of O(#points) passes.
+  /// (Near-ties split the λ-segments of piecewise() into finer basis
+  /// pieces, so the pass count lies between the segment count and the point
+  /// count.)  Writes xs.size() entries to `out`.  Throws LpError on
+  /// descending xs.
+  void sweep(int k, std::span<const double> xs, Workspace& ws,
+             SweepEval* out, SweepStats* stats = nullptr) const;
+  std::vector<SweepEval> sweep(int k, std::span<const double> xs) const;
 
  private:
+  struct FlatEdgeAt;
+  struct CsrEdgeAt;
+
+  template <typename EdgeAt>
+  void forward_pass(int active, double value, Workspace& ws,
+                    const EdgeAt& edge_at) const;
+  /// Dense solve into ws (solution, chain, stability bound).
+  void solve_into(int active, double value, Workspace& ws) const;
+  /// T at `x` via the cached critical path of ws's last solve.  Only valid
+  /// for ws.solution_.at <= x < ws.stable_hi_.
+  double replay(int active, double x, Workspace& ws) const;
+  void prepare(Workspace& ws) const;
+
   const graph::Graph& g_;
   std::shared_ptr<const ParamSpace> space_;
-  /// Edge-cost affines, precomputed once (edge index aligned with g.edges()).
-  std::vector<Affine> edge_affine_;
-  std::vector<double> vertex_cost_;
+  int num_params_ = 0;
+  std::uint32_t max_in_degree_ = 0;
+
+  // CSR lowering of the per-edge Affine terms, preserving term order (and
+  // therefore the seed's floating-point summation order) exactly.
+  std::vector<std::uint32_t> term_offsets_;  ///< edge -> [first, last) term
+  std::vector<std::int32_t> term_param_;
+  std::vector<double> term_coeff_;
+  std::vector<double> edge_const_;
+
+  // Flat per-active-parameter lowering, built when every edge has at most
+  // one term and the space is small: flat_const_/flat_slope_[k * E + e]
+  // (edge-id indexed; used by critical-path replay).
+  bool flat_ = false;
+  std::vector<double> flat_const_;
+  std::vector<double> flat_slope_;
+
+  // Topo-permuted adjacency so the forward pass streams memory
+  // sequentially: vertices are visited by topo position i, their in-edges
+  // occupy the contiguous slot range [in_off_[i], in_off_[i+1]), and the
+  // flat cost arrays are additionally permuted into slot order
+  // (flat_const_slot_/flat_slope_slot_[k * E + j]).  Pure layout: every
+  // value and every visit order matches the seed's graph-driven walk.
+  std::vector<std::uint32_t> in_off_;      ///< topo pos -> slot range
+  std::vector<std::uint32_t> in_other_;    ///< slot -> predecessor topo pos
+  std::vector<std::uint32_t> in_edge_;     ///< slot -> edge id
+  std::vector<double> vertex_cost_topo_;   ///< topo pos -> vertex cost
+  std::vector<std::uint32_t> topo_pos_;    ///< vertex id -> topo pos
+  std::vector<std::uint32_t> sink_pos_;    ///< sinks by ascending vertex id
+  std::vector<double> flat_const_slot_;
+  std::vector<double> flat_slope_slot_;
+
+  std::vector<double> vertex_cost_;  ///< vertex-id indexed (replay)
   std::vector<double> base_;
 };
 

@@ -8,14 +8,18 @@
 
 namespace llamp {
 
-void parallel_for(std::size_t n, int threads,
-                  const std::function<void(std::size_t)>& fn) {
+int effective_threads(std::size_t n, int threads) {
   int nthreads = threads > 0
                      ? threads
                      : static_cast<int>(std::thread::hardware_concurrency());
-  nthreads = std::max(1, std::min<int>(nthreads, static_cast<int>(n)));
+  return std::max(1, std::min<int>(nthreads, static_cast<int>(n)));
+}
+
+void parallel_for_workers(std::size_t n, int threads,
+                          const std::function<void(int, std::size_t)>& fn) {
+  const int nthreads = effective_threads(n, threads);
   if (nthreads == 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    for (std::size_t i = 0; i < n; ++i) fn(0, i);
     return;
   }
   std::vector<std::thread> pool;
@@ -26,7 +30,7 @@ void parallel_for(std::size_t n, int threads,
       try {
         for (std::size_t i = static_cast<std::size_t>(t); i < n;
              i += static_cast<std::size_t>(nthreads)) {
-          fn(i);
+          fn(t, i);
         }
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mutex);
@@ -36,6 +40,12 @@ void parallel_for(std::size_t n, int threads,
   }
   for (auto& th : pool) th.join();
   if (error) std::rethrow_exception(error);
+}
+
+void parallel_for(std::size_t n, int threads,
+                  const std::function<void(std::size_t)>& fn) {
+  parallel_for_workers(n, threads,
+                       [&fn](int, std::size_t i) { fn(i); });
 }
 
 }  // namespace llamp

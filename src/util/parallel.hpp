@@ -5,6 +5,13 @@
 
 namespace llamp {
 
+/// The number of workers parallel_for / parallel_for_workers will actually
+/// use for `n` jobs with a requested thread count: `threads` <= 0 means the
+/// hardware concurrency, the pool never exceeds `n` workers, and the result
+/// is always >= 1.  Callers that keep per-worker state (e.g. one solver
+/// workspace per worker) size it with this.
+int effective_threads(std::size_t n, int threads);
+
 /// Run fn(0), ..., fn(n-1) across a pool of worker threads, striding the
 /// index range so consecutive indices land on different workers (the LP
 /// solves of a sweep have similar cost, so striding balances well).
@@ -20,5 +27,14 @@ namespace llamp {
 /// pin.
 void parallel_for(std::size_t n, int threads,
                   const std::function<void(std::size_t)>& fn);
+
+/// Like parallel_for, but hands each call its worker index: fn(worker, i)
+/// with worker in [0, effective_threads(n, threads)).  All indices served
+/// by one worker run sequentially on the same thread, so fn may keep
+/// mutable per-worker scratch (a solve workspace, an accumulator) indexed
+/// by `worker` without locking.  The determinism contract extends to that
+/// scratch: results must not depend on which worker served an index.
+void parallel_for_workers(std::size_t n, int threads,
+                          const std::function<void(int, std::size_t)>& fn);
 
 }  // namespace llamp

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "apps/registry.hpp"
+#include "lp/param_space.hpp"
+#include "lp/parametric.hpp"
+#include "schedgen/schedgen.hpp"
+#include "test_support.hpp"
+
+// Allocation-counter wall for the solver hot path: after a warm-up solve
+// has grown a workspace's buffers, steady-state solves and segment-walk
+// sweeps through that workspace must perform ZERO heap allocations.  The
+// global operator new/delete are replaced with counting versions — this
+// test lives in its own binary so the override cannot disturb any other
+// suite.
+
+namespace {
+thread_local std::size_t g_allocations = 0;
+}
+
+void* operator new(std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace llamp::lp {
+namespace {
+
+TEST(AllocationFree, SteadyStateSolvesAllocateNothing) {
+  const auto g =
+      schedgen::build_graph(apps::make_app_trace("lulesh", 8, 0.02));
+  const auto p = loggops::NetworkConfig::cscs_testbed();
+  ParametricSolver solver(g, std::make_shared<LatencyParamSpace>(p));
+  ParametricSolver::Workspace ws;
+
+  // Warm-up: grows every buffer to its structural maximum.
+  (void)solver.solve(0, p.L, ws);
+
+  const std::size_t before = g_allocations;
+  for (int i = 0; i < 100; ++i) {
+    const auto& sol = solver.solve(0, p.L + 1'000.0 * i, ws);
+    ASSERT_GT(sol.value, 0.0);
+  }
+  EXPECT_EQ(g_allocations, before)
+      << "steady-state solve() allocated on the heap";
+}
+
+TEST(AllocationFree, SegmentWalkSweepAllocatesNothing) {
+  const auto g =
+      schedgen::build_graph(apps::make_app_trace("hpcg", 8, 0.02));
+  const auto p = loggops::NetworkConfig::cscs_testbed();
+  ParametricSolver solver(g, std::make_shared<LatencyParamSpace>(p));
+  ParametricSolver::Workspace ws;
+
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(p.L + 500.0 * i);
+  std::vector<ParametricSolver::SweepEval> out(xs.size());
+
+  solver.sweep(0, xs, ws, out.data());  // warm-up
+
+  const std::size_t before = g_allocations;
+  solver.sweep(0, xs, ws, out.data());
+  EXPECT_EQ(g_allocations, before)
+      << "steady-state sweep() allocated on the heap";
+}
+
+TEST(AllocationFree, WorkspaceReuseAcrossSolversOnlyGrows) {
+  // Moving a warm workspace to a *smaller* scenario must stay
+  // allocation-free; only growth may allocate.
+  const auto big =
+      schedgen::build_graph(apps::make_app_trace("lulesh", 8, 0.03));
+  const auto small = llamp::testing::running_example_graph();
+  const auto p = loggops::NetworkConfig::cscs_testbed();
+  ParametricSolver sb(big, std::make_shared<LatencyParamSpace>(p));
+  ParametricSolver ss(
+      small,
+      std::make_shared<LatencyParamSpace>(llamp::testing::running_example_params()));
+  ParametricSolver::Workspace ws;
+  (void)sb.solve(0, p.L, ws);
+
+  const std::size_t before = g_allocations;
+  for (int i = 0; i < 50; ++i) {
+    (void)ss.solve(0, 100.0 * i, ws);
+    (void)sb.solve(0, p.L + 100.0 * i, ws);
+  }
+  EXPECT_EQ(g_allocations, before);
+}
+
+}  // namespace
+}  // namespace llamp::lp

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <string>
 
 #include "apps/registry.hpp"
 #include "core/analyzer.hpp"
@@ -161,6 +163,44 @@ TEST(Sweep, RejectsNegativeInjection) {
   LatencyAnalyzer an(g, testbed());
   EXPECT_THROW((void)an.sweep({us(1.0), -us(1.0)}, 2), Error);
   EXPECT_TRUE(an.sweep({}).empty());
+}
+
+TEST(Sweep, ValidatesGridBeforeWorkerThreadsStart) {
+  // Bad injections must raise a clean Error on the calling thread — even
+  // with a multi-threaded sweep — rather than relying on exception
+  // propagation out of the worker pool.  NaN and infinity are rejected,
+  // not just negatives.
+  const auto g = app_graph("cloverleaf", 8, 0.1);
+  LatencyAnalyzer an(g, testbed());
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  for (const int threads : {1, 4}) {
+    EXPECT_THROW((void)an.sweep({0.0, nan}, threads), Error);
+    EXPECT_THROW((void)an.sweep({inf}, threads), Error);
+    EXPECT_THROW((void)an.sweep({-0.5}, threads), Error);
+  }
+  try {
+    (void)an.sweep({us(1.0), nan}, 4);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("finite"), std::string::npos);
+  }
+}
+
+TEST(Sweep, UnsortedGridMatchesSortedPointwise) {
+  // Out-of-order grids take the dense per-point path; every point must
+  // still be bitwise identical to its segment-walked twin.
+  const auto g = app_graph("hpcg", 8, 0.1);
+  LatencyAnalyzer an(g, testbed());
+  const std::vector<TimeNs> unsorted = {us(40.0), us(5.0), us(20.0), 0.0,
+                                        us(10.0)};
+  const auto shuffled = an.sweep(unsorted, 2);
+  for (std::size_t i = 0; i < unsorted.size(); ++i) {
+    const auto one = an.sweep({unsorted[i]}, 1);
+    EXPECT_EQ(shuffled[i].runtime, one[0].runtime);
+    EXPECT_EQ(shuffled[i].lambda_L, one[0].lambda_L);
+    EXPECT_EQ(shuffled[i].rho_L, one[0].rho_L);
+  }
 }
 
 }  // namespace

@@ -230,6 +230,17 @@ TEST(Stats, StringSummarizesCounts) {
   const auto s = g.stats_string();
   EXPECT_NE(s.find("send=1"), std::string::npos);
   EXPECT_NE(s.find("comm=1"), std::string::npos);
+  // Campaign cache memory is observable per graph.
+  EXPECT_NE(s.find("bytes="), std::string::npos);
+  EXPECT_EQ(s.find("bytes=0"), std::string::npos);
+}
+
+TEST(Stats, MemoryBytesCoversVertexAndEdgeStorage) {
+  const Graph g = two_rank_pair(false);
+  // At minimum the vertex, edge, and two CSR adjacency arrays are held.
+  EXPECT_GE(g.memory_bytes(),
+            g.num_vertices() * sizeof(Vertex) + g.num_edges() * sizeof(Edge) +
+                2 * g.num_edges() * sizeof(Graph::Adj));
 }
 
 }  // namespace

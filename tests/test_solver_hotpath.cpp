@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "apps/registry.hpp"
+#include "lp/param_space.hpp"
+#include "lp/parametric.hpp"
+#include "schedgen/schedgen.hpp"
+#include "test_support.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+// Equivalence wall for the zero-allocation hot path: the segment-walk
+// sweep, the workspace-reusing solve, and the flat/CSR edge-cost lowering
+// must all be *bitwise* indistinguishable from a dense per-point solve()
+// — across every registered application and across randomized LogGPS
+// configurations — and a workspace must carry no state between solvers.
+
+namespace llamp::lp {
+namespace {
+
+using Solver = ParametricSolver;
+
+/// An ascending, irregular grid over [lo, hi] that deliberately includes
+/// every piece boundary of T (the walk's worst case: anchors, replays, and
+/// exact-breakpoint hits all occur).
+std::vector<double> stress_grid(const Solver& solver, int k, double lo,
+                                double hi, int points, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> xs;
+  for (int i = 0; i < points; ++i) {
+    xs.push_back(lo + (hi - lo) * rng.uniform());
+  }
+  for (const double c : solver.critical_values(k, lo, hi)) xs.push_back(c);
+  xs.push_back(lo);
+  xs.push_back(hi);
+  std::sort(xs.begin(), xs.end());
+  return xs;
+}
+
+/// The core property: walk results equal dense per-point solves, bit for
+/// bit, in both the value and the active slope.
+void expect_walk_matches_dense(const Solver& solver, int k,
+                               const std::vector<double>& xs) {
+  Solver::Workspace ws;
+  std::vector<Solver::SweepEval> walk(xs.size());
+  solver.sweep(k, xs, ws, walk.data());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const auto dense = solver.solve(k, xs[i]);
+    EXPECT_EQ(walk[i].value, dense.value) << "k=" << k << " x=" << xs[i];
+    EXPECT_EQ(walk[i].slope, dense.gradient[static_cast<std::size_t>(k)])
+        << "k=" << k << " x=" << xs[i];
+  }
+}
+
+TEST(SegmentWalk, BitwiseMatchesDenseOnAllRegisteredApps) {
+  for (const std::string& app : apps::app_names()) {
+    const int ranks = apps::supported_ranks(app, 8);
+    const auto g =
+        schedgen::build_graph(apps::make_app_trace(app, ranks, 0.02));
+    const auto p = loggops::NetworkConfig::cscs_testbed();
+    const auto space = std::make_shared<LatencyParamSpace>(p);
+    Solver solver(g, space);
+    const auto xs = stress_grid(solver, 0, 0.0, p.L + 100'000.0, 120,
+                                0x5eedu + g.num_vertices());
+    SCOPED_TRACE(app);
+    expect_walk_matches_dense(solver, 0, xs);
+  }
+}
+
+class RandomConfigTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+loggops::Params random_params(std::uint64_t seed) {
+  Rng rng(seed);
+  loggops::Params p;
+  p.L = rng.uniform(0.0, 20'000.0);
+  p.o = rng.uniform(0.0, 8'000.0);
+  p.G = rng.uniform(0.0, 0.5);
+  p.S = static_cast<std::uint64_t>(rng.uniform_int(16 * 1024, 512 * 1024));
+  return p;
+}
+
+TEST_P(RandomConfigTest, WalkBitwiseMatchesDenseOnRandomPrograms) {
+  testing::RandomProgramConfig cfg;
+  cfg.seed = GetParam();
+  cfg.nranks = 6;
+  cfg.steps = 140;
+  const auto g = schedgen::build_graph(testing::random_trace(cfg));
+  const loggops::Params p = random_params(GetParam() * 977 + 5);
+  Solver solver(g, std::make_shared<LatencyParamSpace>(p));
+  const auto xs =
+      stress_grid(solver, 0, 0.0, p.L + 200'000.0, 100, GetParam());
+  expect_walk_matches_dense(solver, 0, xs);
+}
+
+TEST_P(RandomConfigTest, CsrFallbackWalkMatchesDense) {
+  // LatencyBandwidthParamSpace has two-term edges and the pairwise HLogGP
+  // space has too many parameters to flatten: both exercise the CSR
+  // fallback rather than the flat per-parameter lowering.
+  testing::RandomProgramConfig cfg;
+  cfg.seed = GetParam() + 77;
+  cfg.nranks = 5;
+  cfg.steps = 100;
+  const auto g = schedgen::build_graph(testing::random_trace(cfg));
+  const loggops::Params p = random_params(GetParam() * 31 + 9);
+
+  Solver bw(g, std::make_shared<LatencyBandwidthParamSpace>(p));
+  expect_walk_matches_dense(bw, 1,
+                            stress_grid(bw, 1, 0.0, p.G + 2.0, 60, 3));
+
+  const auto pair_space =
+      std::make_shared<PairwiseLatencyParamSpace>(p, cfg.nranks);
+  Solver pw(g, pair_space);
+  const int k = pair_space->pair_index(0, cfg.nranks - 1);
+  expect_walk_matches_dense(pw, k,
+                            stress_grid(pw, k, 0.0, p.L + 80'000.0, 60, 4));
+}
+
+TEST_P(RandomConfigTest, WorkspaceVariantsAreBitwiseIdentical) {
+  testing::RandomProgramConfig cfg;
+  cfg.seed = GetParam() + 321;
+  cfg.nranks = 5;
+  cfg.steps = 110;
+  const auto g = schedgen::build_graph(testing::random_trace(cfg));
+  const loggops::Params p = random_params(GetParam() * 131 + 3);
+  Solver solver(g, std::make_shared<LatencyParamSpace>(p));
+  Solver::Workspace ws;
+
+  const double lo = 0.0;
+  const double hi = p.L + 120'000.0;
+
+  const auto segs = solver.piecewise(0, lo, hi);
+  const auto segs_ws = solver.piecewise(0, lo, hi, ws);
+  ASSERT_EQ(segs.size(), segs_ws.size());
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    EXPECT_EQ(segs[i].lo, segs_ws[i].lo);
+    EXPECT_EQ(segs[i].hi, segs_ws[i].hi);
+    EXPECT_EQ(segs[i].slope, segs_ws[i].slope);
+    EXPECT_EQ(segs[i].value_at_lo, segs_ws[i].value_at_lo);
+  }
+  // Segment slopes are the dense solver's own λ at interior points.
+  for (const auto& seg : segs) {
+    const double mid = 0.5 * (seg.lo + std::min(seg.hi, hi));
+    EXPECT_NEAR(solver.solve(0, mid).gradient[0], seg.slope, 1e-9);
+  }
+
+  const auto crit = solver.critical_values(0, lo, hi);
+  const auto crit_ws = solver.critical_values(0, lo, hi, ws);
+  ASSERT_EQ(crit.size(), crit_ws.size());
+  for (std::size_t i = 0; i < crit.size(); ++i) {
+    EXPECT_EQ(crit[i], crit_ws[i]);
+  }
+
+  const double budget = solver.solve(0, p.L).value * 1.05;
+  const double tol = solver.max_param_for_budget(0, budget);
+  EXPECT_EQ(tol, solver.max_param_for_budget(0, budget, ws));
+  if (std::isfinite(tol)) {
+    EXPECT_LE(solver.solve(0, tol).value,
+              budget + 1e-9 * (1.0 + budget));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomConfigTest,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u));
+
+TEST(Workspace, InterleavedSolversNeverLeakState) {
+  // One workspace, three solvers over different graphs *and* different
+  // parameter spaces (flat and CSR paths), interleaved: every result must
+  // equal a fresh-workspace dense solve bit for bit.
+  const auto g1 = testing::running_example_graph();
+  testing::RandomProgramConfig cfg;
+  cfg.seed = 9'001;
+  cfg.nranks = 4;
+  cfg.steps = 90;
+  const auto g2 = schedgen::build_graph(testing::random_trace(cfg));
+  const auto p1 = testing::running_example_params();
+  const loggops::Params p2 = random_params(123);
+
+  Solver a(g1, std::make_shared<LatencyParamSpace>(p1));
+  Solver b(g2, std::make_shared<LatencyParamSpace>(p2));
+  Solver c(g2, std::make_shared<LatencyBandwidthParamSpace>(p2));
+
+  Solver::Workspace ws;
+  for (int round = 0; round < 3; ++round) {
+    for (const double x : {0.0, 385.0, 500.0, 1'000.0, 25'000.0}) {
+      const auto& sa = a.solve(0, x, ws);
+      const auto ra = a.solve(0, x);
+      EXPECT_EQ(sa.value, ra.value);
+      EXPECT_EQ(sa.gradient, ra.gradient);
+      EXPECT_EQ(sa.lo, ra.lo);
+      EXPECT_EQ(sa.hi, ra.hi);
+      EXPECT_EQ(sa.messages, ra.messages);
+
+      const auto& sb = b.solve(0, x, ws);
+      const auto rb = b.solve(0, x);
+      EXPECT_EQ(sb.value, rb.value);
+      EXPECT_EQ(sb.gradient, rb.gradient);
+
+      const auto& sc = c.solve(1, x * 1e-4, ws);
+      const auto rc = c.solve(1, x * 1e-4);
+      EXPECT_EQ(sc.value, rc.value);
+      EXPECT_EQ(sc.gradient, rc.gradient);
+    }
+    // A walk on one solver between solves of the others must not perturb
+    // anything either.
+    const std::vector<double> xs = {0.0, 200.0, 400.0, 600.0, 5'000.0};
+    std::vector<Solver::SweepEval> evals(xs.size());
+    a.sweep(0, xs, ws, evals.data());
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      EXPECT_EQ(evals[i].value, a.solve(0, xs[i]).value);
+    }
+  }
+}
+
+TEST(SweepApi, RejectsDescendingValues) {
+  const auto g = testing::running_example_graph();
+  Solver solver(
+      g, std::make_shared<LatencyParamSpace>(testing::running_example_params()));
+  Solver::Workspace ws;
+  const std::vector<double> bad = {100.0, 50.0};
+  std::vector<Solver::SweepEval> out(bad.size());
+  EXPECT_THROW(solver.sweep(0, bad, ws, out.data()), LpError);
+  EXPECT_THROW((void)solver.sweep(7, bad), LpError);
+}
+
+TEST(SweepApi, DuplicatesAndEmptyGridsAreFine) {
+  const auto g = testing::running_example_graph();
+  Solver solver(
+      g, std::make_shared<LatencyParamSpace>(testing::running_example_params()));
+  EXPECT_TRUE(solver.sweep(0, std::vector<double>{}).empty());
+  const std::vector<double> xs = {500.0, 500.0, 500.0};
+  const auto evals = solver.sweep(0, xs);
+  ASSERT_EQ(evals.size(), 3u);
+  EXPECT_EQ(evals[0].value, 1'615.0);
+  EXPECT_EQ(evals[1].value, 1'615.0);
+  EXPECT_EQ(evals[2].value, 1'615.0);
+}
+
+TEST(SegmentWalk, RunningExampleAnchorsOncePerPiece) {
+  // The running example has exactly two pieces (L_c = 385 ns); a 200-point
+  // walk must reproduce the paper's numbers at every grid point.
+  const auto g = testing::running_example_graph();
+  Solver solver(
+      g, std::make_shared<LatencyParamSpace>(testing::running_example_params()));
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(i * 5.0);
+  const auto evals = solver.sweep(0, xs);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double expect =
+        std::max(xs[i] + 1'115.0, 1'500.0);  // T(L) of Fig. 4c
+    EXPECT_DOUBLE_EQ(evals[i].value, expect) << "x=" << xs[i];
+    // At L_c itself both pieces tie and the solver breaks toward the
+    // larger slope.
+    EXPECT_EQ(evals[i].slope, xs[i] >= 385.0 ? 1.0 : 0.0) << "x=" << xs[i];
+  }
+}
+
+}  // namespace
+}  // namespace llamp::lp
