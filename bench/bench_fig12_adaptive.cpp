@@ -13,12 +13,20 @@
 #include "core/analyzer.hpp"
 #include "injector/cluster_emulator.hpp"
 #include "schedgen/schedgen.hpp"
+#include "util/cli.hpp"
 #include "util/stats.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace llamp;
+  // The uniform stochastic seed flag (same spelling as `llamp mc`):
+  // identical seeds reproduce identical emulator measurements byte for byte.
+  const Cli cli(argc, argv);
+  injector::ClusterEmulator::Config emu_cfg;
+  emu_cfg.seed =
+      static_cast<std::uint64_t>(cli.get_int("seed",
+                                             static_cast<long long>(emu_cfg.seed)));
 
   const auto params = loggops::NetworkConfig::cscs_testbed(5'000.0);
   const std::vector<double> traced_dls = {0.0, us(250.0), us(1000.0)};
@@ -49,7 +57,7 @@ int main() {
   // Validation against the emulator for the adapted schedules.
   Table val({"traced ΔL", "5% tolerance ΔL", "RRMSE vs emulator [%]"});
   for (std::size_t i = 0; i < graphs.size(); ++i) {
-    injector::ClusterEmulator emulator(graphs[i], params);
+    injector::ClusterEmulator emulator(graphs[i], params, emu_cfg);
     std::vector<double> measured, predicted;
     for (const double dl_us : {0.0, 250.0, 500.0, 1000.0}) {
       measured.push_back(emulator.measure(us(dl_us), 5));

@@ -14,12 +14,20 @@
 #include "bench_support.hpp"
 #include "core/campaign.hpp"
 #include "injector/cluster_emulator.hpp"
+#include "util/cli.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace llamp;
   using bench::AppScale;
+  // The uniform stochastic seed flag (same spelling as `llamp mc`):
+  // identical seeds reproduce identical measured columns byte for byte.
+  const Cli cli(argc, argv);
+  injector::ClusterEmulator::Config emu_cfg;
+  emu_cfg.seed =
+      static_cast<std::uint64_t>(cli.get_int("seed",
+                                             static_cast<long long>(emu_cfg.seed)));
 
   const std::vector<AppScale> configs = {
       {"milc", 32, 0.2, 60.0},
@@ -42,9 +50,9 @@ int main() {
 
   // "Measured" column: 5-run cluster-emulator averages, one emulator per
   // scenario so every run reproduces the exact same noise sequence.
-  const core::Campaign::Probe probe = [](const core::Scenario& s,
-                                         const graph::Graph& g) {
-    injector::ClusterEmulator emulator(g, s.params);
+  const core::Campaign::Probe probe = [emu_cfg](const core::Scenario& s,
+                                                const graph::Graph& g) {
+    injector::ClusterEmulator emulator(g, s.params, emu_cfg);
     return emulator.sweep(s.delta_Ls, 5);
   };
 

@@ -19,11 +19,19 @@
 #include "core/analyzer.hpp"
 #include "core/campaign.hpp"
 #include "injector/cluster_emulator.hpp"
+#include "util/cli.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace llamp;
+  // The uniform stochastic seed flag (same spelling as `llamp mc`):
+  // identical seeds reproduce identical validation bytes, different seeds
+  // re-roll the emulator's noise.
+  const Cli cli(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(
+      cli.get_int("seed",
+                  static_cast<long long>(injector::ClusterEmulator::Config{}.seed)));
 
   Table summary({"app", "ranks", "o [us]", "events", "RMSE [ms]",
                  "RRMSE [%]", "1% tol", "2% tol", "5% tol"});
@@ -55,6 +63,7 @@ int main() {
                                           const graph::Graph& g) {
     injector::ClusterEmulator::Config emu_cfg;
     emu_cfg.systematic_bias = bias_for(s);
+    emu_cfg.seed = seed;
     injector::ClusterEmulator emulator(g, s.params, emu_cfg);
     return emulator.sweep(s.delta_Ls, 5);
   };
@@ -119,6 +128,7 @@ int main() {
   for (const double sigma : {0.0, 0.001, 0.003, 0.005, 0.01, 0.02}) {
     injector::ClusterEmulator::Config emu_cfg;
     emu_cfg.noise_sigma = sigma;
+    emu_cfg.seed = seed;
     injector::ClusterEmulator emulator(g, params, emu_cfg);
     std::vector<double> measured, predicted;
     for (int i = 0; i < 6; ++i) {

@@ -1,0 +1,121 @@
+// Throughput harness for the stoch/ Monte Carlo engine: samples/sec on a
+// representative grid (the same hpcg-64 configuration BENCH_solver.json
+// pins), for the two engine paths —
+//
+//   * fast path: only L varies, one shared solver, per-worker workspaces;
+//   * general path: o jitter + per-edge noise, one perturbed lowering per
+//     sample;
+//
+// each single-threaded and at hardware concurrency.  Writes the committed
+// perf-trajectory file BENCH_mc.json (numbers are informational in CI,
+// never gating).
+//
+//   $ ./bench_mc [--samples=256] [--quick] [--out=BENCH_mc.json]
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+#include "apps/registry.hpp"
+#include "core/campaign.hpp"
+#include "schedgen/schedgen.hpp"
+#include "stoch/mc.hpp"
+#include "util/cli.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+double run_ms(const llamp::graph::Graph& g, const llamp::loggops::Params& p,
+              llamp::stoch::McSpec spec, int threads) {
+  spec.threads = threads;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto res = llamp::stoch::run_mc(g, p, spec);
+  const auto t1 = std::chrono::steady_clock::now();
+  if (res.runtime.empty() || res.runtime[0].count() == 0) {
+    std::fprintf(stderr, "bench_mc: empty result\n");
+    std::exit(1);
+  }
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace llamp;
+  const Cli cli(argc, argv);
+  const int samples =
+      static_cast<int>(cli.get_int("samples", cli.get_bool("quick", false)
+                                                  ? 32
+                                                  : 256));
+  const std::string out_path = cli.get("out", "BENCH_mc.json");
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+
+  const std::string app = "hpcg";
+  const int ranks = 64;
+  const double scale = 0.05;
+  const auto g = schedgen::build_graph(apps::make_app_trace(app, ranks, scale));
+  loggops::Params p = loggops::NetworkConfig::cscs_testbed();
+
+  stoch::McSpec fast;
+  fast.samples = samples;
+  fast.L = stoch::Distribution::rel_normal(0.05);
+  fast.delta_Ls = core::linear_grid(us(100.0), 11);
+  fast.band_percents = {1.0, 2.0, 5.0};
+
+  stoch::McSpec general = fast;
+  general.o = stoch::Distribution::rel_normal(0.02);
+  general.noise = {0.003, 0.0};
+
+  std::printf("bench_mc: %s ranks=%d scale=%g  %zu vertices / %zu edges, "
+              "%d samples x 11 ΔL points + 3 bands, hw=%d threads\n",
+              app.c_str(), ranks, scale, g.num_vertices(), g.num_edges(),
+              samples, hw);
+
+  const double fast_1 = run_ms(g, p, fast, 1);
+  const double fast_n = run_ms(g, p, fast, 0);
+  const double gen_1 = run_ms(g, p, general, 1);
+  const double gen_n = run_ms(g, p, general, 0);
+
+  const auto rate = [&](double ms) { return 1e3 * samples / ms; };
+  std::printf("fast path (L-only, shared solver):   1 thread %8.1f ms "
+              "(%6.1f samples/s)   %d threads %8.1f ms (%6.1f samples/s)\n",
+              fast_1, rate(fast_1), hw, fast_n, rate(fast_n));
+  std::printf("general path (o + edge noise):       1 thread %8.1f ms "
+              "(%6.1f samples/s)   %d threads %8.1f ms (%6.1f samples/s)\n",
+              gen_1, rate(gen_1), hw, gen_n, rate(gen_n));
+
+  std::ofstream os(out_path);
+  os << strformat(
+      "{\n"
+      "  \"benchmark\": \"mc\",\n"
+      "  \"config\": {\n"
+      "    \"app\": \"%s\", \"ranks\": %d, \"scale\": %g,\n"
+      "    \"graph_vertices\": %zu, \"graph_edges\": %zu,\n"
+      "    \"samples\": %d, \"delta_l_points\": 11, \"bands\": 3,\n"
+      "    \"hardware_threads\": %d\n"
+      "  },\n"
+      "  \"fast_path_L_only\": {\n"
+      "    \"description\": \"shared solver, per-worker workspaces; only "
+      "the sampled L moves\",\n"
+      "    \"threads1_ms\": %.3f, \"threads1_samples_per_sec\": %.1f,\n"
+      "    \"threadsN_ms\": %.3f, \"threadsN_samples_per_sec\": %.1f\n"
+      "  },\n"
+      "  \"general_path_edge_noise\": {\n"
+      "    \"description\": \"per-sample perturbed-space lowering (o "
+      "jitter + per-edge folded-normal noise)\",\n"
+      "    \"threads1_ms\": %.3f, \"threads1_samples_per_sec\": %.1f,\n"
+      "    \"threadsN_ms\": %.3f, \"threadsN_samples_per_sec\": %.1f\n"
+      "  },\n"
+      "  \"parallel_speedup\": {\"fast\": %.2f, \"general\": %.2f}\n"
+      "}\n",
+      app.c_str(), ranks, scale, g.num_vertices(), g.num_edges(), samples,
+      hw, fast_1, rate(fast_1), fast_n, rate(fast_n), gen_1, rate(gen_1),
+      gen_n, rate(gen_n), fast_1 / fast_n, gen_1 / gen_n);
+  if (!os) {
+    std::fprintf(stderr, "bench_mc: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -18,10 +18,28 @@
 #include "trace/profile.hpp"
 #include "trace/trace_io.hpp"
 #include "util/cli.hpp"
+#include "util/error.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
+int run(int argc, char** argv);
+
+/// Toolchain errors must exit cleanly, not std::terminate: a malformed
+/// trace file (TraceError, a UsageError) is exit 2 like any bad argument;
+/// analysis failures are exit 1.
 int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const llamp::UsageError& e) {
+    std::fprintf(stderr, "trace_analyze: %s\n", e.what());
+    return 2;
+  } catch (const llamp::Error& e) {
+    std::fprintf(stderr, "trace_analyze: %s\n", e.what());
+    return 1;
+  }
+}
+
+int run(int argc, char** argv) {
   using namespace llamp;
   const Cli cli(argc, argv);
 

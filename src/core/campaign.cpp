@@ -10,6 +10,7 @@
 #include "lp/param_space.hpp"
 #include "lp/parametric.hpp"
 #include "schedgen/schedgen.hpp"
+#include "stoch/mc.hpp"
 #include "topo/spaces.hpp"
 #include "topo/topology.hpp"
 #include "util/error.hpp"
@@ -135,9 +136,47 @@ ScenarioSpace make_space(const Scenario& s, const TopologyOptions& topo) {
           topo.l_wire};
 }
 
+/// mc-axis hygiene shared by both Campaign constructors: the axis only
+/// makes sense with samples >= 0, valid noise knobs, and flat-latency
+/// scenarios (the per-sample LogGPS resampling targets L; a wire-latency
+/// space has no single L to perturb).
+void validate_mc(const McAxis& mc, const std::vector<Scenario>& scenarios) {
+  if (mc.samples < 0) {
+    throw UsageError(
+        strformat("campaign: need mc samples >= 0 (got %d)", mc.samples));
+  }
+  // Knob well-formedness is checked whatever the sample count: a negative
+  // sigma must be a usage error even when the axis is off, never a silent
+  // fall-back (the CLI's typo'd-flag stance).
+  stoch::Distribution::rel_normal(mc.sigma_L).validate("mc L");
+  stoch::Distribution::rel_normal(mc.sigma_o).validate("mc o");
+  stoch::Distribution::rel_normal(mc.sigma_G).validate("mc G");
+  mc.noise.validate();
+  if (mc.samples == 0) {
+    // Jitter configured but the axis off is a silent no-op waiting to
+    // mislead — reject rather than run a deterministic campaign the user
+    // believes is stochastic.
+    if (mc.sigma_L != 0.0 || mc.sigma_o != 0.0 || mc.sigma_G != 0.0 ||
+        !mc.noise.degenerate()) {
+      throw UsageError(
+          "campaign: mc jitter configured but mc samples == 0 (set "
+          "--mc-samples)");
+    }
+    return;
+  }
+  for (const Scenario& s : scenarios) {
+    if (s.topology != "none") {
+      throw UsageError(
+          "campaign: the mc axis requires topology 'none' (got '" +
+          s.topology + "')");
+    }
+  }
+}
+
 Campaign::ScenarioResult eval_scenario(const Scenario& s,
                                        const graph::Graph& g,
                                        const TopologyOptions& topo,
+                                       const McAxis& mc,
                                        const Campaign::Probe& probe,
                                        lp::ParametricSolver::Workspace& ws) {
   Campaign::ScenarioResult res;
@@ -190,6 +229,29 @@ Campaign::ScenarioResult eval_scenario(const Scenario& s,
         {pct, std::isfinite(tol) ? tol - ss.base : tol});
   }
 
+  if (mc.samples > 0) {
+    // The stochastic companion analysis of this scenario: same graph, same
+    // ΔL grid, operating point resampled `samples` times.  Runs
+    // single-threaded — the campaign already parallelizes across
+    // scenarios — and seeds identically for every scenario (common random
+    // numbers; see McAxis).
+    stoch::McSpec spec;
+    spec.L = stoch::Distribution::rel_normal(mc.sigma_L);
+    spec.o = stoch::Distribution::rel_normal(mc.sigma_o);
+    spec.G = stoch::Distribution::rel_normal(mc.sigma_G);
+    spec.noise = mc.noise;
+    spec.samples = mc.samples;
+    spec.seed = mc.seed;
+    spec.threads = 1;
+    spec.delta_Ls = s.delta_Ls;
+    spec.band_percents.clear();
+    const stoch::McResult mres = stoch::run_mc(g, s.params, spec);
+    res.mc.reserve(mres.runtime.size());
+    for (const stoch::Summary& sum : mres.runtime) {
+      res.mc.push_back({sum.mean(), sum.stddev(), sum.q05(), sum.q95()});
+    }
+  }
+
   if (probe) {
     const auto values = probe(s, g);
     if (values.size() != res.points.size()) {
@@ -238,7 +300,7 @@ void apply_table2_overhead(loggops::Params& p, const std::string& app,
 }
 
 Campaign::Campaign(const CampaignSpec& spec)
-    : topo_(spec.topo), threads_(spec.threads) {
+    : topo_(spec.topo), mc_(spec.mc), threads_(spec.threads) {
   if (spec.apps.empty()) throw UsageError("campaign: empty app list");
   if (spec.ranks.empty()) throw UsageError("campaign: empty ranks list");
   if (spec.scales.empty()) throw UsageError("campaign: empty scales list");
@@ -308,16 +370,19 @@ Campaign::Campaign(const CampaignSpec& spec)
       }
     }
   }
+  validate_mc(mc_, scenarios_);
 }
 
 Campaign::Campaign(std::vector<Scenario> scenarios, TopologyOptions topo,
-                   int threads)
-    : scenarios_(std::move(scenarios)), topo_(topo), threads_(threads) {
+                   int threads, McAxis mc)
+    : scenarios_(std::move(scenarios)), topo_(topo), mc_(mc),
+      threads_(threads) {
   if (scenarios_.empty()) throw UsageError("campaign: empty scenario list");
   for (const Scenario& s : scenarios_) {
     validate_scenario(s);
     validate_topology(s, topo_);
   }
+  validate_mc(mc_, scenarios_);
 }
 
 std::vector<Campaign::ScenarioResult> Campaign::run(const Probe& probe) {
@@ -351,7 +416,7 @@ std::vector<Campaign::ScenarioResult> Campaign::run(const Probe& probe) {
   parallel_for_workers(scenarios_.size(), threads_, [&](int w, std::size_t i) {
     const Scenario& s = scenarios_[i];
     const graph::Graph& g = *graphs[key_index.at(graph_key(s))];
-    results[i] = eval_scenario(s, g, topo_, probe,
+    results[i] = eval_scenario(s, g, topo_, mc_, probe,
                                wss[static_cast<std::size_t>(w)]);
   });
 
@@ -362,6 +427,8 @@ std::vector<Campaign::ScenarioResult> Campaign::run(const Probe& probe) {
 
 Table campaign_points_table(const std::vector<Campaign::ScenarioResult>& results,
                             bool human, const std::string& probe_name) {
+  bool has_mc = false;
+  for (const auto& res : results) has_mc = has_mc || !res.mc.empty();
   std::vector<std::string> headers =
       human ? std::vector<std::string>{"app", "ranks", "scale", "topo",
                                        "config", "ΔL", "T(ΔL)", "slowdown",
@@ -369,11 +436,19 @@ Table campaign_points_table(const std::vector<Campaign::ScenarioResult>& results
             : std::vector<std::string>{"app", "ranks", "scale", "topology",
                                        "config", "delta_l_ns", "runtime_ns",
                                        "lambda_l", "rho_l"};
+  if (has_mc) {
+    const auto mc_headers =
+        human ? std::vector<std::string>{"T mean", "T sd", "T q05", "T q95"}
+              : std::vector<std::string>{"runtime_mean_ns", "runtime_sd_ns",
+                                         "runtime_q05_ns", "runtime_q95_ns"};
+    headers.insert(headers.end(), mc_headers.begin(), mc_headers.end());
+  }
   if (!probe_name.empty()) headers.push_back(probe_name);
   Table t(std::move(headers));
   for (const auto& res : results) {
     const Scenario& s = res.scenario;
-    for (const auto& pt : res.points) {
+    for (std::size_t i = 0; i < res.points.size(); ++i) {
+      const auto& pt = res.points[i];
       std::vector<std::string> row;
       if (human) {
         row = {s.app,
@@ -387,6 +462,14 @@ Table campaign_points_table(const std::vector<Campaign::ScenarioResult>& results
                          100.0 * (pt.runtime / res.base_runtime - 1.0)),
                strformat("%.0f", pt.lambda),
                strformat("%.1f%%", 100.0 * pt.rho)};
+        if (has_mc) {
+          const Campaign::McPoint mp =
+              i < res.mc.size() ? res.mc[i] : Campaign::McPoint{};
+          row.push_back(human_time_ns(mp.mean));
+          row.push_back(human_time_ns(mp.stddev));
+          row.push_back(human_time_ns(mp.q05));
+          row.push_back(human_time_ns(mp.q95));
+        }
         if (!probe_name.empty()) row.push_back(human_time_ns(pt.probe));
       } else {
         row = {s.app,
@@ -398,6 +481,14 @@ Table campaign_points_table(const std::vector<Campaign::ScenarioResult>& results
                strformat("%.1f", pt.runtime),
                strformat("%.6g", pt.lambda),
                strformat("%.6g", pt.rho)};
+        if (has_mc) {
+          const Campaign::McPoint mp =
+              i < res.mc.size() ? res.mc[i] : Campaign::McPoint{};
+          row.push_back(strformat("%.1f", mp.mean));
+          row.push_back(strformat("%.1f", mp.stddev));
+          row.push_back(strformat("%.1f", mp.q05));
+          row.push_back(strformat("%.1f", mp.q95));
+        }
         if (!probe_name.empty()) row.push_back(strformat("%.1f", pt.probe));
       }
       t.add_row(std::move(row));

@@ -7,6 +7,7 @@
 
 #include "graph/graph.hpp"
 #include "loggops/params.hpp"
+#include "stoch/distribution.hpp"
 #include "util/table.hpp"
 #include "util/time.hpp"
 
@@ -61,6 +62,27 @@ struct ConfigVariant {
   bool o_is_default = true;
 };
 
+/// Monte Carlo axis of a campaign (the stoch/ subsystem riding the grid):
+/// with samples > 0 every scenario is additionally analyzed under `samples`
+/// perturbed LogGPS operating points — relative normal jitter on L/o/G plus
+/// per-edge cost noise in the cluster emulator's convention — and each grid
+/// point gains distributional runtime summaries next to its deterministic
+/// value.  Only flat-latency scenarios (topology "none") support the axis;
+/// mixing it with a physical topology is a usage error.
+///
+/// Every scenario samples from the same seed (common random numbers): the
+/// across-scenario *differences* the grid exists to expose are not blurred
+/// by independent noise draws, and results stay independent of the thread
+/// count and of which scenarios share the campaign.
+struct McAxis {
+  int samples = 0;  ///< 0 = deterministic campaign only
+  std::uint64_t seed = 42;
+  double sigma_L = 0.0;  ///< relative stddev of L around each scenario base
+  double sigma_o = 0.0;
+  double sigma_G = 0.0;
+  stoch::EdgeNoise noise;
+};
+
 /// Declarative grid spec.  Expansion order (and therefore result order) is
 /// the nested cross product with `apps` outermost and the ΔL grid innermost:
 ///   apps × ranks × scales × topologies × configs × ΔL.
@@ -76,6 +98,7 @@ struct CampaignSpec {
   std::vector<TimeNs> delta_Ls = {0.0};
   std::vector<double> band_percents;
   TopologyOptions topo;
+  McAxis mc;
   int threads = 0;  ///< scenario parallelism; <= 0 = hardware concurrency
 };
 
@@ -101,7 +124,7 @@ class Campaign {
   /// configurations are not a cross product — per-app rank sets and ΔL
   /// ceilings).  Scenarios are validated like expanded ones.
   Campaign(std::vector<Scenario> scenarios, TopologyOptions topo = {},
-           int threads = 0);
+           int threads = 0, McAxis mc = {});
 
   const std::vector<Scenario>& scenarios() const { return scenarios_; }
 
@@ -116,6 +139,13 @@ class Campaign {
     double percent = 0.0;
     TimeNs tolerance_delta = 0.0;  ///< +inf when the parameter never binds
   };
+  /// Distributional runtime summary of one grid point under the mc axis.
+  struct McPoint {
+    TimeNs mean = 0.0;
+    TimeNs stddev = 0.0;
+    TimeNs q05 = 0.0;
+    TimeNs q95 = 0.0;
+  };
   struct ScenarioResult {
     Scenario scenario;
     TimeNs base_runtime = 0.0;  ///< T at ΔL = 0
@@ -123,6 +153,7 @@ class Campaign {
     std::size_t graph_edges = 0;
     std::vector<Point> points;  ///< aligned with scenario.delta_Ls
     std::vector<Band> bands;    ///< aligned with scenario.band_percents
+    std::vector<McPoint> mc;    ///< aligned with points; empty when mc off
   };
 
   /// Optional extra per-point metric (e.g. a cluster-emulator measurement):
@@ -150,6 +181,7 @@ class Campaign {
  private:
   std::vector<Scenario> scenarios_;
   TopologyOptions topo_;
+  McAxis mc_;
   int threads_ = 0;
   RunStats stats_;
 };

@@ -1,5 +1,7 @@
 #include "lp/param_space.hpp"
 
+#include <cmath>
+
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -75,6 +77,40 @@ PairwiseLatencyParamSpace::PairwiseLatencyParamSpace(
       gap_[k] = gap_matrix[ij];
     }
   }
+}
+
+PerturbedParamSpace::PerturbedParamSpace(
+    std::shared_ptr<const ParamSpace> base, std::vector<double> edge_factor)
+    : base_(std::move(base)), edge_factor_(std::move(edge_factor)) {
+  if (!base_) throw LpError("perturbed space: null base space");
+  for (const double f : edge_factor_) {
+    if (!std::isfinite(f) || f < 0.0) {
+      throw LpError(strformat(
+          "perturbed space: edge factors must be finite and >= 0 (got %g)",
+          f));
+    }
+  }
+}
+
+Affine PerturbedParamSpace::edge_cost(const graph::Graph& g,
+                                      const graph::Edge& e) const {
+  if (edge_factor_.size() != g.num_edges()) {
+    throw LpError(strformat(
+        "perturbed space: %zu edge factors for a graph with %zu edges",
+        edge_factor_.size(), g.num_edges()));
+  }
+  // Edges live contiguously in g.edges(); the reference's position is the
+  // edge id the factors are indexed by.
+  const auto edges = g.edges();
+  const std::size_t id = static_cast<std::size_t>(&e - edges.data());
+  if (id >= edges.size()) {
+    throw LpError("perturbed space: edge does not belong to this graph");
+  }
+  Affine a = base_->edge_cost(g, e);
+  const double f = edge_factor_[id];
+  a.constant *= f;
+  for (ParamTerm& t : a.terms) t.coeff *= f;
+  return a;
 }
 
 int PairwiseLatencyParamSpace::pair_index(int i, int j) const {

@@ -133,6 +133,40 @@ class PairwiseLatencyParamSpace final : public ParamSpace {
   std::vector<double> gap_;   // per pair index
 };
 
+/// Perturbed-evaluation hook for the stochastic (Monte Carlo) analyses:
+/// wraps another space and scales every edge's whole affine cost — constant
+/// and parametric terms alike — by a per-edge factor.  Because a
+/// multiplicative factor keeps an affine expression affine, the full
+/// ParametricSolver feature set (solve, sweep, piecewise, tolerance search)
+/// works on a perturbed space unchanged; one solver constructed over a
+/// PerturbedParamSpace *is* one perturbed LP evaluation.
+///
+/// Factors are indexed by edge id (the position of the edge in g.edges())
+/// and must be finite and >= 0 — edge costs stay monotone in every
+/// parameter, which the tolerance search relies on.  A factor of exactly
+/// 1.0 leaves the edge's lowered terms bitwise identical to the base
+/// space's (x * 1.0 == x), so an all-ones perturbation reproduces the
+/// deterministic analysis bit for bit; the Stoch tests pin this.
+class PerturbedParamSpace final : public ParamSpace {
+ public:
+  /// `edge_factor.size()` must equal the edge count of every graph this
+  /// space is used with; the mismatch is caught at edge_cost time.
+  PerturbedParamSpace(std::shared_ptr<const ParamSpace> base,
+                      std::vector<double> edge_factor);
+
+  int num_params() const override { return base_->num_params(); }
+  std::string param_name(int k) const override {
+    return base_->param_name(k);
+  }
+  double base_value(int k) const override { return base_->base_value(k); }
+  Affine edge_cost(const graph::Graph& g, const graph::Edge& e) const override;
+  const loggops::Params& params() const override { return base_->params(); }
+
+ private:
+  std::shared_ptr<const ParamSpace> base_;
+  std::vector<double> edge_factor_;
+};
+
 /// Topology analysis: the end-to-end latency between two ranks decomposes
 /// into counts of "link classes" (e.g. one class `l_wire` for Fat Tree with
 /// (h+1) wires per route, or {l_tc, l_intra, l_inter} for Dragonfly) plus a

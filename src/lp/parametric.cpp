@@ -531,6 +531,16 @@ double ParametricSolver::max_param_for_budget(int k, double budget,
   if (k < 0 || k >= num_params_) {
     throw LpError("tolerance: parameter out of range");
   }
+  return max_param_for_budget_from(k, base_[static_cast<std::size_t>(k)],
+                                   budget, ws);
+}
+
+double ParametricSolver::max_param_for_budget_from(int k, double from,
+                                                   double budget,
+                                                   Workspace& ws) const {
+  if (k < 0 || k >= num_params_) {
+    throw LpError("tolerance: parameter out of range");
+  }
   // T(x) is convex, piecewise linear, and non-decreasing in any parameter
   // (all edge coefficients are nonnegative), so the crossing T(x) = budget
   // is found by a bracketed Newton/secant iteration: a tangent from below
@@ -539,7 +549,7 @@ double ParametricSolver::max_param_for_budget(int k, double budget,
   // visits O(log) pieces instead of every basis change, which matters on
   // jittered application graphs with thousands of near-ties.
   const double eps = std::max(1e-6, std::fabs(budget) * 1e-12);
-  double x = base_[static_cast<std::size_t>(k)];
+  double x = from;
   const Solution* s = &solve(k, x, ws);
   if (s->value > budget + value_eps(budget)) {
     throw LpError(strformat("tolerance: T(%g) = %g already exceeds budget %g",

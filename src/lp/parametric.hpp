@@ -150,6 +150,12 @@ class ParametricSolver {
   /// value exceeds the budget.
   double max_param_for_budget(int k, double budget) const;
   double max_param_for_budget(int k, double budget, Workspace& ws) const;
+  /// Same search anchored at `from` instead of the space's base value (the
+  /// Monte Carlo engine's per-sample operating points sit off-base).
+  /// Requires T(from) <= budget; throws LpError otherwise.  With
+  /// from == base_value(k) this is exactly max_param_for_budget.
+  double max_param_for_budget_from(int k, double from, double budget,
+                                   Workspace& ws) const;
 
   /// One evaluated point of a segment-walk sweep.
   struct SweepEval {

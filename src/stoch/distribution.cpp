@@ -1,0 +1,156 @@
+#include "stoch/distribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace llamp::stoch {
+
+double Distribution::sample(Rng& rng, double base_value) const {
+  switch (kind) {
+    case Kind::kBase:
+      return base_value;
+    case Kind::kConstant:
+      return a;
+    case Kind::kNormal:
+      // b == 0 degenerates to exactly `a` (0 * z == 0 for finite z), so the
+      // zero-variance contract survives taking this branch.
+      return std::max(0.0, rng.normal(a, b));
+    case Kind::kRelNormal:
+      return std::max(0.0, rng.normal(base_value, a * base_value));
+    case Kind::kUniform:
+      return rng.uniform(a, b);
+  }
+  throw Error("distribution: bad kind");
+}
+
+bool Distribution::degenerate() const {
+  switch (kind) {
+    case Kind::kBase:
+    case Kind::kConstant:
+      return true;
+    case Kind::kNormal:
+      return b == 0.0;
+    case Kind::kRelNormal:
+      return a == 0.0;
+    case Kind::kUniform:
+      return a == b;
+  }
+  return false;
+}
+
+void Distribution::validate(const std::string& what) const {
+  const auto bad = [&](const char* why) {
+    throw UsageError(strformat("distribution %s (%s): %s", to_string().c_str(),
+                               what.c_str(), why));
+  };
+  if (!std::isfinite(a) || !std::isfinite(b)) bad("non-finite parameter");
+  switch (kind) {
+    case Kind::kBase:
+      break;
+    case Kind::kConstant:
+      if (a < 0.0) bad("negative value for a nonnegative quantity");
+      break;
+    case Kind::kNormal:
+      if (a < 0.0) bad("negative mean for a nonnegative quantity");
+      if (b < 0.0) bad("negative stddev");
+      break;
+    case Kind::kRelNormal:
+      if (a < 0.0) bad("negative relative sigma");
+      break;
+    case Kind::kUniform:
+      if (a < 0.0) bad("negative lower bound for a nonnegative quantity");
+      if (a > b) bad("inverted bounds");
+      break;
+  }
+}
+
+std::string Distribution::to_string() const {
+  switch (kind) {
+    case Kind::kBase:
+      return "base";
+    case Kind::kConstant:
+      return strformat("const:%g", a);
+    case Kind::kNormal:
+      return strformat("normal:%g,%g", a, b);
+    case Kind::kRelNormal:
+      return strformat("relnormal:%g", a);
+    case Kind::kUniform:
+      return strformat("uniform:%g,%g", a, b);
+  }
+  return "?";
+}
+
+Distribution parse_distribution(const std::string& spec) {
+  const auto bad = [&]() -> Distribution {
+    throw UsageError(
+        "bad distribution spec '" + spec +
+        "' (want base, const:V, normal:MEAN,SD, relnormal:SIGMA, or "
+        "uniform:LO,HI)");
+  };
+  const auto colon = spec.find(':');
+  const std::string kind = spec.substr(0, colon);
+  std::vector<double> args;
+  if (colon != std::string::npos) {
+    for (const auto& field : split(spec.substr(colon + 1), ',')) {
+      try {
+        args.push_back(parse_double(trim(field)));
+      } catch (const Error&) {
+        return bad();
+      }
+    }
+  }
+  Distribution d;
+  if (kind == "base" && args.empty()) {
+    d = Distribution::base();
+  } else if (kind == "const" && args.size() == 1) {
+    d = Distribution::constant(args[0]);
+  } else if (kind == "normal" && args.size() == 2) {
+    d = Distribution::normal(args[0], args[1]);
+  } else if (kind == "relnormal" && args.size() == 1) {
+    d = Distribution::rel_normal(args[0]);
+  } else if (kind == "uniform" && args.size() == 2) {
+    d = Distribution::uniform(args[0], args[1]);
+  } else {
+    return bad();
+  }
+  d.validate(spec);
+  return d;
+}
+
+double EdgeNoise::factor(Rng& rng) const {
+  if (degenerate()) return 1.0;
+  // The cluster emulator's convention (injector/cluster_emulator.cpp):
+  // slowdown-only folded normal on top of the systematic bias.
+  return 1.0 + bias + std::fabs(rng.normal(0.0, sigma));
+}
+
+void EdgeNoise::validate() const {
+  if (!(sigma >= 0.0) || !std::isfinite(sigma)) {
+    throw UsageError(
+        strformat("edge noise: sigma must be finite and >= 0 (got %g)",
+                  sigma));
+  }
+  if (!(bias > -1.0) || !std::isfinite(bias)) {
+    throw UsageError(strformat(
+        "edge noise: bias must be finite and > -1 (got %g)", bias));
+  }
+}
+
+std::uint64_t sample_seed(std::uint64_t seed, std::uint64_t index) {
+  // One SplitMix64 round over each word, chained: full 64-bit avalanche, so
+  // (seed, i) and (seed, i+1) give unrelated xoshiro seed states.
+  std::uint64_t x = seed + 0x9e3779b97f4a7c15ull;
+  for (const std::uint64_t word : {index, seed}) {
+    x += word + 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    x = x ^ (x >> 31);
+  }
+  return x;
+}
+
+}  // namespace llamp::stoch

@@ -1,0 +1,253 @@
+#include "stoch/mc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <optional>
+#include <span>
+
+#include "lp/param_space.hpp"
+#include "lp/parametric.hpp"
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+#include "util/strings.hpp"
+
+namespace llamp::stoch {
+namespace {
+
+/// Reduction block size: samples are evaluated in blocks of at most this
+/// many, their metric rows buffered by in-block index, then folded into the
+/// streaming summaries in ascending sample order on the calling thread.
+/// The buffer is the only N-independent-but-nonconstant state, so memory is
+/// O(kBlock * metrics) whatever the sample count — and because sample i's
+/// draws depend only on (seed, i) and the fold order is always 0..N-1, the
+/// thread count can never change a single bit of the result.
+constexpr std::size_t kBlock = 1024;
+
+/// Per-worker scratch reused across every sample a worker serves.
+struct WorkerScratch {
+  lp::ParametricSolver::Workspace ws;
+  std::vector<double> xs;
+  std::vector<lp::ParametricSolver::SweepEval> evals;
+  std::vector<double> factors;
+};
+
+}  // namespace
+
+void McSpec::validate() const {
+  if (samples < 1) {
+    throw UsageError(strformat("mc: need samples >= 1 (got %d)", samples));
+  }
+  L.validate("L");
+  o.validate("o");
+  G.validate("G");
+  noise.validate();
+  if (delta_Ls.empty()) throw UsageError("mc: empty ΔL grid");
+  for (const TimeNs d : delta_Ls) {
+    if (!(d >= 0.0) || !std::isfinite(d)) {
+      throw UsageError(strformat(
+          "mc: ΔL grid values must be finite and >= 0 (got %g)", d));
+    }
+  }
+  for (const double pct : band_percents) {
+    if (!(pct >= 0.0) || !std::isfinite(pct)) {
+      throw UsageError(strformat(
+          "mc: tolerance band percent must be finite and >= 0 (got %g)",
+          pct));
+    }
+  }
+}
+
+void Summary::add(double x) {
+  if (!std::isfinite(x)) {
+    ++unbounded_;
+    return;
+  }
+  stats_.add(x);
+  q05_.add(x);
+  q50_.add(x);
+  q95_.add(x);
+}
+
+McResult run_mc(const graph::Graph& g, const loggops::Params& base,
+                const McSpec& spec) {
+  spec.validate();
+  base.validate();
+
+  const std::size_t npts = spec.delta_Ls.size();
+  const std::size_t nbands = spec.band_percents.size();
+  bool ascending = true;
+  for (std::size_t i = 1; i < npts; ++i) {
+    if (spec.delta_Ls[i - 1] > spec.delta_Ls[i]) ascending = false;
+  }
+
+  // Fast path: when o, G, and the edge noise are all degenerate, every
+  // sample analyzes the same parametric LP and only the evaluation point
+  // (the sampled L) moves — one solver, built once, serves every worker
+  // (solve() is const; all scratch lives in the per-worker workspace).
+  // Otherwise each sample lowers its own perturbed space, which is what
+  // the paper's "re-measure the operating point and redo the analysis"
+  // amounts to.
+  const bool shared_solver_path =
+      spec.o.degenerate() && spec.G.degenerate() && spec.noise.degenerate();
+
+  // Degenerate distributions return a fixed value whatever the generator
+  // state, so the shared operating point can be read with a throwaway Rng.
+  loggops::Params shared_params = base;
+  std::shared_ptr<const lp::ParamSpace> shared_space;
+  std::optional<lp::ParametricSolver> shared;
+  if (shared_solver_path) {
+    Rng probe_rng(spec.seed);
+    shared_params.o = spec.o.sample(probe_rng, base.o);
+    shared_params.G = spec.G.sample(probe_rng, base.G);
+    shared_params.validate();
+    shared_space = std::make_shared<lp::LatencyParamSpace>(shared_params);
+    shared.emplace(g, shared_space);
+  }
+
+  // One metric row per sample: runtime at every ΔL, then λ_L, ρ_L, then the
+  // per-band ΔL tolerances.
+  const std::size_t stride = npts + 2 + nbands;
+  const std::size_t total = static_cast<std::size_t>(spec.samples);
+  const std::size_t block = std::min(total, kBlock);
+  std::vector<double> buffer(block * stride);
+
+  const int nworkers = effective_threads(block, spec.threads);
+  std::vector<WorkerScratch> scratch(static_cast<std::size_t>(nworkers));
+  for (WorkerScratch& s : scratch) {
+    s.xs.resize(npts);
+    s.evals.resize(npts);
+  }
+
+  McResult res;
+  res.base = base;
+  res.samples = spec.samples;
+  res.delta_Ls = spec.delta_Ls;
+  res.runtime.resize(npts);
+  res.bands.resize(nbands);
+  for (std::size_t b = 0; b < nbands; ++b) {
+    res.bands[b].percent = spec.band_percents[b];
+  }
+
+  for (std::size_t block_start = 0; block_start < total;
+       block_start += block) {
+    const std::size_t bn = std::min(block, total - block_start);
+    parallel_for_workers(bn, spec.threads, [&](int w, std::size_t j) {
+      WorkerScratch& sc = scratch[static_cast<std::size_t>(w)];
+      const std::size_t i = block_start + j;
+      Rng rng(sample_seed(spec.seed, i));
+
+      // Fixed in-sample draw order: L, o, G, then edge factors by edge id.
+      loggops::Params p = shared_solver_path ? shared_params : base;
+      p.L = spec.L.sample(rng, base.L);
+      p.o = spec.o.sample(rng, base.o);
+      p.G = spec.G.sample(rng, base.G);
+
+      std::optional<lp::ParametricSolver> local;
+      const lp::ParametricSolver* solver;
+      if (shared_solver_path) {
+        solver = &*shared;
+      } else {
+        std::shared_ptr<const lp::ParamSpace> sp =
+            std::make_shared<lp::LatencyParamSpace>(p);
+        if (!spec.noise.degenerate()) {
+          sc.factors.resize(g.num_edges());
+          for (double& f : sc.factors) f = spec.noise.factor(rng);
+          sp = std::make_shared<lp::PerturbedParamSpace>(std::move(sp),
+                                                         sc.factors);
+        }
+        local.emplace(g, sp);
+        solver = &*local;
+      }
+
+      for (std::size_t k = 0; k < npts; ++k) {
+        sc.xs[k] = p.L + spec.delta_Ls[k];
+      }
+      if (ascending) {
+        solver->sweep(0, sc.xs, sc.ws, sc.evals.data());
+      } else {
+        for (std::size_t k = 0; k < npts; ++k) {
+          const auto& sol = solver->solve(0, sc.xs[k], sc.ws);
+          sc.evals[k] = {sc.xs[k], sol.value, sol.gradient[0]};
+        }
+      }
+
+      double* out = buffer.data() + j * stride;
+      for (std::size_t k = 0; k < npts; ++k) out[k] = sc.evals[k].value;
+      const double value0 = sc.evals[0].value;
+      const double lambda0 = sc.evals[0].slope;
+      out[npts] = lambda0;
+      out[npts + 1] = value0 > 0.0 ? sc.xs[0] * lambda0 / value0 : 0.0;
+      for (std::size_t b = 0; b < nbands; ++b) {
+        const double budget =
+            value0 * (1.0 + spec.band_percents[b] / 100.0);
+        const double tol =
+            solver->max_param_for_budget_from(0, sc.xs[0], budget, sc.ws);
+        out[npts + 2 + b] = std::isfinite(tol) ? tol - sc.xs[0] : tol;
+      }
+    });
+
+    // Ordered reduction: ascending sample index, metric-major within a
+    // sample — the one place observations meet the streaming sketches.
+    for (std::size_t j = 0; j < bn; ++j) {
+      const double* row = buffer.data() + j * stride;
+      for (std::size_t k = 0; k < npts; ++k) res.runtime[k].add(row[k]);
+      res.lambda_L.add(row[npts]);
+      res.rho_L.add(row[npts + 1]);
+      for (std::size_t b = 0; b < nbands; ++b) {
+        res.bands[b].tolerance_delta.add(row[npts + 2 + b]);
+      }
+    }
+  }
+  return res;
+}
+
+namespace {
+
+/// One summary row.  All-unbounded metrics (a tolerance no sample ever
+/// hit) render their statistics cells as "unbounded" in every format, the
+/// same word the deterministic report uses.
+void add_summary_row(Table& t, const std::string& metric, const Summary& s,
+                     bool human, bool time_valued) {
+  const bool all_unbounded = s.count() == 0 && s.unbounded() > 0;
+  const auto fmt = [&](double v) -> std::string {
+    if (all_unbounded) return "unbounded";
+    if (human) {
+      return time_valued ? human_time_ns(v) : strformat("%.3g", v);
+    }
+    return strformat("%.10g", v);
+  };
+  t.add_row({metric, strformat("%zu", s.count()),
+             strformat("%zu", s.unbounded()), fmt(s.mean()),
+             fmt(s.stddev()), fmt(s.min()), fmt(s.q05()), fmt(s.median()),
+             fmt(s.q95()), fmt(s.max())});
+}
+
+}  // namespace
+
+Table mc_summary_table(const McResult& result, bool human) {
+  // The same column set serves every format; only cell formatting differs.
+  Table t({"metric", "n", "unbounded", "mean", "stddev", "min", "q05",
+           "median", "q95", "max"});
+  for (std::size_t k = 0; k < result.runtime.size(); ++k) {
+    const std::string metric =
+        human ? "T(ΔL=" + human_time_ns(result.delta_Ls[k]) + ")"
+              : strformat("runtime_ns[dl=%.1f]", result.delta_Ls[k]);
+    add_summary_row(t, metric, result.runtime[k], human,
+                    /*time_valued=*/true);
+  }
+  add_summary_row(t, human ? "lambda_L" : "lambda_l", result.lambda_L, human,
+                  /*time_valued=*/false);
+  add_summary_row(t, human ? "rho_L" : "rho_l", result.rho_L, human,
+                  /*time_valued=*/false);
+  for (const auto& band : result.bands) {
+    const std::string metric =
+        human ? strformat("tol %g%%", band.percent)
+              : strformat("tolerance_delta_ns[%g%%]", band.percent);
+    add_summary_row(t, metric, band.tolerance_delta, human,
+                    /*time_valued=*/true);
+  }
+  return t;
+}
+
+}  // namespace llamp::stoch

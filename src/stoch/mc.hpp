@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "loggops/params.hpp"
+#include "stoch/distribution.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/time.hpp"
+
+namespace llamp::stoch {
+
+/// Monte Carlo uncertainty quantification over the LP analysis: run N
+/// perturbed solves of one execution graph — each sample drawing its own
+/// LogGPS operating point and (optionally) per-edge cost noise — and stream
+/// the per-sample metrics into O(1)-memory summaries.  The output is the
+/// distributional version of the deterministic tolerance report: runtime
+/// quantiles per ΔL injection, λ_L / ρ_L spread, and tolerance bands with
+/// confidence intervals instead of point estimates.
+///
+/// Determinism contract (DESIGN.md §4c): sample i draws from
+/// Rng(sample_seed(seed, i)) with a fixed in-sample draw order (L, o, G,
+/// then edge factors in edge-id order), and metrics are reduced into the
+/// summaries in ascending sample order whatever the thread count — so the
+/// result (and every emitted byte) depends only on (spec, graph), never on
+/// --threads.  With samples == 1 and all-degenerate distributions the run
+/// reproduces the deterministic analyzer's numbers bitwise.
+struct McSpec {
+  Distribution L;  ///< absolute network latency [ns]
+  Distribution o;  ///< per-message CPU overhead [ns]
+  Distribution G;  ///< gap per byte [ns/byte]
+  EdgeNoise noise; ///< per-edge multiplicative cost noise
+
+  int samples = 256;
+  std::uint64_t seed = 42;
+  int threads = 0;  ///< sample parallelism; <= 0 = hardware concurrency
+
+  /// Injection grid: runtime is summarized at every ΔL; λ_L, ρ_L, and the
+  /// tolerance bands are evaluated at the first grid point (0 in every CLI
+  /// grid).  Must be non-empty with finite entries >= 0.
+  std::vector<TimeNs> delta_Ls = {0.0};
+  std::vector<double> band_percents = {1.0, 2.0, 5.0};
+
+  /// Throws UsageError on malformed specs (samples < 1, bad distributions,
+  /// bad grid).
+  void validate() const;
+};
+
+/// Streaming summary of one scalar metric across the sample stream:
+/// Welford mean/variance plus three P² quantile sketches (5th / 50th /
+/// 95th percentile), all O(1) in the sample count.  Non-finite
+/// observations (unbounded tolerances) are counted separately — the
+/// moments and quantiles summarize the finite samples.
+class Summary {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return stats_.count(); }   ///< finite samples
+  std::size_t unbounded() const { return unbounded_; }
+  double mean() const { return stats_.mean(); }
+  double stddev() const { return stats_.stddev(); }
+  double min() const { return stats_.min(); }
+  double max() const { return stats_.max(); }
+  double q05() const { return q05_.value(); }
+  double median() const { return q50_.value(); }
+  double q95() const { return q95_.value(); }
+
+ private:
+  RunningStats stats_;
+  P2Quantile q05_{0.05};
+  P2Quantile q50_{0.50};
+  P2Quantile q95_{0.95};
+  std::size_t unbounded_ = 0;
+};
+
+struct McResult {
+  loggops::Params base;             ///< the deterministic operating point
+  int samples = 0;
+  std::vector<TimeNs> delta_Ls;
+  std::vector<Summary> runtime;     ///< aligned with delta_Ls
+  Summary lambda_L;                 ///< at the first grid point
+  Summary rho_L;                    ///< at the first grid point
+  struct Band {
+    double percent = 0.0;
+    Summary tolerance_delta;        ///< ΔL tolerance; +inf samples counted
+  };
+  std::vector<Band> bands;          ///< aligned with spec.band_percents
+};
+
+/// Run the Monte Carlo analysis of `g` around the operating point `base`.
+/// `base` supplies every value the spec's distributions pin to it (kBase /
+/// kRelNormal) and the non-sampled LogGPS components (g, O, S).
+McResult run_mc(const graph::Graph& g, const loggops::Params& base,
+                const McSpec& spec);
+
+/// The distributional report as a table: one row per metric — runtime at
+/// every ΔL, λ_L, ρ_L, one tolerance band per percent — with streaming
+/// summary columns.  `human` selects report formatting (adaptive units);
+/// otherwise the numeric CSV/JSON schema (metric, n, unbounded, mean,
+/// stddev, min, q05, median, q95, max).  Cells of an all-unbounded metric
+/// render as "unbounded".
+Table mc_summary_table(const McResult& result, bool human);
+
+}  // namespace llamp::stoch

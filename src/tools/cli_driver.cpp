@@ -15,8 +15,10 @@
 #include "core/campaign.hpp"
 #include "core/placement.hpp"
 #include "core/report.hpp"
+#include "injector/cluster_emulator.hpp"
 #include "lp/parametric.hpp"
 #include "schedgen/schedgen.hpp"
+#include "stoch/mc.hpp"
 #include "topo/spaces.hpp"
 #include "topo/topology.hpp"
 #include "util/cli.hpp"
@@ -40,13 +42,18 @@ subcommands:
             {apps} x {ranks} x {scales} x {topologies} x {LogGPS variants}
             x ΔL grid into analysis jobs, run them on a thread pool (one
             graph build and one solver per scenario), emit the whole grid
+  mc        Monte Carlo uncertainty quantification: resample the LogGPS
+            operating point (and optionally per-edge cost noise) N times,
+            stream the perturbed LP analyses into distributional summaries
+            (runtime quantiles per ΔL, lambda_L spread, tolerance bands
+            with confidence intervals)
   topo      per-wire latency sensitivity on Fat Tree vs Dragonfly, plus the
             Dragonfly per-wire-class tolerance breakdown
   place     compare block, volume-greedy, and LLAMP Algorithm-3 rank
             placements on a Fat Tree
   apps      list the registered proxy applications
 
-common options (analyze/sweep/topo/place; campaign has its own axes below):
+common options (analyze/sweep/mc/topo/place; campaign has its own axes below):
   --app=NAME        proxy application (default lulesh; see `llamp apps`)
   --ranks=N         requested rank count, clamped to the nearest supported
                     value at or below N (default 8)
@@ -56,12 +63,37 @@ common options (analyze/sweep/topo/place; campaign has its own axes below):
                     override individual LogGPS parameters (ns / bytes);
                     by default o comes from the paper's Table II per-app fit
 
-analyze/sweep/campaign options:
+analyze/sweep/mc/campaign options:
   --dl-max-us=X     sweep ceiling ΔL_max in microseconds (default 100, > 0)
   --points=N        grid points in [0, ΔL_max] (default 11, >= 2)
   --threads=N       parallelism, <= 0 = hardware concurrency (default 0)
   --format=F        table (default), csv, or json
   --csv             (sweep) shorthand for --format=csv
+
+mc options (all stochastic paths share --seed; identical seeds reproduce
+identical bytes whatever --threads):
+  --samples=N       Monte Carlo sample count (default 256, >= 1)
+  --seed=S          RNG seed (default 42)
+  --sigma-L=R --sigma-o=R --sigma-G=R
+                    relative stddev of normal jitter around the base value
+                    (default 0 = pinned to the deterministic operating point)
+  --dist-L=D --dist-o=D --dist-G=D
+                    full distribution specs overriding the sigmas: base,
+                    const:V, normal:MEAN,SD, relnormal:SIGMA, uniform:LO,HI
+  --edge-sigma=R --edge-bias=R
+                    per-edge multiplicative cost noise, the cluster
+                    emulator's convention: factor = 1 + bias + |N(0, sigma)|
+  --bands=P,...     tolerance band percents (default 1,2,5)
+
+campaign stochastic options (shared --seed; see mc above):
+  --mc-samples=N    per-scenario Monte Carlo samples (default 0 = off);
+                    adds distributional runtime columns per grid point
+  --mc-sigma-L=R --mc-sigma-o=R --mc-sigma-G=R --mc-edge-sigma=R
+  --mc-edge-bias=R  jitter knobs of the mc axis (relative, as in mc)
+  --probe=emulator  attach the seeded cluster emulator as a per-point
+                    measurement column (--probe-runs averaged runs per
+                    point, default 5; --noise-sigma run-to-run noise,
+                    default 0.003)
 
 campaign options (comma-separated grid axes; scenarios = cross product):
   --apps=A,B,...    proxy applications (default lulesh)
@@ -239,6 +271,29 @@ int cmd_sweep(const Cli& cli, std::ostream& out) {
   return 0;
 }
 
+/// The uniform seed flag of every stochastic path (mc, the campaign mc
+/// axis, the campaign emulator probe): one spelling, one default, and the
+/// documented contract that identical seeds reproduce identical bytes.
+std::uint64_t seed_flag(const Cli& cli) {
+  const long long v = cli.get_int("seed", 42);
+  if (v < 0) {
+    throw UsageError(strformat("need --seed >= 0 (got %lld)", v));
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+/// The sampled-parameter distributions of an mc run: --dist-X wins when
+/// given, otherwise --sigma-X as relative normal jitter (0 = degenerate).
+stoch::Distribution dist_flag(const Cli& cli, const std::string& param) {
+  if (cli.has("dist-" + param)) {
+    return stoch::parse_distribution(cli.get("dist-" + param, "base"));
+  }
+  const double sigma = cli.get_double("sigma-" + param, 0.0);
+  auto d = stoch::Distribution::rel_normal(sigma);
+  d.validate("--sigma-" + param);
+  return d;
+}
+
 /// Comma-separated list flags for the campaign grid axes.  Blank fields are
 /// dropped; an effectively empty axis is a usage error.
 std::vector<std::string> name_list(const Cli& cli, const std::string& key,
@@ -283,6 +338,42 @@ std::vector<int> int_list(const Cli& cli, const std::string& key,
     out.push_back(static_cast<int>(v));
   }
   return out;
+}
+
+int cmd_mc(const Cli& cli, std::ostream& out) {
+  const AppConfig cfg = parse_app_config(cli);
+  const GridFlags gf = grid_flags(cli);
+  const auto format = output_format(cli, /*allow_csv_flag=*/false);
+
+  stoch::McSpec spec;
+  spec.L = dist_flag(cli, "L");
+  spec.o = dist_flag(cli, "o");
+  spec.G = dist_flag(cli, "G");
+  spec.noise.sigma = cli.get_double("edge-sigma", 0.0);
+  spec.noise.bias = cli.get_double("edge-bias", 0.0);
+  spec.samples = int_flag(cli, "samples", 256);
+  spec.seed = seed_flag(cli);
+  spec.threads = int_flag(cli, "threads", 0);
+  spec.delta_Ls = sweep_grid(gf);
+  spec.band_percents = double_list(cli, "bands", "1,2,5");
+  spec.validate();
+
+  const auto g = build_graph(cfg);
+  const auto res = stoch::run_mc(g, cfg.params, spec);
+
+  const bool human = format == core::OutputFormat::kTable;
+  if (human) {
+    out << strformat("app: %s   ranks: %d   scale: %g\n", cfg.app.c_str(),
+                     cfg.ranks, cfg.scale);
+    out << strformat(
+        "mc: %d samples   seed %llu   L~%s   o~%s   G~%s   edge noise "
+        "sigma=%g bias=%g\n",
+        spec.samples, static_cast<unsigned long long>(spec.seed),
+        spec.L.to_string().c_str(), spec.o.to_string().c_str(),
+        spec.G.to_string().c_str(), spec.noise.sigma, spec.noise.bias);
+  }
+  out << core::render(stoch::mc_summary_table(res, human), format);
+  return 0;
 }
 
 /// The LogGPS axis of a campaign: network presets crossed with the optional
@@ -369,10 +460,55 @@ int cmd_campaign(const Cli& cli, std::ostream& out) {
   spec.topo.df_groups = int_flag(cli, "df-groups", spec.topo.df_groups);
   spec.topo.df_routers = int_flag(cli, "df-routers", spec.topo.df_routers);
   spec.topo.df_hosts = int_flag(cli, "df-hosts", spec.topo.df_hosts);
+  spec.mc.samples = int_flag(cli, "mc-samples", 0);
+  spec.mc.seed = seed_flag(cli);
+  spec.mc.sigma_L = cli.get_double("mc-sigma-L", 0.0);
+  spec.mc.sigma_o = cli.get_double("mc-sigma-o", 0.0);
+  spec.mc.sigma_G = cli.get_double("mc-sigma-G", 0.0);
+  spec.mc.noise.sigma = cli.get_double("mc-edge-sigma", 0.0);
+  spec.mc.noise.bias = cli.get_double("mc-edge-bias", 0.0);
   const auto format = output_format(cli, /*allow_csv_flag=*/false);
 
+  // Optional per-point measurement column: the seeded cluster emulator as
+  // the campaign probe.  Every scenario constructs its own emulator from
+  // the shared --seed, so the column's bytes depend only on the spec —
+  // never on the thread count or scenario interleaving.  The probe knobs
+  // are validated whenever present — a bad or orphaned --probe-runs must
+  // be a usage error, not a silent no-op.
+  injector::ClusterEmulator::Config emu_cfg;
+  emu_cfg.noise_sigma = cli.get_double("noise-sigma", emu_cfg.noise_sigma);
+  emu_cfg.seed = seed_flag(cli);
+  const int probe_runs = int_flag(cli, "probe-runs", 5);
+  if (probe_runs < 1) {
+    throw UsageError(strformat("need --probe-runs >= 1 (got %d)", probe_runs));
+  }
+  if (emu_cfg.noise_sigma < 0.0) {
+    throw UsageError(strformat("need --noise-sigma >= 0 (got %g)",
+                               emu_cfg.noise_sigma));
+  }
+  if (!cli.has("probe") &&
+      (cli.has("probe-runs") || cli.has("noise-sigma"))) {
+    throw UsageError(
+        "probe options given without --probe (want --probe=emulator)");
+  }
+  core::Campaign::Probe probe;
+  std::string probe_name;
+  if (cli.has("probe")) {
+    const std::string kind = cli.get("probe", "");
+    if (kind != "emulator") {
+      throw UsageError("unknown --probe '" + kind + "' (want emulator)");
+    }
+    probe = [emu_cfg, probe_runs](const core::Scenario& s,
+                                  const graph::Graph& g) {
+      injector::ClusterEmulator emulator(g, s.params, emu_cfg);
+      return emulator.sweep(s.delta_Ls, probe_runs);
+    };
+    probe_name = format == core::OutputFormat::kTable ? "measured"
+                                                      : "measured_ns";
+  }
+
   core::Campaign campaign(spec);
-  const auto results = campaign.run();
+  const auto results = campaign.run(probe);
   const bool human = format == core::OutputFormat::kTable;
   if (human) {
     out << strformat(
@@ -380,7 +516,8 @@ int cmd_campaign(const Cli& cli, std::ostream& out) {
         campaign.stats().scenarios_run, spec.delta_Ls.size(),
         campaign.stats().graphs_built);
   }
-  out << core::render(core::campaign_points_table(results, human), format);
+  out << core::render(core::campaign_points_table(results, human, probe_name),
+                      format);
   return 0;
 }
 
@@ -521,9 +658,14 @@ constexpr std::string_view kTopoKeys[] = {"l-wire",    "d-switch",
                                           "df-routers", "df-hosts"};
 constexpr std::string_view kPlaceKeys[] = {"l-wire", "d-switch", "ft-radix",
                                            "max-rounds"};
-constexpr std::string_view kCampaignKeys[] = {"apps",   "ranks",  "scales",
-                                              "topos",  "nets",   "L-list",
-                                              "o-list", "G-list", "S"};
+constexpr std::string_view kCampaignKeys[] = {
+    "apps",       "ranks",       "scales",      "topos",       "nets",
+    "L-list",     "o-list",      "G-list",      "S",           "seed",
+    "probe",      "probe-runs",  "noise-sigma", "mc-samples",  "mc-sigma-L",
+    "mc-sigma-o", "mc-sigma-G",  "mc-edge-sigma", "mc-edge-bias"};
+constexpr std::string_view kMcKeys[] = {
+    "samples",  "seed",    "sigma-L",    "sigma-o",   "sigma-G", "dist-L",
+    "dist-o",   "dist-G",  "edge-sigma", "edge-bias", "bands"};
 
 /// Reject misspelled options and stray positionals: a typo'd flag must be a
 /// usage error, not a silent fall-back to the default value.  Returns an
@@ -535,7 +677,8 @@ std::string first_bad_arg(const std::string& sub,
     known.insert(known.end(), std::begin(keys), std::end(keys));
   };
   if (sub != "apps" && sub != "campaign") add(kCommonKeys);
-  if (sub == "analyze" || sub == "sweep") add(kGridKeys);
+  if (sub == "analyze" || sub == "sweep" || sub == "mc") add(kGridKeys);
+  if (sub == "mc") add(kMcKeys);
   if (sub == "sweep") known.push_back("csv");
   if (sub == "topo") add(kTopoKeys);
   if (sub == "place") add(kPlaceKeys);
@@ -570,7 +713,7 @@ int run(int argc, const char* const* argv, std::ostream& out,
     return 0;
   }
   if (sub != "analyze" && sub != "sweep" && sub != "campaign" &&
-      sub != "topo" && sub != "place" && sub != "apps") {
+      sub != "mc" && sub != "topo" && sub != "place" && sub != "apps") {
     err << "llamp: unknown subcommand '" << sub << "'\n\n" << kUsage;
     return 2;
   }
@@ -588,6 +731,7 @@ int run(int argc, const char* const* argv, std::ostream& out,
     if (sub == "analyze") return cmd_analyze(cli, out);
     if (sub == "sweep") return cmd_sweep(cli, out);
     if (sub == "campaign") return cmd_campaign(cli, out);
+    if (sub == "mc") return cmd_mc(cli, out);
     if (sub == "topo") return cmd_topo(cli, out);
     if (sub == "place") return cmd_place(cli, out);
     return cmd_apps(out);

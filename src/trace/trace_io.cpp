@@ -1,5 +1,6 @@
 #include "trace/trace_io.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -11,6 +12,38 @@ namespace llamp::trace {
 namespace {
 constexpr std::string_view kMagic = "LLAMP_TRACE";
 constexpr int kVersion = 1;
+
+/// Line-anchored numeric field parsing: the shared parse helpers throw
+/// generic Errors without location, but a malformed trace file is user
+/// input — the error must say *which line* is garbage (and be a TraceError,
+/// i.e. a usage error, not an analysis failure).
+long long field_ll(std::string_view field, std::size_t lineno,
+                   const char* what) {
+  try {
+    return parse_ll(field);
+  } catch (const Error&) {
+    throw TraceError(strformat("line %zu: bad %s '%.*s'", lineno, what,
+                               static_cast<int>(field.size()), field.data()));
+  }
+}
+
+double field_double(std::string_view field, std::size_t lineno,
+                    const char* what) {
+  double v = 0.0;
+  try {
+    v = parse_double(field);
+  } catch (const Error&) {
+    throw TraceError(strformat("line %zu: bad %s '%.*s'", lineno, what,
+                               static_cast<int>(field.size()), field.data()));
+  }
+  if (!std::isfinite(v)) {
+    throw TraceError(
+        strformat("line %zu: non-finite %s '%.*s'", lineno, what,
+                  static_cast<int>(field.size()), field.data()));
+  }
+  return v;
+}
+
 }  // namespace
 
 void write_trace(std::ostream& os, const Trace& t) {
@@ -40,7 +73,7 @@ Trace read_trace(std::istream& is) {
     if (header.size() != 2 || header[0] != kMagic) {
       throw TraceError("bad magic line '" + line + "'");
     }
-    if (parse_ll(header[1]) != kVersion) {
+    if (field_ll(header[1], 1, "version") != kVersion) {
       throw TraceError("unsupported version " + header[1]);
     }
   }
@@ -49,7 +82,7 @@ Trace read_trace(std::istream& is) {
   if (ranks_line.size() != 2 || ranks_line[0] != "ranks") {
     throw TraceError("bad ranks line '" + line + "'");
   }
-  const auto nranks = parse_ll(ranks_line[1]);
+  const auto nranks = field_ll(ranks_line[1], 2, "rank count");
   if (nranks <= 0 || nranks > (1 << 24)) {
     throw TraceError("implausible rank count " + ranks_line[1]);
   }
@@ -65,7 +98,7 @@ Trace read_trace(std::istream& is) {
       if (fields.size() != 2) {
         throw TraceError(strformat("line %zu: bad rank header", lineno));
       }
-      const auto r = parse_ll(fields[1]);
+      const auto r = field_ll(fields[1], lineno, "rank number");
       if (r != current_rank + 1 || r >= nranks) {
         throw TraceError(strformat("line %zu: ranks must appear in order", lineno));
       }
@@ -81,15 +114,50 @@ Trace read_trace(std::istream& is) {
                                  fields.size()));
     }
     Event e;
-    e.op = op_from_name(fields[0]);
-    e.start = parse_double(fields[1]);
-    e.end = parse_double(fields[2]);
-    e.peer = static_cast<std::int32_t>(parse_ll(fields[3]));
-    e.tag = static_cast<std::int32_t>(parse_ll(fields[4]));
-    e.bytes = static_cast<std::uint64_t>(parse_ll(fields[5]));
-    e.root = static_cast<std::int32_t>(parse_ll(fields[6]));
-    e.request = parse_ll(fields[7]);
+    try {
+      e.op = op_from_name(fields[0]);
+    } catch (const TraceError&) {
+      throw TraceError(strformat("line %zu: unknown operation '%s'", lineno,
+                                 fields[0].c_str()));
+    }
+    e.start = field_double(fields[1], lineno, "start time");
+    e.end = field_double(fields[2], lineno, "end time");
+    const long long peer = field_ll(fields[3], lineno, "peer");
+    if (peer < -1 || peer >= nranks) {
+      throw TraceError(
+          strformat("line %zu: peer %lld out of range", lineno, peer));
+    }
+    e.peer = static_cast<std::int32_t>(peer);
+    e.tag = static_cast<std::int32_t>(field_ll(fields[4], lineno, "tag"));
+    const long long bytes = field_ll(fields[5], lineno, "byte count");
+    if (bytes < 0) {
+      throw TraceError(
+          strformat("line %zu: negative byte count %lld", lineno, bytes));
+    }
+    e.bytes = static_cast<std::uint64_t>(bytes);
+    // Roots index ranks like peers do; an out-of-range root would otherwise
+    // truncate through int32 and feed the collective schedulers garbage.
+    const long long root = field_ll(fields[6], lineno, "root");
+    if (root < -1 || root >= nranks) {
+      throw TraceError(
+          strformat("line %zu: root %lld out of range", lineno, root));
+    }
+    e.root = static_cast<std::int32_t>(root);
+    e.request = field_ll(fields[7], lineno, "request");
     t.rank(current_rank).push_back(e);
+  }
+  // getline loops end on EOF and on stream failure alike: distinguish them,
+  // or an I/O error mid-file would silently pass off a prefix of the trace
+  // as the whole thing.
+  if (is.bad()) {
+    throw TraceError(strformat("read failure after line %zu", lineno));
+  }
+  // Early EOF: every declared rank must have appeared — a file cut off
+  // between rank sections must not analyze as a smaller job.
+  if (current_rank + 1 != nranks) {
+    throw TraceError(strformat(
+        "truncated input: only %d of %lld rank sections present",
+        current_rank + 1, nranks));
   }
   return t;
 }

@@ -23,11 +23,14 @@ class UsageError : public Error {
   explicit UsageError(const std::string& what) : Error(what) {}
 };
 
-/// Malformed or inconsistent trace input (bad syntax, non-monotonic
-/// timestamps, unknown operation, rank mismatch).
-class TraceError : public Error {
+/// Malformed or inconsistent trace input (bad syntax, truncated files,
+/// non-monotonic timestamps, unknown operation, rank mismatch).  Traces are
+/// user-supplied input, so this is a UsageError: every CLI surface maps a
+/// bad trace file to exit code 2, the same as any other bad argument —
+/// never a crash or a silently truncated analysis.
+class TraceError : public UsageError {
  public:
-  explicit TraceError(const std::string& what) : Error("trace: " + what) {}
+  explicit TraceError(const std::string& what) : UsageError("trace: " + what) {}
 };
 
 /// Structural problems in an execution graph (cycles, dangling communication

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "util/error.hpp"
+#include "util/strings.hpp"
 
 namespace llamp {
 
@@ -84,5 +86,87 @@ double RunningStats::variance() const {
 }
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+P2Quantile::P2Quantile(double quantile) : p_(quantile) {
+  if (!(quantile >= 0.0 && quantile <= 1.0)) {
+    throw Error(strformat("P2Quantile: quantile must be in [0, 1] (got %g)",
+                          quantile));
+  }
+}
+
+void P2Quantile::add(double x) {
+  if (!std::isfinite(x)) {
+    throw Error("P2Quantile: non-finite observation");
+  }
+  if (n_ < 5) {
+    // Warm-up: keep the raw observations sorted in the marker slots.  The
+    // fifth observation completes the canonical P² initial state.
+    q_[n_] = x;
+    ++n_;
+    for (std::size_t i = n_ - 1; i > 0 && q_[i - 1] > q_[i]; --i) {
+      std::swap(q_[i - 1], q_[i]);
+    }
+    if (n_ == 5) {
+      for (std::size_t i = 0; i < 5; ++i) {
+        pos_[i] = static_cast<double>(i + 1);
+      }
+      desired_ = {1.0, 1.0 + 2.0 * p_, 1.0 + 4.0 * p_, 3.0 + 2.0 * p_, 5.0};
+      step_ = {0.0, p_ / 2.0, p_, (1.0 + p_) / 2.0, 1.0};
+    }
+    return;
+  }
+
+  // Locate the cell [q_k, q_{k+1}) containing x, extending the extreme
+  // markers when x falls outside the current range.
+  std::size_t k = 0;
+  if (x < q_[0]) {
+    q_[0] = x;
+    k = 0;
+  } else if (x >= q_[4]) {
+    if (x > q_[4]) q_[4] = x;
+    k = 3;
+  } else {
+    while (k < 3 && q_[k + 1] <= x) ++k;
+  }
+  ++n_;
+  for (std::size_t i = k + 1; i < 5; ++i) pos_[i] += 1.0;
+  for (std::size_t i = 0; i < 5; ++i) desired_[i] += step_[i];
+
+  // Adjust the interior markers toward their desired positions, moving each
+  // at most one slot per observation: parabolic (P²) interpolation when it
+  // keeps the heights monotone, linear otherwise.
+  for (std::size_t i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - pos_[i];
+    if ((d >= 1.0 && pos_[i + 1] - pos_[i] > 1.0) ||
+        (d <= -1.0 && pos_[i - 1] - pos_[i] < -1.0)) {
+      const double s = d >= 1.0 ? 1.0 : -1.0;
+      const double np = pos_[i] + s;
+      const double qp =
+          q_[i] + s / (pos_[i + 1] - pos_[i - 1]) *
+                      ((pos_[i] - pos_[i - 1] + s) * (q_[i + 1] - q_[i]) /
+                           (pos_[i + 1] - pos_[i]) +
+                       (pos_[i + 1] - pos_[i] - s) * (q_[i] - q_[i - 1]) /
+                           (pos_[i] - pos_[i - 1]));
+      if (q_[i - 1] < qp && qp < q_[i + 1]) {
+        q_[i] = qp;
+      } else {
+        // Linear fallback toward the neighbour in the movement direction.
+        const std::size_t j = d >= 1.0 ? i + 1 : i - 1;
+        q_[i] = q_[i] + s * (q_[j] - q_[i]) / (pos_[j] - pos_[i]);
+      }
+      pos_[i] = np;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  if (n_ == 0) return 0.0;
+  if (n_ <= 5) {
+    // Exact percentile over the sorted warm-up observations, under the same
+    // R-7 scheme as the batch percentile() helper.
+    return percentile(std::span<const double>(q_.data(), n_), 100.0 * p_);
+  }
+  return q_[2];
+}
 
 }  // namespace llamp

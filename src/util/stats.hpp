@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <span>
 #include <vector>
@@ -56,6 +57,41 @@ class RunningStats {
   double m2_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
+};
+
+/// Streaming quantile estimator: the P² algorithm of Jain & Chlamtac (1985),
+/// five markers tracking one target quantile in O(1) memory whatever the
+/// stream length (the stoch/ Monte Carlo engine summarizes 10^4+ samples per
+/// scenario without storing them).
+///
+/// Exactness contract: while the stream holds at most five observations the
+/// estimate is the *exact* percentile under the same R-7 interpolation
+/// scheme as percentile() above — so a one-sample stream returns that sample
+/// bitwise, which the degenerate-MC reproduction tests rely on.  Beyond five
+/// observations the estimate is approximate; the StatsStream tests bound its
+/// error against exact percentiles under adversarial arrival orders.
+///
+/// Updates are order-sensitive (like any streaming sketch): callers that
+/// need run-to-run stable results must feed observations in a deterministic
+/// order.  Non-finite observations are rejected with llamp::Error — the
+/// marker invariants do not survive them; callers count those separately.
+class P2Quantile {
+ public:
+  /// `quantile` in [0, 1]: 0.05 tracks the 5th percentile, 0.5 the median.
+  explicit P2Quantile(double quantile);
+
+  void add(double x);
+  std::size_t count() const { return n_; }
+  /// Current estimate; 0.0 for an empty stream (like the batch helpers).
+  double value() const;
+
+ private:
+  double p_ = 0.5;
+  std::size_t n_ = 0;
+  std::array<double, 5> q_{};        ///< marker heights (first 5: raw values)
+  std::array<double, 5> pos_{};      ///< marker positions (1-based)
+  std::array<double, 5> desired_{};  ///< desired marker positions
+  std::array<double, 5> step_{};     ///< desired-position increment per add
 };
 
 }  // namespace llamp

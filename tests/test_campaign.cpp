@@ -273,5 +273,111 @@ TEST(CampaignRun, TooSmallOrMalformedTopologyIsAUsageError) {
   EXPECT_THROW(Campaign{spec}, UsageError);
 }
 
+// ---------------------------------------------------------------------------
+// The mc axis
+// ---------------------------------------------------------------------------
+
+TEST(CampaignMc, AxisOffLeavesResultsUntouched) {
+  CampaignSpec spec = small_spec();
+  Campaign campaign(spec);
+  for (const auto& res : campaign.run()) EXPECT_TRUE(res.mc.empty());
+}
+
+TEST(CampaignMc, SummariesAlignAndAreThreadCountInvariant) {
+  CampaignSpec spec = small_spec();
+  spec.mc.samples = 16;
+  spec.mc.seed = 9;
+  spec.mc.sigma_L = 0.05;
+  spec.mc.noise.sigma = 0.003;
+
+  spec.threads = 1;
+  const auto serial = Campaign(spec).run();
+  spec.threads = 8;
+  const auto parallel = Campaign(spec).run();
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i].mc.size(), serial[i].points.size());
+    for (std::size_t k = 0; k < serial[i].mc.size(); ++k) {
+      EXPECT_EQ(serial[i].mc[k].mean, parallel[i].mc[k].mean);
+      EXPECT_EQ(serial[i].mc[k].stddev, parallel[i].mc[k].stddev);
+      EXPECT_EQ(serial[i].mc[k].q05, parallel[i].mc[k].q05);
+      EXPECT_EQ(serial[i].mc[k].q95, parallel[i].mc[k].q95);
+      EXPECT_GT(serial[i].mc[k].stddev, 0.0);
+      EXPECT_LE(serial[i].mc[k].q05, serial[i].mc[k].q95);
+    }
+  }
+}
+
+TEST(CampaignMc, DegenerateAxisReproducesDeterministicPoints) {
+  // One sample, zero-variance knobs: the mc mean at each grid point is the
+  // deterministic runtime at that point, bitwise.
+  CampaignSpec spec = small_spec();
+  spec.mc.samples = 1;
+  const auto results = Campaign(spec).run();
+  for (const auto& res : results) {
+    ASSERT_EQ(res.mc.size(), res.points.size());
+    for (std::size_t k = 0; k < res.points.size(); ++k) {
+      EXPECT_EQ(res.mc[k].mean, res.points[k].runtime);
+      EXPECT_EQ(res.mc[k].q05, res.points[k].runtime);
+      EXPECT_EQ(res.mc[k].q95, res.points[k].runtime);
+      EXPECT_EQ(res.mc[k].stddev, 0.0);
+    }
+  }
+}
+
+TEST(CampaignMc, AxisValidation) {
+  {
+    CampaignSpec spec = small_spec();
+    spec.mc.samples = -1;
+    EXPECT_THROW(Campaign{spec}, UsageError);
+  }
+  {
+    CampaignSpec spec = small_spec();
+    spec.mc.samples = 4;
+    spec.mc.sigma_L = -0.5;
+    EXPECT_THROW(Campaign{spec}, UsageError);
+  }
+  {
+    CampaignSpec spec = small_spec();
+    spec.mc.samples = 4;
+    spec.mc.noise.bias = -1.5;
+    EXPECT_THROW(Campaign{spec}, UsageError);
+  }
+  {
+    // Malformed knobs are rejected even with the axis off...
+    CampaignSpec spec = small_spec();
+    spec.mc.sigma_G = -0.2;
+    EXPECT_THROW(Campaign{spec}, UsageError);
+  }
+  {
+    // ...and well-formed jitter with samples == 0 is an orphan, not a
+    // silent deterministic run.
+    CampaignSpec spec = small_spec();
+    spec.mc.sigma_L = 0.05;
+    EXPECT_THROW(Campaign{spec}, UsageError);
+  }
+  {
+    // Physical topologies have no single L to resample.
+    CampaignSpec spec = small_spec();
+    spec.topologies = {"fat-tree"};
+    spec.mc.samples = 4;
+    EXPECT_THROW(Campaign{spec}, UsageError);
+  }
+}
+
+TEST(CampaignMc, ExplicitScenarioListCarriesTheAxis) {
+  CampaignSpec grid = small_spec();
+  std::vector<Scenario> scenarios = Campaign(grid).scenarios();
+  McAxis mc;
+  mc.samples = 8;
+  mc.sigma_L = 0.05;
+  Campaign campaign(std::move(scenarios), TopologyOptions{}, 0, mc);
+  for (const auto& res : campaign.run()) {
+    ASSERT_EQ(res.mc.size(), res.points.size());
+    EXPECT_GT(res.mc[0].stddev, 0.0);
+  }
+}
+
 }  // namespace
 }  // namespace llamp::core

@@ -267,6 +267,184 @@ TEST(CliSmoke, AnalyzeJsonIsAStructuredReport) {
   EXPECT_TRUE(contains(r.out, "\"critical_latencies_ns\": "));
 }
 
+// ---------------------------------------------------------------------------
+// The mc subcommand and the uniform --seed contract: on every stochastic
+// CLI path (mc, the campaign mc axis, the campaign emulator probe),
+// identical seeds reproduce identical bytes and the thread count never
+// changes them; a different seed re-rolls the noise.
+// ---------------------------------------------------------------------------
+
+TEST(CliMc, SmokeTableReport) {
+  const auto r = run_cli({"mc", "--app=lulesh", "--ranks=8", "--scale=0.05",
+                          "--points=3", "--dl-max-us=50", "--samples=8",
+                          "--sigma-L=0.05"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_TRUE(contains(r.out, "app: lulesh"));
+  EXPECT_TRUE(contains(r.out, "mc: 8 samples"));
+  EXPECT_TRUE(contains(r.out, "lambda_L"));
+  EXPECT_TRUE(contains(r.out, "q95"));
+  EXPECT_TRUE(contains(r.out, "tol 1%"));
+}
+
+TEST(CliMc, EmitsEveryFormat) {
+  const std::vector<const char*> common = {
+      "mc",           "--app=lulesh",  "--ranks=8",
+      "--scale=0.02", "--points=3",    "--dl-max-us=20",
+      "--samples=4",  "--sigma-L=0.1", "--bands=1"};
+  auto with_format = [&](const char* fmt) {
+    auto args = common;
+    args.push_back(fmt);
+    return run_cli(args);
+  };
+  const auto csv = with_format("--format=csv");
+  EXPECT_EQ(csv.code, 0) << csv.err;
+  EXPECT_TRUE(contains(
+      csv.out, "metric,n,unbounded,mean,stddev,min,q05,median,q95,max"));
+  // Header + 3 runtime rows + lambda + rho + 1 band.
+  EXPECT_EQ(std::count(csv.out.begin(), csv.out.end(), '\n'), 7);
+
+  const auto json = with_format("--format=json");
+  EXPECT_EQ(json.code, 0) << json.err;
+  EXPECT_TRUE(contains(json.out, "\"metric\": \"lambda_l\""));
+  EXPECT_TRUE(contains(json.out, "\"mean\": "));
+}
+
+TEST(CliMc, SeedReproducesIdenticalBytes) {
+  const std::vector<const char*> base = {
+      "mc",           "--app=lulesh",    "--ranks=8",
+      "--scale=0.02", "--points=3",      "--dl-max-us=20",
+      "--samples=16", "--sigma-L=0.05",  "--edge-sigma=0.003",
+      "--seed=7",     "--format=csv"};
+  const auto a = run_cli(base);
+  const auto b = run_cli(base);
+  ASSERT_EQ(a.code, 0) << a.err;
+  EXPECT_EQ(a.out, b.out);
+
+  auto reseeded = base;
+  reseeded[9] = "--seed=8";
+  const auto c = run_cli(reseeded);
+  ASSERT_EQ(c.code, 0) << c.err;
+  EXPECT_NE(a.out, c.out);
+}
+
+TEST(CliMc, ThreadCountNeverChangesTheBytes) {
+  for (const char* fmt : {"--format=csv", "--format=json", "--format=table"}) {
+    auto run_with = [&](const char* threads) {
+      return run_cli({"mc", "--app=hpcg", "--ranks=8", "--scale=0.02",
+                      "--points=3", "--dl-max-us=20", "--samples=24",
+                      "--sigma-L=0.05", "--sigma-o=0.02",
+                      "--edge-sigma=0.003", "--seed=5", fmt, threads});
+    };
+    const auto serial = run_with("--threads=1");
+    const auto parallel = run_with("--threads=8");
+    ASSERT_EQ(serial.code, 0) << serial.err;
+    ASSERT_EQ(parallel.code, 0) << parallel.err;
+    EXPECT_FALSE(serial.out.empty());
+    EXPECT_EQ(serial.out, parallel.out) << "format " << fmt;
+  }
+}
+
+TEST(CliMc, UsageErrors) {
+  for (const auto& args : std::vector<std::vector<const char*>>{
+           {"mc", "--app=lulesh", "--samples=0"},
+           {"mc", "--app=lulesh", "--samples=-3"},
+           {"mc", "--app=lulesh", "--seed=-1"},
+           {"mc", "--app=lulesh", "--dist-L=gaussian:1,2"},
+           {"mc", "--app=lulesh", "--dist-L=uniform:5,1"},
+           {"mc", "--app=lulesh", "--sigma-L=-0.1"},
+           {"mc", "--app=lulesh", "--edge-sigma=-0.5"},
+           {"mc", "--app=lulesh", "--edge-bias=-2"},
+           {"mc", "--app=lulesh", "--bands=-1"},
+           {"mc", "--app=lulesh", "--points=1"},
+           {"mc", "--app=lulesh", "--nope=1"},
+       }) {
+    const auto r = run_cli(args);
+    EXPECT_EQ(r.code, 2) << args[2] << " -> " << r.err;
+    EXPECT_FALSE(r.err.empty());
+  }
+}
+
+TEST(CliMc, DistFlagsOverrideSigmas) {
+  // An explicit degenerate --dist-L beats --sigma-L, so the run is exactly
+  // the deterministic analysis repeated; n=1 keeps it cheap.
+  const auto pinned = run_cli({"mc", "--app=lulesh", "--ranks=8",
+                               "--scale=0.02", "--points=2",
+                               "--dl-max-us=20", "--samples=1",
+                               "--dist-L=base", "--format=csv"});
+  ASSERT_EQ(pinned.code, 0) << pinned.err;
+  // Zero-variance run: stddev column is exactly 0 on every row.
+  EXPECT_TRUE(contains(pinned.out, ",0,"));
+}
+
+TEST(CliCampaignStochastic, McAxisAddsColumnsAndKeepsDeterminism) {
+  auto run_with = [&](const char* threads) {
+    return run_cli({"campaign", "--apps=lulesh,hpcg", "--ranks=8",
+                    "--scales=0.02", "--points=3", "--dl-max-us=20",
+                    "--mc-samples=12", "--mc-sigma-L=0.05",
+                    "--mc-edge-sigma=0.003", "--seed=3", "--format=csv",
+                    threads});
+  };
+  const auto serial = run_with("--threads=1");
+  const auto parallel = run_with("--threads=8");
+  ASSERT_EQ(serial.code, 0) << serial.err;
+  EXPECT_TRUE(contains(serial.out,
+                       "runtime_mean_ns,runtime_sd_ns,runtime_q05_ns,"
+                       "runtime_q95_ns"));
+  EXPECT_EQ(serial.out, parallel.out);
+
+  // Without the axis the schema is unchanged (golden files pin it too).
+  const auto plain = run_cli({"campaign", "--apps=lulesh", "--ranks=8",
+                              "--scales=0.02", "--points=3",
+                              "--dl-max-us=20", "--format=csv"});
+  ASSERT_EQ(plain.code, 0) << plain.err;
+  EXPECT_FALSE(contains(plain.out, "runtime_mean_ns"));
+}
+
+TEST(CliCampaignStochastic, EmulatorProbeIsSeedStable) {
+  auto run_with = [&](const char* seed, const char* threads) {
+    return run_cli({"campaign", "--apps=lulesh,hpcg", "--ranks=8",
+                    "--scales=0.02", "--points=3", "--dl-max-us=20",
+                    "--probe=emulator", "--probe-runs=2", seed, threads,
+                    "--format=csv"});
+  };
+  const auto a = run_with("--seed=11", "--threads=1");
+  const auto b = run_with("--seed=11", "--threads=8");
+  const auto c = run_with("--seed=12", "--threads=1");
+  ASSERT_EQ(a.code, 0) << a.err;
+  EXPECT_TRUE(contains(a.out, "measured_ns"));
+  EXPECT_EQ(a.out, b.out);
+  EXPECT_NE(a.out, c.out);
+}
+
+TEST(CliCampaignStochastic, UsageErrors) {
+  for (const auto& args : std::vector<std::vector<const char*>>{
+           {"campaign", "--apps=lulesh", "--probe=tarot"},
+           {"campaign", "--apps=lulesh", "--probe=emulator",
+            "--probe-runs=0"},
+           {"campaign", "--apps=lulesh", "--probe=emulator",
+            "--noise-sigma=-1"},
+           {"campaign", "--apps=lulesh", "--mc-samples=-1"},
+           {"campaign", "--apps=lulesh", "--mc-samples=4",
+            "--mc-sigma-L=-0.5"},
+           {"campaign", "--apps=lulesh", "--topos=fat-tree",
+            "--mc-samples=4"},
+           {"campaign", "--apps=lulesh", "--seed=-2"},
+           // Knobs must never be silently ignored: a bad value is a usage
+           // error even when its enabling flag is off, and a well-formed
+           // knob without its enabling flag is an orphan, not a no-op.
+           {"campaign", "--apps=lulesh", "--mc-sigma-L=-5"},
+           {"campaign", "--apps=lulesh", "--mc-sigma-L=0.05"},
+           {"campaign", "--apps=lulesh", "--mc-edge-sigma=0.01"},
+           {"campaign", "--apps=lulesh", "--probe-runs=0"},
+           {"campaign", "--apps=lulesh", "--probe-runs=3"},
+           {"campaign", "--apps=lulesh", "--noise-sigma=0.1"},
+       }) {
+    const auto r = run_cli(args);
+    EXPECT_EQ(r.code, 2) << r.err;
+    EXPECT_FALSE(r.err.empty());
+  }
+}
+
 TEST(CliSmoke, AnalysisErrorsReportAndFail) {
   const auto bad_app = run_cli({"analyze", "--app=not-an-app", "--ranks=8"});
   EXPECT_EQ(bad_app.code, 1);

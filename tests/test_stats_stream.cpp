@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+// Test coverage for the streaming accumulators behind the stoch/ Monte
+// Carlo engine: randomized batch-vs-streaming equivalence for the Welford
+// mean/variance path, and error bounds for the P² quantile sketch under
+// adversarial arrival orders (sorted, reversed, interleaved, sawtooth) —
+// the orders known to stress marker-based sketches hardest.
+
+namespace llamp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Batch vs streaming moments
+// ---------------------------------------------------------------------------
+
+TEST(StatsStream, RunningStatsMatchesBatchOnRandomStreams) {
+  Rng rng(101);
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 400));
+    // Mix magnitudes and signs so cancellation-prone streams are covered.
+    const double scale = std::pow(10.0, rng.uniform(-3.0, 6.0));
+    const double offset = rng.uniform(-1.0, 1.0) * scale * 10.0;
+    std::vector<double> xs(n);
+    for (double& x : xs) x = offset + scale * rng.normal();
+
+    RunningStats rs;
+    for (const double x : xs) rs.add(x);
+
+    EXPECT_EQ(rs.count(), n);
+    const double m = mean(xs);
+    const double v = variance(xs);
+    const double mag = std::fabs(m) + scale;
+    EXPECT_NEAR(rs.mean(), m, 1e-10 * mag) << "trial " << trial;
+    EXPECT_NEAR(rs.variance(), v, 1e-8 * (v + mag * mag * 1e-6))
+        << "trial " << trial;
+    EXPECT_EQ(rs.min(), min_of(xs));
+    EXPECT_EQ(rs.max(), max_of(xs));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// P² quantile sketch
+// ---------------------------------------------------------------------------
+
+TEST(StatsStream, P2IsExactUpToFiveObservations) {
+  // The warm-up phase must agree with the batch percentile() helper
+  // exactly — including the one-sample stream the degenerate-MC
+  // reproduction depends on.
+  Rng rng(7);
+  for (const double q : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+    for (std::size_t n = 1; n <= 5; ++n) {
+      P2Quantile sketch(q);
+      std::vector<double> xs;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double x = rng.uniform(-100.0, 100.0);
+        xs.push_back(x);
+        sketch.add(x);
+      }
+      EXPECT_EQ(sketch.value(), percentile(xs, 100.0 * q))
+          << "q=" << q << " n=" << n;
+    }
+  }
+}
+
+TEST(StatsStream, P2SingleObservationIsThatObservation) {
+  P2Quantile sketch(0.95);
+  sketch.add(42.5);
+  EXPECT_EQ(sketch.value(), 42.5);
+  EXPECT_EQ(sketch.count(), 1u);
+}
+
+TEST(StatsStream, P2ConstantStreamIsExact) {
+  for (const double q : {0.05, 0.5, 0.95}) {
+    P2Quantile sketch(q);
+    for (int i = 0; i < 5'000; ++i) sketch.add(3.25);
+    EXPECT_EQ(sketch.value(), 3.25);
+  }
+}
+
+/// Feed `xs` in the given order and return the sketch estimate.
+double p2_estimate(double q, const std::vector<double>& xs) {
+  P2Quantile sketch(q);
+  for (const double x : xs) sketch.add(x);
+  return sketch.value();
+}
+
+/// Adversarial arrival orders of one data set.
+std::vector<std::vector<double>> orderings(std::vector<double> xs) {
+  std::vector<std::vector<double>> out;
+  out.push_back(xs);  // as generated (random)
+  std::sort(xs.begin(), xs.end());
+  out.push_back(xs);  // ascending
+  {
+    std::vector<double> desc(xs.rbegin(), xs.rend());
+    out.push_back(std::move(desc));  // descending
+  }
+  {
+    // Interleave extremes: min, max, 2nd-min, 2nd-max, ... — the classic
+    // marker-stress order.
+    std::vector<double> weave;
+    std::size_t lo = 0, hi = xs.size();
+    while (lo < hi) {
+      weave.push_back(xs[lo++]);
+      if (lo < hi) weave.push_back(xs[--hi]);
+    }
+    out.push_back(std::move(weave));
+  }
+  {
+    // Sawtooth: repeated ascending runs.
+    std::vector<double> saw;
+    const std::size_t runs = 10;
+    for (std::size_t r = 0; r < runs; ++r) {
+      for (std::size_t i = r; i < xs.size(); i += runs) saw.push_back(xs[i]);
+    }
+    out.push_back(std::move(saw));
+  }
+  return out;
+}
+
+TEST(StatsStream, P2ErrorBoundedUnderAdversarialOrderings) {
+  Rng rng(2024);
+  // Two shapes: uniform (flat density — easy) and lognormal-ish heavy tail
+  // (the shape runtime distributions actually take).
+  std::vector<double> uniform(20'000), heavy(20'000);
+  for (double& x : uniform) x = rng.uniform(0.0, 1.0);
+  for (double& x : heavy) x = std::exp(rng.normal(0.0, 0.5));
+
+  // P² is an iid-arrival sketch: on exchangeable streams (ordering #0 —
+  // the regime the MC engine's sample-indexed reduction feeds it) the
+  // error is tiny, while globally sorted (#1/#2), extreme-weaved (#3), and
+  // sawtooth (#4) arrivals are the classic marker-collapse adversaries and
+  // degrade it — catastrophically so for extreme quantiles under the
+  // weave.  The per-ordering tolerances below are the measured envelope at
+  // ~2x margin; they document the degradation rather than hide it, and the
+  // in-range invariant must hold whatever the order.
+  struct Case {
+    const std::vector<double>* data;
+    double q;
+    std::array<double, 5> tol;  ///< per-ordering absolute tolerance
+  };
+  const std::vector<Case> cases = {
+      {&uniform, 0.05, {0.005, 0.07, 0.01, 0.80, 0.01}},
+      {&uniform, 0.50, {0.005, 0.01, 0.01, 0.07, 0.04}},
+      {&uniform, 0.95, {0.005, 0.005, 0.04, 0.86, 0.01}},
+      {&heavy, 0.05, {0.005, 0.04, 0.01, 0.03, 0.005}},
+      {&heavy, 0.50, {0.005, 0.09, 0.30, 0.30, 0.005}},
+      {&heavy, 0.95, {0.01, 0.15, 4.0, 2.5, 0.10}},
+  };
+  for (const auto& c : cases) {
+    const double exact = percentile(*c.data, 100.0 * c.q);
+    const double lo = min_of(*c.data);
+    const double hi = max_of(*c.data);
+    int which = 0;
+    for (const auto& order : orderings(*c.data)) {
+      const double est = p2_estimate(c.q, order);
+      EXPECT_NEAR(est, exact, c.tol[static_cast<std::size_t>(which)])
+          << "q=" << c.q << " ordering#" << which
+          << (c.data == &uniform ? " uniform" : " heavy");
+      // Marker invariant: the estimate can never leave the observed range.
+      EXPECT_GE(est, lo);
+      EXPECT_LE(est, hi);
+      ++which;
+    }
+  }
+}
+
+TEST(StatsStream, P2RejectsBadInput) {
+  EXPECT_THROW(P2Quantile(-0.1), Error);
+  EXPECT_THROW(P2Quantile(1.5), Error);
+  P2Quantile sketch(0.5);
+  EXPECT_THROW(sketch.add(std::numeric_limits<double>::infinity()), Error);
+  EXPECT_THROW(sketch.add(std::numeric_limits<double>::quiet_NaN()), Error);
+}
+
+TEST(StatsStream, P2EmptyStreamIsZero) {
+  P2Quantile sketch(0.5);
+  EXPECT_EQ(sketch.value(), 0.0);
+  EXPECT_EQ(sketch.count(), 0u);
+}
+
+}  // namespace
+}  // namespace llamp

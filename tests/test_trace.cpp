@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
+#include <type_traits>
 
 #include "trace/builder.hpp"
 #include "trace/trace.hpp"
@@ -167,6 +169,82 @@ TEST(TraceIo, RejectsMalformedBody) {
   EXPECT_THROW(
       (void)from_text("LLAMP_TRACE 1\nranks 1\nMPI_Init:0:1:-1:0:0:0:-1\n"),
       TraceError);  // event before rank header
+}
+
+TEST(TraceIo, GarbageFieldsAreLineNumberedTraceErrors) {
+  // Numeric garbage in any field must raise a TraceError naming the line,
+  // never the shared parsers' location-free Error (and never a crash).
+  const auto expect_line_error = [](const std::string& body,
+                                    const std::string& needle) {
+    const std::string text = "LLAMP_TRACE 1\nranks 1\nrank 0\n" + body;
+    try {
+      (void)from_text(text);
+      FAIL() << "accepted: " << body;
+    } catch (const TraceError& e) {
+      EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos)
+          << e.what();
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_line_error("MPI_Send:abc:1:0:0:8:0:-1\n", "start time");
+  expect_line_error("MPI_Send:0:xyz:0:0:8:0:-1\n", "end time");
+  expect_line_error("MPI_Send:0:1:frog:0:8:0:-1\n", "peer");
+  expect_line_error("MPI_Send:0:1:0:?:8:0:-1\n", "tag");
+  expect_line_error("MPI_Send:0:1:0:0:many:0:-1\n", "byte count");
+  expect_line_error("MPI_Send:0:1:0:0:-8:0:-1\n", "negative byte count");
+  expect_line_error("MPI_Send:0:1:0:0:8:root:-1\n", "root");
+  expect_line_error("MPI_Send:0:1:0:0:8:0:oops\n", "request");
+  expect_line_error("MPI_Send:inf:1:0:0:8:0:-1\n", "start time");
+  expect_line_error("MPI_Send:nan:1:0:0:8:0:-1\n", "start time");
+  expect_line_error("MPI_Frobnicate:0:1:0:0:8:0:-1\n", "unknown operation");
+  expect_line_error("MPI_Send:0:1:7:0:8:0:-1\n", "peer 7 out of range");
+  expect_line_error("MPI_Bcast:0:1:-1:0:8:7:-1\n", "root 7 out of range");
+  expect_line_error("MPI_Bcast:0:1:-1:0:8:-2:-1\n", "root -2 out of range");
+}
+
+TEST(TraceIo, GarbageHeadersAreTraceErrors) {
+  EXPECT_THROW((void)from_text("LLAMP_TRACE abc\nranks 1\nrank 0\n"),
+               TraceError);  // non-numeric version
+  EXPECT_THROW((void)from_text("LLAMP_TRACE 1\nranks many\nrank 0\n"),
+               TraceError);  // non-numeric rank count
+  EXPECT_THROW((void)from_text("LLAMP_TRACE 1\nranks 2\nrank zero\n"),
+               TraceError);  // non-numeric rank header
+  EXPECT_THROW((void)from_text("LLAMP_TRACE 1\nranks 0\n"), TraceError);
+  EXPECT_THROW((void)from_text("LLAMP_TRACE 1\nranks -3\n"), TraceError);
+  EXPECT_THROW((void)from_text("LLAMP_TRACE 1\n"), TraceError);
+}
+
+TEST(TraceIo, EarlyEofIsTruncationNotSilentShrink) {
+  // A file cut off between rank sections must not parse as a smaller job:
+  // before the hardening this "succeeded" with empty ranks and analyses
+  // quietly ran on a fraction of the trace.
+  try {
+    (void)from_text("LLAMP_TRACE 1\nranks 4\nrank 0\n"
+                    "MPI_Init:0:1:-1:0:0:0:-1\nrank 1\n");
+    FAIL() << "accepted a truncated trace";
+  } catch (const TraceError& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("2 of 4"), std::string::npos)
+        << e.what();
+  }
+  // The declared rank count alone, with no sections at all, is truncation
+  // too.
+  EXPECT_THROW((void)from_text("LLAMP_TRACE 1\nranks 2\n"), TraceError);
+}
+
+TEST(TraceIo, TraceErrorsAreUsageErrors) {
+  // Malformed traces are user input: every CLI maps UsageError to exit 2,
+  // and TraceError must ride that path.
+  static_assert(std::is_base_of_v<UsageError, TraceError>);
+  try {
+    (void)from_text("garbage\n");
+    FAIL();
+  } catch (const UsageError&) {
+    // Caught through the UsageError base — the property the exit-code
+    // mapping relies on.
+  }
 }
 
 TEST(TraceIo, IgnoresCommentsAndBlankLines) {
