@@ -1,0 +1,109 @@
+// Throughput harness for the api::Engine serving path: requests/sec on a
+// repeated mixed workload, contrasting
+//
+//   * cold sessions — a fresh engine per request, the pre-api cost model
+//     where every consumer rebuilt its graphs; and
+//   * one warm session — a single engine serving the whole stream, graphs
+//     resolved through the session cache (the `llamp batch` shape);
+//
+// each single-threaded and at hardware concurrency.  The speedup is the
+// structural argument for the engine façade: steady-state requests skip
+// trace generation + schedgen entirely.
+//
+//   $ ./bench_api_batch [--rounds=8] [--quick]
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "api/engine.hpp"
+#include "api/request.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::vector<llamp::api::Request> mixed_round() {
+  using namespace llamp::api;
+  std::vector<Request> reqs;
+  for (const char* app : {"lulesh", "hpcg", "milc", "icon"}) {
+    SweepRequest sweep;
+    sweep.app.app = app;
+    sweep.app.scale = 0.02;
+    sweep.grid = {20.0, 5};
+    sweep.threads = 1;
+    reqs.emplace_back(sweep);
+
+    AnalyzeRequest analyze;
+    analyze.app.app = app;
+    analyze.app.scale = 0.02;
+    analyze.grid = {20.0, 3};
+    analyze.threads = 1;
+    reqs.emplace_back(analyze);
+  }
+  return reqs;
+}
+
+double requests_per_sec(std::size_t nreq, double ms) {
+  return ms > 0.0 ? 1e3 * static_cast<double>(nreq) / ms : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace llamp;
+  const Cli cli(argc, argv);
+  const int rounds = static_cast<int>(
+      cli.get_int("rounds", cli.get_bool("quick", false) ? 2 : 8));
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+
+  const std::vector<api::Request> round = mixed_round();
+  std::vector<api::Request> stream;
+  for (int r = 0; r < rounds; ++r) {
+    stream.insert(stream.end(), round.begin(), round.end());
+  }
+
+  std::printf("api batch throughput: %zu requests (%d rounds x %zu), hw=%d\n",
+              stream.size(), rounds, round.size(), hw);
+
+  // Cold sessions: every request pays graph construction.
+  {
+    const auto t0 = Clock::now();
+    for (const api::Request& req : stream) {
+      api::Engine engine(api::Engine::Options{.threads = 1});
+      (void)engine.run(req);
+    }
+    const double ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+    std::printf("  cold sessions, 1 thread:  %7.1f ms  (%.1f req/s)\n", ms,
+                requests_per_sec(stream.size(), ms));
+  }
+
+  // One warm session, serial and parallel.
+  for (const int threads : {1, hw}) {
+    api::Engine engine(api::Engine::Options{.threads = threads});
+    // Warm the cache outside the timed window: steady-state serving is
+    // the regime the engine exists for.
+    (void)engine.run_batch(round, threads);
+    const auto t0 = Clock::now();
+    const auto outcomes = engine.run_batch(stream, threads);
+    const double ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+    std::size_t failures = 0;
+    for (const auto& o : outcomes) failures += o.response ? 0 : 1;
+    if (failures != 0) {
+      std::fprintf(stderr, "bench_api_batch: %zu failed requests\n",
+                   failures);
+      return 1;
+    }
+    const auto stats = engine.cache_stats();
+    std::printf(
+        "  warm session, %2d thread%s %7.1f ms  (%.1f req/s, cache %zu "
+        "built / %zu hits)\n",
+        threads, threads == 1 ? ": " : "s:", ms,
+        requests_per_sec(stream.size(), ms), stats.built, stats.hits);
+  }
+  return 0;
+}

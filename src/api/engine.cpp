@@ -1,0 +1,681 @@
+#include "api/engine.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <memory>
+#include <ostream>
+#include <utility>
+
+#include "apps/registry.hpp"
+#include "core/analyzer.hpp"
+#include "core/placement.hpp"
+#include "injector/cluster_emulator.hpp"
+#include "lp/param_space.hpp"
+#include "stoch/distribution.hpp"
+#include "topo/spaces.hpp"
+#include "topo/topology.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace llamp::api {
+namespace {
+
+/// The flattened scenario echo leading every JSONL result payload.
+std::string app_meta_json(const ResolvedApp& app) {
+  return strformat("\"app\": \"%s\", \"ranks\": %d, \"scale\": %s",
+                   json_escape_string(app.app).c_str(), app.ranks,
+                   json_double(app.scale).c_str());
+}
+
+std::string tolerance_or_null(double v) { return json_double(v); }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Result rendering: the CLI subcommands' exact bytes (golden-pinned), plus
+// the single-line JSONL payload forms.
+// ---------------------------------------------------------------------------
+
+void AnalyzeResult::render(core::OutputFormat format,
+                           std::ostream& out) const {
+  switch (format) {
+    case core::OutputFormat::kTable:
+      out << strformat("app: %s   ranks: %d   scale: %g\n", app.app.c_str(),
+                       app.ranks, app.scale);
+      out << "graph: " << graph_stats << '\n';
+      out << report.to_string();
+      break;
+    case core::OutputFormat::kCsv:
+      out << core::render(
+          core::sweep_curve_table(report.curve, report.base_runtime, false),
+          core::OutputFormat::kCsv);
+      break;
+    case core::OutputFormat::kJson:
+      out << report.to_json();
+      break;
+  }
+}
+
+std::string AnalyzeResult::to_json_line() const {
+  return "{\"op\": \"analyze\", " + app_meta_json(app) + ", \"graph\": \"" +
+         json_escape_string(graph_stats) + "\", \"report\": " +
+         report.to_json_line() + '}';
+}
+
+void SweepResult::render(core::OutputFormat format, std::ostream& out) const {
+  const bool human = format == core::OutputFormat::kTable;
+  if (human) {
+    out << strformat("app: %s   ranks: %d   scale: %g   base T: %s\n",
+                     app.app.c_str(), app.ranks, app.scale,
+                     human_time_ns(base_runtime).c_str());
+  }
+  out << core::render(core::sweep_curve_table(points, base_runtime, human),
+                      format);
+}
+
+std::string SweepResult::to_json_line() const {
+  return "{\"op\": \"sweep\", " + app_meta_json(app) +
+         ", \"base_runtime_ns\": " + json_double(base_runtime) +
+         ", \"points\": " +
+         core::render_json_line(
+             core::sweep_curve_table(points, base_runtime, false)) +
+         '}';
+}
+
+void CampaignResult::render(core::OutputFormat format,
+                            std::ostream& out) const {
+  const bool human = format == core::OutputFormat::kTable;
+  const std::string probe_name =
+      has_probe ? (human ? "measured" : "measured_ns") : "";
+  if (human) {
+    out << strformat(
+        "campaign: %zu scenarios x %zu ΔL points (%zu distinct graphs)\n",
+        scenarios, delta_points, distinct_graphs);
+  }
+  out << core::render(core::campaign_points_table(results, human, probe_name),
+                      format);
+}
+
+std::string CampaignResult::to_json_line() const {
+  return strformat(
+      "{\"op\": \"campaign\", \"scenarios\": %zu, \"delta_points\": %zu, "
+      "\"distinct_graphs\": %zu, \"rows\": %s}",
+      scenarios, delta_points, distinct_graphs,
+      core::render_json_line(core::campaign_points_table(
+                                 results, false,
+                                 has_probe ? "measured_ns" : ""))
+          .c_str());
+}
+
+void McResult::render(core::OutputFormat format, std::ostream& out) const {
+  const bool human = format == core::OutputFormat::kTable;
+  if (human) {
+    out << strformat("app: %s   ranks: %d   scale: %g\n", app.app.c_str(),
+                     app.ranks, app.scale);
+    out << strformat(
+        "mc: %d samples   seed %llu   L~%s   o~%s   G~%s   edge noise "
+        "sigma=%g bias=%g\n",
+        spec.samples, static_cast<unsigned long long>(spec.seed),
+        spec.L.to_string().c_str(), spec.o.to_string().c_str(),
+        spec.G.to_string().c_str(), spec.noise.sigma, spec.noise.bias);
+  }
+  out << core::render(stoch::mc_summary_table(result, human), format);
+}
+
+std::string McResult::to_json_line() const {
+  return strformat(
+      "{\"op\": \"mc\", %s, \"samples\": %d, \"seed\": %llu, "
+      "\"dist_L\": \"%s\", \"dist_o\": \"%s\", \"dist_G\": \"%s\", "
+      "\"edge_sigma\": %s, \"edge_bias\": %s, \"summary\": %s}",
+      app_meta_json(app).c_str(), spec.samples,
+      static_cast<unsigned long long>(spec.seed),
+      json_escape_string(spec.L.to_string()).c_str(),
+      json_escape_string(spec.o.to_string()).c_str(),
+      json_escape_string(spec.G.to_string()).c_str(),
+      json_double(spec.noise.sigma).c_str(),
+      json_double(spec.noise.bias).c_str(),
+      core::render_json_line(stoch::mc_summary_table(result, false)).c_str());
+}
+
+void TopoResult::render(core::OutputFormat format, std::ostream& out) const {
+  switch (format) {
+    case core::OutputFormat::kTable: {
+      out << strformat(
+          "app: %s   ranks: %d   per-wire latency sensitivity\n\n",
+          app.app.c_str(), app.ranks);
+      Table table(
+          {"topology", "T(l_wire)", "dT/dl_wire", "1% tolerance l_wire"});
+      for (const Sensitivity& s : topologies) {
+        table.add_row({s.name, human_time_ns(s.runtime),
+                       strformat("%.0f", s.gradient),
+                       std::isfinite(s.tolerance)
+                           ? human_time_ns(s.tolerance)
+                           : "unbounded"});
+      }
+      out << table.to_string();
+      out << strformat(
+          "\nDragonfly wire classes (budget = 1%% over T = %s):\n",
+          human_time_ns(df_base_runtime).c_str());
+      Table class_table({"class", "lambda", "1% tolerance"});
+      for (const WireClass& c : classes) {
+        class_table.add_row({c.name, strformat("%.0f", c.lambda),
+                             std::isfinite(c.tolerance)
+                                 ? human_time_ns(c.tolerance)
+                                 : "unbounded"});
+      }
+      out << class_table.to_string();
+      break;
+    }
+    case core::OutputFormat::kJson:
+      out << to_json_line() << '\n';
+      break;
+    case core::OutputFormat::kCsv:
+      throw UsageError("topo: csv output is not supported");
+  }
+}
+
+std::string TopoResult::to_json_line() const {
+  std::string out = "{\"op\": \"topo\", " + app_meta_json(app) +
+                    ", \"topologies\": [";
+  for (std::size_t i = 0; i < topologies.size(); ++i) {
+    const Sensitivity& s = topologies[i];
+    out += strformat(
+        "{\"topology\": \"%s\", \"runtime_ns\": %s, \"gradient\": %s, "
+        "\"tolerance_l_wire_ns\": %s}",
+        json_escape_string(s.name).c_str(), json_double(s.runtime).c_str(),
+        json_double(s.gradient).c_str(),
+        tolerance_or_null(s.tolerance).c_str());
+    if (i + 1 < topologies.size()) out += ", ";
+  }
+  out += strformat("], \"dragonfly_base_runtime_ns\": %s, "
+                   "\"dragonfly_classes\": [",
+                   json_double(df_base_runtime).c_str());
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    const WireClass& c = classes[i];
+    out += strformat(
+        "{\"class\": \"%s\", \"lambda\": %s, \"tolerance_l_wire_ns\": %s}",
+        json_escape_string(c.name).c_str(), json_double(c.lambda).c_str(),
+        tolerance_or_null(c.tolerance).c_str());
+    if (i + 1 < classes.size()) out += ", ";
+  }
+  out += "]}";
+  return out;
+}
+
+void PlaceResult::render(core::OutputFormat format, std::ostream& out) const {
+  switch (format) {
+    case core::OutputFormat::kTable: {
+      out << strformat("app: %s   ranks: %d on %s\n\n", app.app.c_str(),
+                       app.ranks, topology.c_str());
+      Table table({"strategy", "predicted runtime", "vs block"});
+      const double block = strategies.empty() ? 0.0 : strategies[0].runtime;
+      for (std::size_t i = 0; i < strategies.size(); ++i) {
+        const Strategy& s = strategies[i];
+        table.add_row(
+            {s.name, human_time_ns(s.runtime),
+             i == 0 ? "+0.00%"
+                    : strformat("%+.2f%%",
+                                100.0 * (s.runtime - block) / block)});
+      }
+      out << table.to_string();
+      break;
+    }
+    case core::OutputFormat::kJson:
+      out << to_json_line() << '\n';
+      break;
+    case core::OutputFormat::kCsv:
+      throw UsageError("place: csv output is not supported");
+  }
+}
+
+std::string PlaceResult::to_json_line() const {
+  std::string out = "{\"op\": \"place\", " + app_meta_json(app) +
+                    ", \"topology\": \"" + json_escape_string(topology) +
+                    "\", \"strategies\": [";
+  for (std::size_t i = 0; i < strategies.size(); ++i) {
+    out += strformat("{\"strategy\": \"%s\", \"runtime_ns\": %s}",
+                     json_escape_string(strategies[i].name).c_str(),
+                     json_double(strategies[i].runtime).c_str());
+    if (i + 1 < strategies.size()) out += ", ";
+  }
+  out += "]}";
+  return out;
+}
+
+const char* op_name(const Response& res) {
+  struct Visitor {
+    const char* operator()(const AnalyzeResult&) const { return "analyze"; }
+    const char* operator()(const SweepResult&) const { return "sweep"; }
+    const char* operator()(const CampaignResult&) const { return "campaign"; }
+    const char* operator()(const McResult&) const { return "mc"; }
+    const char* operator()(const TopoResult&) const { return "topo"; }
+    const char* operator()(const PlaceResult&) const { return "place"; }
+  };
+  return std::visit(Visitor{}, res);
+}
+
+void render(const Response& res, core::OutputFormat format,
+            std::ostream& out) {
+  std::visit([&](const auto& r) { r.render(format, out); }, res);
+}
+
+std::string to_json_line(const Response& res) {
+  return std::visit([](const auto& r) { return r.to_json_line(); }, res);
+}
+
+// ---------------------------------------------------------------------------
+// Engine.
+// ---------------------------------------------------------------------------
+
+Engine::Engine() : Engine(Options{}) {}
+
+Engine::Engine(Options opts)
+    : pool_(opts.threads),
+      workspaces_(static_cast<std::size_t>(pool_.size())) {}
+
+ResolvedApp Engine::resolve(const AppSpec& spec) const {
+  ResolvedApp r;
+  r.app = spec.app;
+  r.ranks = apps::supported_ranks(spec.app, spec.ranks);
+  r.scale = spec.scale;
+  // Same rule the campaign engine enforces: a non-finite or non-positive
+  // scale would silently analyze a clamped or nonsense trace.
+  if (!(r.scale > 0.0) || !std::isfinite(r.scale)) {
+    throw UsageError(strformat("need finite --scale > 0 (got %g)", r.scale));
+  }
+  if (spec.net == "cscs") {
+    r.params = loggops::NetworkConfig::cscs_testbed();
+  } else if (spec.net == "daint") {
+    r.params = loggops::NetworkConfig::piz_daint();
+  } else {
+    throw Error("unknown --net preset '" + spec.net +
+                "' (want cscs or daint)");
+  }
+  // Per-application overhead from Table II where the paper measured one;
+  // apps outside Table II (npb-*, namd) keep the preset's o.
+  core::apply_table2_overhead(r.params, r.app, r.ranks);
+  if (spec.L) r.params.L = *spec.L;
+  if (spec.o) r.params.o = *spec.o;
+  if (spec.G) r.params.G = *spec.G;
+  if (spec.S) {
+    // S is graph-shaping; a zero threshold would silently analyze a
+    // different execution graph (the CLI's --S >= 1 rule).
+    if (*spec.S < 1) {
+      throw UsageError(strformat("need --S >= 1 (got %llu)",
+                                 static_cast<unsigned long long>(*spec.S)));
+    }
+    r.params.S = *spec.S;
+  }
+  r.params.validate();
+  return r;
+}
+
+const graph::Graph& Engine::graph_for(const ResolvedApp& app) {
+  return cache_.get({app.app, app.ranks, app.scale, app.params.S});
+}
+
+AnalyzeResult Engine::analyze(const AnalyzeRequest& req) {
+  const ResolvedApp app = resolve(req.app);
+  // Degenerate grids must fail before any graph is built or cached.
+  (void)core::linear_grid(us(req.grid.dl_max_us), req.grid.points);
+  const graph::Graph& g = graph_for(app);
+  core::ReportOptions opts;
+  opts.sweep_max = us(req.grid.dl_max_us);
+  opts.sweep_points = req.grid.points;
+  opts.threads = req.threads;
+  AnalyzeResult res;
+  res.app = app;
+  res.graph_stats = g.stats_string();
+  res.report = core::make_report(g, app.params, opts);
+  return res;
+}
+
+SweepResult Engine::sweep(const SweepRequest& req) {
+  const ResolvedApp app = resolve(req.app);
+  const auto grid = core::linear_grid(us(req.grid.dl_max_us), req.grid.points);
+  const graph::Graph& g = graph_for(app);
+  const core::LatencyAnalyzer an(g, app.params);
+  SweepResult res;
+  res.app = app;
+  res.base_runtime = an.base_runtime();
+  res.points = an.sweep(grid, req.threads);
+  return res;
+}
+
+namespace {
+
+/// The sampled-parameter distribution of an mc request: the dist spec
+/// string wins when given, otherwise the sigma as relative normal jitter
+/// (0 = degenerate) — exactly the CLI's --dist-X / --sigma-X precedence.
+stoch::Distribution mc_distribution(const std::string& dist, double sigma,
+                                    const char* param) {
+  if (!dist.empty()) return stoch::parse_distribution(dist);
+  auto d = stoch::Distribution::rel_normal(sigma);
+  d.validate(std::string("--sigma-") + param);
+  return d;
+}
+
+}  // namespace
+
+McResult Engine::mc(const McRequest& req) {
+  const ResolvedApp app = resolve(req.app);
+  const auto grid = core::linear_grid(us(req.grid.dl_max_us), req.grid.points);
+  stoch::McSpec spec;
+  spec.L = mc_distribution(req.dist_L, req.sigma_L, "L");
+  spec.o = mc_distribution(req.dist_o, req.sigma_o, "o");
+  spec.G = mc_distribution(req.dist_G, req.sigma_G, "G");
+  spec.noise.sigma = req.edge_sigma;
+  spec.noise.bias = req.edge_bias;
+  spec.samples = req.samples;
+  spec.seed = req.seed;
+  spec.threads = req.threads;
+  spec.delta_Ls = grid;
+  spec.band_percents = req.bands;
+  spec.validate();
+  const graph::Graph& g = graph_for(app);
+  McResult res;
+  res.app = app;
+  res.spec = spec;
+  res.result = stoch::run_mc(g, app.params, spec);
+  return res;
+}
+
+namespace {
+
+/// The LogGPS axis of a campaign request: network presets crossed with the
+/// optional L/o/G override lists; a single S override applies to every
+/// variant.  Variant names embed the request's original number spelling,
+/// so two distinct list entries can never collide into one label.
+std::vector<core::ConfigVariant> campaign_configs(const CampaignRequest& req) {
+  struct Override {
+    std::string text;
+    double value = 0.0;
+  };
+  const auto overrides = [](const std::vector<std::string>& list,
+                            const char* key) {
+    std::vector<Override> out;
+    for (const std::string& field : list) {
+      const auto f = trim(field);
+      if (f.empty()) continue;
+      try {
+        out.push_back({std::string(f), parse_double(f)});
+      } catch (const Error&) {
+        throw UsageError(strformat("bad --%s value '%s'", key,
+                                   std::string(f).c_str()));
+      }
+    }
+    if (out.empty() && !list.empty()) {
+      throw UsageError(strformat("empty --%s list", key));
+    }
+    return out;
+  };
+  const auto Ls = overrides(req.L_list, "L-list");
+  const auto os_ = overrides(req.o_list, "o-list");
+  const auto Gs = overrides(req.G_list, "G-list");
+  // An absent axis contributes one pass-through (null) slot to the cross
+  // product.
+  const auto axis = [](const std::vector<Override>& list) {
+    std::vector<const Override*> ptrs;
+    for (const auto& o : list) ptrs.push_back(&o);
+    if (ptrs.empty()) ptrs.push_back(nullptr);
+    return ptrs;
+  };
+  if (req.nets.empty()) throw UsageError("empty --nets list");
+  std::vector<core::ConfigVariant> out;
+  for (const std::string& net : req.nets) {
+    loggops::Params base;
+    if (net == "cscs") {
+      base = loggops::NetworkConfig::cscs_testbed();
+    } else if (net == "daint") {
+      base = loggops::NetworkConfig::piz_daint();
+    } else {
+      throw UsageError("unknown --nets preset '" + net +
+                       "' (want cscs or daint)");
+    }
+    for (const Override* L : axis(Ls)) {
+      for (const Override* o : axis(os_)) {
+        for (const Override* G : axis(Gs)) {
+          core::ConfigVariant v;
+          v.name = net;
+          v.params = base;
+          if (L) {
+            v.params.L = L->value;
+            v.name += "/L=" + L->text;
+          }
+          if (o) {
+            v.params.o = o->value;
+            v.o_is_default = false;
+            v.name += "/o=" + o->text;
+          }
+          if (G) {
+            v.params.G = G->value;
+            v.name += "/G=" + G->text;
+          }
+          if (req.S) {
+            if (*req.S < 1) {
+              throw UsageError(
+                  strformat("need --S >= 1 (got %llu)",
+                            static_cast<unsigned long long>(*req.S)));
+            }
+            v.params.S = *req.S;
+          }
+          out.push_back(std::move(v));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+CampaignResult Engine::campaign(const CampaignRequest& req) {
+  core::CampaignSpec spec;
+  spec.apps = req.apps;
+  spec.ranks = req.ranks;
+  spec.scales = req.scales;
+  spec.topologies = req.topologies;
+  spec.configs = campaign_configs(req);
+  spec.delta_Ls = core::linear_grid(us(req.grid.dl_max_us), req.grid.points);
+  spec.threads = req.threads;
+  spec.topo = req.topo;
+  spec.mc.samples = req.mc_samples;
+  spec.mc.seed = req.seed;
+  spec.mc.sigma_L = req.mc_sigma_L;
+  spec.mc.sigma_o = req.mc_sigma_o;
+  spec.mc.sigma_G = req.mc_sigma_G;
+  spec.mc.noise.sigma = req.mc_edge_sigma;
+  spec.mc.noise.bias = req.mc_edge_bias;
+
+  // Optional per-point measurement column: the seeded cluster emulator as
+  // the campaign probe.  Every scenario constructs its own emulator from
+  // the shared seed, so the column's bytes depend only on the spec — never
+  // on the thread count or scenario interleaving.  The probe knobs are
+  // validated whatever the probe state — a bad value must be a usage
+  // error, not a silent no-op.
+  injector::ClusterEmulator::Config emu_cfg;
+  emu_cfg.noise_sigma = req.noise_sigma;
+  emu_cfg.seed = req.seed;
+  if (req.probe_runs < 1) {
+    throw UsageError(
+        strformat("need --probe-runs >= 1 (got %d)", req.probe_runs));
+  }
+  if (emu_cfg.noise_sigma < 0.0) {
+    throw UsageError(
+        strformat("need --noise-sigma >= 0 (got %g)", emu_cfg.noise_sigma));
+  }
+  core::Campaign::Probe probe;
+  if (!req.probe.empty()) {
+    if (req.probe != "emulator") {
+      throw UsageError("unknown --probe '" + req.probe + "' (want emulator)");
+    }
+    const int probe_runs = req.probe_runs;
+    probe = [emu_cfg, probe_runs](const core::Scenario& s,
+                                  const graph::Graph& g) {
+      injector::ClusterEmulator emulator(g, s.params, emu_cfg);
+      return emulator.sweep(s.delta_Ls, probe_runs);
+    };
+  }
+
+  core::Campaign campaign(spec);
+  CampaignResult res;
+  res.results = campaign.run(probe, cache_);
+  res.scenarios = campaign.stats().scenarios_run;
+  res.delta_points = spec.delta_Ls.size();
+  res.distinct_graphs = campaign.stats().graphs_built;
+  res.has_probe = static_cast<bool>(probe);
+  return res;
+}
+
+TopoResult Engine::topo(const TopoRequest& req) { return topo_on(0, req); }
+
+TopoResult Engine::topo_on(int worker, const TopoRequest& req) {
+  const ResolvedApp app = resolve(req.app);
+  const graph::Graph& g = graph_for(app);
+  const topo::FatTree fat_tree(req.ft_radix);
+  const topo::Dragonfly dragonfly(req.df_groups, req.df_routers,
+                                  req.df_hosts);
+  const std::array<const topo::Topology*, 2> topologies{&fat_tree,
+                                                        &dragonfly};
+  for (const topo::Topology* t : topologies) {
+    if (t->nnodes() < app.ranks) {
+      throw Error(t->name() + " has only " + std::to_string(t->nnodes()) +
+                  " nodes for " + std::to_string(app.ranks) + " ranks");
+    }
+  }
+  const auto placement = topo::identity_placement(app.ranks);
+  auto& ws = workspaces_[static_cast<std::size_t>(worker)];
+
+  TopoResult res;
+  res.app = app;
+  for (const topo::Topology* t : topologies) {
+    auto space = std::make_shared<lp::LinkClassParamSpace>(
+        topo::make_wire_latency_space(app.params, *t, placement, req.l_wire,
+                                      req.d_switch));
+    const lp::ParametricSolver solver(g, space);
+    const auto& sol = solver.solve(0, req.l_wire, ws);
+    const double runtime = sol.value;
+    const double gradient = sol.gradient[0];
+    const double tol =
+        solver.max_param_for_budget(0, runtime * 1.01, ws);
+    res.topologies.push_back({t->name(), runtime, gradient, tol});
+  }
+
+  // Dragonfly per-class breakdown (Fig. 19): tolerance of each wire class
+  // with the other two held at their base values.
+  auto df_space = std::make_shared<lp::LinkClassParamSpace>(
+      topo::make_dragonfly_class_space(app.params, dragonfly, placement,
+                                       req.l_wire, req.l_wire, req.l_wire,
+                                       req.d_switch));
+  const lp::ParametricSolver df_solver(g, df_space);
+  const auto& base_sol = df_solver.solve(0, req.l_wire, ws);
+  const double T0 = base_sol.value;
+  const double base_lambda = base_sol.gradient[0];
+  res.df_base_runtime = T0;
+  for (int k = 0; k < df_space->num_params(); ++k) {
+    const double lambda =
+        k == 0 ? base_lambda
+               : df_solver.solve(k, req.l_wire, ws)
+                     .gradient[static_cast<std::size_t>(k)];
+    const double tol = df_solver.max_param_for_budget(k, T0 * 1.01, ws);
+    res.classes.push_back({df_space->param_name(k), lambda, tol});
+  }
+  return res;
+}
+
+PlaceResult Engine::place(const PlaceRequest& req) {
+  const ResolvedApp app = resolve(req.app);
+  const graph::Graph& g = graph_for(app);
+  const topo::FatTree ft(req.ft_radix);
+  if (ft.nnodes() < app.ranks) {
+    throw Error(ft.name() + " has only " + std::to_string(ft.nnodes()) +
+                " nodes for " + std::to_string(app.ranks) + " ranks");
+  }
+  core::WireCost wire;
+  wire.l_wire = req.l_wire;
+  wire.d_switch = req.d_switch;
+
+  const auto block = core::block_placement(g, app.params, ft, wire);
+  const auto volume = core::volume_greedy_placement(g, app.params, ft, wire);
+  const auto opt = core::optimize_placement(g, app.params, ft, wire, {},
+                                            req.max_rounds);
+
+  PlaceResult res;
+  res.app = app;
+  res.topology = ft.name();
+  res.strategies.push_back({"block (default)", block.predicted_runtime});
+  res.strategies.push_back({"volume-greedy", volume.predicted_runtime});
+  res.strategies.push_back({strformat("llamp algorithm 3 (%d swaps)",
+                                      opt.swaps),
+                            opt.predicted_runtime});
+  return res;
+}
+
+Response Engine::run(const Request& req) { return run_on(0, req); }
+
+Response Engine::run_on(int worker, const Request& req) {
+  struct Visitor {
+    Engine& engine;
+    int worker;
+    Response operator()(const AnalyzeRequest& r) { return engine.analyze(r); }
+    Response operator()(const SweepRequest& r) { return engine.sweep(r); }
+    Response operator()(const CampaignRequest& r) {
+      return engine.campaign(r);
+    }
+    Response operator()(const McRequest& r) { return engine.mc(r); }
+    Response operator()(const TopoRequest& r) {
+      return engine.topo_on(worker, r);
+    }
+    Response operator()(const PlaceRequest& r) { return engine.place(r); }
+  };
+  return std::visit(Visitor{*this, worker}, req);
+}
+
+namespace {
+
+/// A copy of the request with its inner parallelism knob forced to 1
+/// (types without one — topo, place — pass through unchanged).
+Request single_threaded(Request req) {
+  std::visit(
+      [](auto& r) {
+        if constexpr (requires { r.threads; }) r.threads = 1;
+      },
+      req);
+  return req;
+}
+
+}  // namespace
+
+std::vector<Engine::Outcome> Engine::run_batch(
+    const std::vector<Request>& requests, int threads) {
+  // One batch at a time: the pool's job slot and the per-worker
+  // workspaces are not shareable across concurrent batches.
+  const std::lock_guard<std::mutex> lock(batch_mutex_);
+  std::vector<Outcome> outcomes(requests.size());
+  // When the batch itself fans out, request-level parallelism wins: each
+  // request runs its sweeps/samples single-threaded instead of spawning a
+  // hardware-concurrency pool next to W already-busy workers.  Thread
+  // counts never change result bytes (the repo-wide determinism
+  // contract), so this is purely a scheduling choice.
+  const int cap = threads > 0 ? std::min(threads, pool_.size()) : pool_.size();
+  const bool parallel_batch = effective_threads(requests.size(), cap) > 1;
+  pool_.for_workers(requests.size(), threads, [&](int worker, std::size_t i) {
+    // One request's failure is its own outcome, never the batch's: the
+    // remaining lines still execute and emit in order.
+    try {
+      outcomes[i].response = run_on(
+          worker, parallel_batch ? single_threaded(requests[i]) : requests[i]);
+    } catch (const UsageError& e) {
+      outcomes[i].error = e.what();
+      outcomes[i].usage_error = true;
+    } catch (const std::exception& e) {
+      outcomes[i].error = e.what();
+    }
+  });
+  return outcomes;
+}
+
+}  // namespace llamp::api

@@ -1,0 +1,198 @@
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "api/request.hpp"
+#include "core/campaign.hpp"
+#include "core/graph_cache.hpp"
+#include "core/report.hpp"
+#include "loggops/params.hpp"
+#include "lp/parametric.hpp"
+#include "stoch/mc.hpp"
+#include "util/parallel.hpp"
+#include "util/time.hpp"
+
+namespace llamp::api {
+
+/// Typed results, one per request type.  Each result is a value: it owns
+/// every number the corresponding CLI subcommand prints, `render()`
+/// reproduces that subcommand's output byte-for-byte (the PR 2 golden wall
+/// passes unchanged with the CLI routed through here), and
+/// `to_json_line()` is the single-line machine form served over the JSONL
+/// batch surface.
+
+/// The app block after execution-time resolution (ranks clamped to an
+/// app-supported value, LogGPS preset + Table II overhead + overrides
+/// applied).
+struct ResolvedApp {
+  std::string app;
+  int ranks = 0;
+  double scale = 0.0;
+  loggops::Params params;
+};
+
+struct AnalyzeResult {
+  ResolvedApp app;
+  std::string graph_stats;  ///< Graph::stats_string() of the analyzed graph
+  core::ToleranceReport report;
+
+  void render(core::OutputFormat format, std::ostream& out) const;
+  std::string to_json_line() const;
+};
+
+struct SweepResult {
+  ResolvedApp app;
+  TimeNs base_runtime = 0.0;
+  std::vector<core::LatencyAnalyzer::SweepPoint> points;
+
+  void render(core::OutputFormat format, std::ostream& out) const;
+  std::string to_json_line() const;
+};
+
+struct CampaignResult {
+  std::size_t scenarios = 0;
+  std::size_t delta_points = 0;     ///< ΔL grid size
+  std::size_t distinct_graphs = 0;  ///< distinct graph keys in the grid
+  bool has_probe = false;
+  std::vector<core::Campaign::ScenarioResult> results;
+
+  void render(core::OutputFormat format, std::ostream& out) const;
+  std::string to_json_line() const;
+};
+
+struct McResult {
+  ResolvedApp app;
+  stoch::McSpec spec;  ///< resolved distributions / seed / samples echo
+  stoch::McResult result;
+
+  void render(core::OutputFormat format, std::ostream& out) const;
+  std::string to_json_line() const;
+};
+
+struct TopoResult {
+  ResolvedApp app;
+  struct Sensitivity {
+    std::string name;
+    double runtime = 0.0;    ///< T(l_wire) [ns]
+    double gradient = 0.0;   ///< dT/dl_wire
+    double tolerance = 0.0;  ///< 1% l_wire tolerance; +inf = unbounded
+  };
+  std::vector<Sensitivity> topologies;
+  double df_base_runtime = 0.0;
+  struct WireClass {
+    std::string name;
+    double lambda = 0.0;
+    double tolerance = 0.0;
+  };
+  std::vector<WireClass> classes;  ///< Dragonfly per-class breakdown
+
+  /// Table is the CLI form; json renders the machine schema; csv is not
+  /// offered for the two-table topo report (UsageError).
+  void render(core::OutputFormat format, std::ostream& out) const;
+  std::string to_json_line() const;
+};
+
+struct PlaceResult {
+  ResolvedApp app;
+  std::string topology;  ///< the Fat Tree's display name
+  struct Strategy {
+    std::string name;  ///< display label, e.g. "llamp algorithm 3 (4 swaps)"
+    double runtime = 0.0;
+  };
+  std::vector<Strategy> strategies;  ///< block baseline first
+
+  void render(core::OutputFormat format, std::ostream& out) const;
+  std::string to_json_line() const;
+};
+
+using Response = std::variant<AnalyzeResult, SweepResult, CampaignResult,
+                              McResult, TopoResult, PlaceResult>;
+
+/// The response's op tag (matches the originating request's).
+const char* op_name(const Response& res);
+/// Dispatch render over the variant.
+void render(const Response& res, core::OutputFormat format, std::ostream& out);
+/// Dispatch to_json_line over the variant.
+std::string to_json_line(const Response& res);
+
+/// The session engine behind every consumer of the toolchain: the CLI
+/// subcommands, `llamp batch`, the benches, and library callers all
+/// execute requests through one of these.  An engine owns
+///
+///  * the execution-graph cache, keyed (app, ranks, scale, S) like the
+///    campaign engine's — repeated requests for one scenario re-lower
+///    nothing, across request types (an analyze warms the graph a later
+///    sweep or campaign of the same app reuses);
+///  * a persistent util/parallel ThreadPool for batch execution; and
+///  * one ParametricSolver::Workspace per pool worker, reused by the
+///    engine's direct solver paths so steady-state solves stay
+///    allocation-free.
+///
+/// Execution is deterministic: a result's bytes depend only on the
+/// request, never on the cache's prior contents, the pool size, or the
+/// thread count (the campaign header's "distinct graphs" deliberately
+/// counts the grid's keys, not physical builds).
+///
+/// Thread-safety: the graph cache is safe under concurrent use, and
+/// concurrent run_batch() calls serialize on an internal lock (the pool
+/// runs one job at a time); single-request methods may be called from one
+/// thread at a time (the batch path hands each worker its own workspace).
+class Engine {
+ public:
+  struct Options {
+    int threads = 0;  ///< pool size; <= 0 = hardware concurrency
+  };
+  Engine();
+  explicit Engine(Options opts);
+
+  /// Execute one request.  Throws UsageError on malformed requests (the
+  /// CLI's exit-2 class) and Error on analysis failures (exit 1).
+  AnalyzeResult analyze(const AnalyzeRequest& req);
+  SweepResult sweep(const SweepRequest& req);
+  CampaignResult campaign(const CampaignRequest& req);
+  McResult mc(const McRequest& req);
+  TopoResult topo(const TopoRequest& req);
+  PlaceResult place(const PlaceRequest& req);
+
+  /// Variant dispatch of the above.
+  Response run(const Request& req);
+
+  /// Execute a batch on the engine's pool, `threads` workers at most
+  /// (<= 0 = the whole pool).  outcomes[i] holds request i's response or
+  /// its error; order is input order whatever the thread count.
+  struct Outcome {
+    std::optional<Response> response;  ///< engaged on success
+    std::string error;                 ///< non-empty on failure
+    bool usage_error = false;          ///< UsageError vs analysis Error
+  };
+  std::vector<Outcome> run_batch(const std::vector<Request>& requests,
+                                 int threads);
+
+  /// Cumulative graph-cache statistics of this session.
+  core::GraphCache::Stats cache_stats() const { return cache_.stats(); }
+
+  ThreadPool& pool() { return pool_; }
+
+ private:
+  /// Clamp/validate an AppSpec into a concrete scenario (the shared
+  /// "common options" block of every single-scenario subcommand).
+  ResolvedApp resolve(const AppSpec& spec) const;
+  const graph::Graph& graph_for(const ResolvedApp& app);
+  Response run_on(int worker, const Request& req);
+  TopoResult topo_on(int worker, const TopoRequest& req);
+
+  core::GraphCache cache_;
+  ThreadPool pool_;
+  std::vector<lp::ParametricSolver::Workspace> workspaces_;
+  /// Serializes run_batch callers: the pool runs one job at a time, and
+  /// the per-worker workspaces must not be shared across batches.
+  std::mutex batch_mutex_;
+};
+
+}  // namespace llamp::api

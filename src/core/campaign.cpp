@@ -1,15 +1,13 @@
 #include "core/campaign.hpp"
 
 #include <cmath>
-#include <map>
 #include <memory>
-#include <tuple>
+#include <set>
 #include <utility>
 
 #include "apps/registry.hpp"
 #include "lp/param_space.hpp"
 #include "lp/parametric.hpp"
-#include "schedgen/schedgen.hpp"
 #include "stoch/mc.hpp"
 #include "topo/spaces.hpp"
 #include "topo/topology.hpp"
@@ -81,11 +79,6 @@ bool same_params(const loggops::Params& a, const loggops::Params& b) {
   return a.L == b.L && a.o == b.o && a.g == b.g && a.G == b.G && a.O == b.O &&
          a.S == b.S;
 }
-
-/// The cache key under which a scenario's execution graph is shared: the
-/// graph depends only on the trace (app, ranks, scale) and the rendezvous
-/// threshold baked into the schedule, never on L/o/G or the topology.
-using GraphKey = std::tuple<std::string, int, double, std::uint64_t>;
 
 GraphKey graph_key(const Scenario& s) {
   return {s.app, s.ranks, s.scale, s.params.S};
@@ -386,23 +379,23 @@ Campaign::Campaign(std::vector<Scenario> scenarios, TopologyOptions topo,
 }
 
 std::vector<Campaign::ScenarioResult> Campaign::run(const Probe& probe) {
-  // Phase 1: build every distinct execution graph once, in parallel.  Keys
-  // are collected in first-appearance order; the map only indexes them.
-  std::map<GraphKey, std::size_t> key_index;
-  std::vector<const Scenario*> key_scenario;
+  // Without a session cache the graphs live exactly as long as the run.
+  GraphCache cache;
+  return run(probe, cache);
+}
+
+std::vector<Campaign::ScenarioResult> Campaign::run(const Probe& probe,
+                                                    GraphCache& cache) {
+  // Phase 1: resolve every distinct execution graph through the cache,
+  // building the misses in parallel.  Keys are collected in
+  // first-appearance order.
+  std::vector<GraphKey> keys;
+  std::set<GraphKey> seen;
   for (const Scenario& s : scenarios_) {
-    if (key_index.emplace(graph_key(s), key_scenario.size()).second) {
-      key_scenario.push_back(&s);
-    }
+    const GraphKey key = graph_key(s);
+    if (seen.insert(key).second) keys.push_back(key);
   }
-  std::vector<std::unique_ptr<graph::Graph>> graphs(key_scenario.size());
-  parallel_for(key_scenario.size(), threads_, [&](std::size_t i) {
-    const Scenario& s = *key_scenario[i];
-    schedgen::Options opt;
-    opt.rendezvous_threshold = s.params.S;
-    graphs[i] = std::make_unique<graph::Graph>(schedgen::build_graph(
-        apps::make_app_trace(s.app, s.ranks, s.scale), opt));
-  });
+  cache.warm(keys, threads_);
 
   // Phase 2: one solver per scenario over the cached (now read-only)
   // graphs; each job writes only its own slot, so result order is grid
@@ -415,12 +408,12 @@ std::vector<Campaign::ScenarioResult> Campaign::run(const Probe& probe) {
       static_cast<std::size_t>(nworkers));
   parallel_for_workers(scenarios_.size(), threads_, [&](int w, std::size_t i) {
     const Scenario& s = scenarios_[i];
-    const graph::Graph& g = *graphs[key_index.at(graph_key(s))];
+    const graph::Graph& g = cache.get(graph_key(s));
     results[i] = eval_scenario(s, g, topo_, mc_, probe,
                                wss[static_cast<std::size_t>(w)]);
   });
 
-  stats_.graphs_built = graphs.size();
+  stats_.graphs_built = keys.size();
   stats_.scenarios_run = scenarios_.size();
   return results;
 }

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/graph_cache.hpp"
 #include "graph/graph.hpp"
 #include "loggops/params.hpp"
 #include "stoch/distribution.hpp"
@@ -171,7 +172,18 @@ class Campaign {
   /// thread count.
   std::vector<ScenarioResult> run(const Probe& probe = {});
 
+  /// Same, resolving graphs through an external cache (an api::Engine
+  /// session cache) so graphs persist across campaigns and are shared with
+  /// other request types.  Missing graphs are built in parallel; already
+  /// cached ones are reused.  The emitted bytes are independent of the
+  /// cache's prior contents.
+  std::vector<ScenarioResult> run(const Probe& probe, GraphCache& cache);
+
   struct RunStats {
+    /// Distinct execution graphs the grid spans (= graphs constructed when
+    /// starting from a cold cache).  A spec property, deliberately not the
+    /// physical build count: a warmed session cache must not change the
+    /// campaign header's bytes.
     std::size_t graphs_built = 0;
     std::size_t scenarios_run = 0;
   };

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/json.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -18,26 +19,7 @@ OutputFormat parse_output_format(const std::string& name) {
                    "' (want table, csv, or json)");
 }
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char ch : s) {
-    switch (ch) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(ch) < 0x20) {
-          out += strformat("\\u%04x", ch);
-        } else {
-          out += ch;
-        }
-    }
-  }
-  return out;
-}
+std::string json_escape(const std::string& s) { return json_escape_string(s); }
 
 namespace {
 
@@ -50,22 +32,29 @@ bool is_json_number(const std::string& cell) {
   return end == cell.c_str() + cell.size() && std::isfinite(v);
 }
 
+void row_to_json(std::ostringstream& os, const Table& t,
+                 const std::vector<std::string>& row) {
+  os << '{';
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    os << '"' << json_escape(t.headers()[c]) << "\": ";
+    if (is_json_number(row[c])) {
+      os << row[c];
+    } else {
+      os << '"' << json_escape(row[c]) << '"';
+    }
+    if (c + 1 < row.size()) os << ", ";
+  }
+  os << '}';
+}
+
 std::string to_json_rows(const Table& t) {
   std::ostringstream os;
   os << "[\n";
   const auto& rows = t.data();
   for (std::size_t r = 0; r < rows.size(); ++r) {
-    os << "  {";
-    for (std::size_t c = 0; c < rows[r].size(); ++c) {
-      os << '"' << json_escape(t.headers()[c]) << "\": ";
-      if (is_json_number(rows[r][c])) {
-        os << rows[r][c];
-      } else {
-        os << '"' << json_escape(rows[r][c]) << '"';
-      }
-      if (c + 1 < rows[r].size()) os << ", ";
-    }
-    os << (r + 1 < rows.size() ? "},\n" : "}\n");
+    os << "  ";
+    row_to_json(os, t, rows[r]);
+    os << (r + 1 < rows.size() ? ",\n" : "\n");
   }
   os << "]\n";
   return os.str();
@@ -80,6 +69,18 @@ std::string render(const Table& table, OutputFormat format) {
     case OutputFormat::kJson: return to_json_rows(table);
   }
   throw Error("render: bad format");
+}
+
+std::string render_json_line(const Table& table) {
+  std::ostringstream os;
+  os << '[';
+  const auto& rows = table.data();
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    row_to_json(os, table, rows[r]);
+    if (r + 1 < rows.size()) os << ", ";
+  }
+  os << ']';
+  return os.str();
 }
 
 Table sweep_curve_table(const std::vector<LatencyAnalyzer::SweepPoint>& curve,
@@ -158,46 +159,66 @@ std::string ToleranceReport::to_string() const {
   return os.str();
 }
 
-std::string ToleranceReport::to_json() const {
+namespace {
+
+/// One serializer behind both to_json layouts: `pretty` selects the
+/// one-member-per-line form the CLI has always emitted (those bytes are
+/// golden-pinned); compact packs the identical members onto one line for
+/// JSONL payloads.
+std::string report_json(const ToleranceReport& rep, bool pretty) {
   const auto num = [](double v) { return strformat("%.10g", v); };
+  const char* open = pretty ? "{\n  " : "{";
+  const char* sep = pretty ? ",\n  " : ", ";
+  const char* close = pretty ? "\n}\n" : "}";
   std::ostringstream os;
-  os << "{\n";
+  os << open;
   os << strformat(
-      "  \"params\": {\"L_ns\": %s, \"o_ns\": %s, \"g_ns\": %s, "
-      "\"G_ns_per_byte\": %s, \"O_ns_per_byte\": %s, \"S_bytes\": %llu},\n",
-      num(params.L).c_str(), num(params.o).c_str(), num(params.g).c_str(),
-      num(params.G).c_str(), num(params.O).c_str(),
-      static_cast<unsigned long long>(params.S));
-  os << "  \"base_runtime_ns\": " << num(base_runtime) << ",\n";
-  os << "  \"lambda_l\": " << num(lambda_L_base) << ",\n";
-  os << "  \"lambda_g\": " << num(lambda_G) << ",\n";
-  os << "  \"bands\": [";
-  for (std::size_t i = 0; i < bands.size(); ++i) {
+      "\"params\": {\"L_ns\": %s, \"o_ns\": %s, \"g_ns\": %s, "
+      "\"G_ns_per_byte\": %s, \"O_ns_per_byte\": %s, \"S_bytes\": %llu}",
+      num(rep.params.L).c_str(), num(rep.params.o).c_str(),
+      num(rep.params.g).c_str(), num(rep.params.G).c_str(),
+      num(rep.params.O).c_str(),
+      static_cast<unsigned long long>(rep.params.S));
+  os << sep << "\"base_runtime_ns\": " << num(rep.base_runtime);
+  os << sep << "\"lambda_l\": " << num(rep.lambda_L_base);
+  os << sep << "\"lambda_g\": " << num(rep.lambda_G);
+  os << sep << "\"bands\": [";
+  for (std::size_t i = 0; i < rep.bands.size(); ++i) {
     os << strformat("{\"percent\": %s, \"tolerance_delta_ns\": %s}",
-                    num(bands[i].percent).c_str(),
-                    std::isfinite(bands[i].tolerance_delta)
-                        ? num(bands[i].tolerance_delta).c_str()
+                    num(rep.bands[i].percent).c_str(),
+                    std::isfinite(rep.bands[i].tolerance_delta)
+                        ? num(rep.bands[i].tolerance_delta).c_str()
                         : "null");
-    if (i + 1 < bands.size()) os << ", ";
+    if (i + 1 < rep.bands.size()) os << ", ";
   }
-  os << "],\n";
-  os << "  \"curve\": [";
-  for (std::size_t i = 0; i < curve.size(); ++i) {
+  os << ']';
+  os << sep << "\"curve\": [";
+  for (std::size_t i = 0; i < rep.curve.size(); ++i) {
     os << strformat(
         "{\"delta_l_ns\": %s, \"runtime_ns\": %s, \"lambda_l\": %s, "
         "\"rho_l\": %s}",
-        num(curve[i].delta_L).c_str(), num(curve[i].runtime).c_str(),
-        num(curve[i].lambda_L).c_str(), num(curve[i].rho_L).c_str());
-    if (i + 1 < curve.size()) os << ", ";
+        num(rep.curve[i].delta_L).c_str(), num(rep.curve[i].runtime).c_str(),
+        num(rep.curve[i].lambda_L).c_str(), num(rep.curve[i].rho_L).c_str());
+    if (i + 1 < rep.curve.size()) os << ", ";
   }
-  os << "],\n";
-  os << "  \"critical_latencies_ns\": [";
-  for (std::size_t i = 0; i < critical_latencies.size(); ++i) {
-    os << num(critical_latencies[i]);
-    if (i + 1 < critical_latencies.size()) os << ", ";
+  os << ']';
+  os << sep << "\"critical_latencies_ns\": [";
+  for (std::size_t i = 0; i < rep.critical_latencies.size(); ++i) {
+    os << num(rep.critical_latencies[i]);
+    if (i + 1 < rep.critical_latencies.size()) os << ", ";
   }
-  os << "]\n}\n";
+  os << ']' << close;
   return os.str();
+}
+
+}  // namespace
+
+std::string ToleranceReport::to_json() const {
+  return report_json(*this, /*pretty=*/true);
+}
+
+std::string ToleranceReport::to_json_line() const {
+  return report_json(*this, /*pretty=*/false);
 }
 
 }  // namespace llamp::core

@@ -29,6 +29,12 @@ OutputFormat parse_output_format(const std::string& name);
 /// finite numbers are emitted unquoted, everything else as a JSON string.
 std::string render(const Table& table, OutputFormat format);
 
+/// The JSON rendering of a table as one physical line (no trailing
+/// newline): `[{"k": v, ...}, ...]` with the same cell typing rules as
+/// render(kJson).  This is the row payload of the api layer's JSONL batch
+/// responses, where one result must occupy exactly one line.
+std::string render_json_line(const Table& table);
+
 /// JSON string escaping (quotes, backslashes, control characters).
 std::string json_escape(const std::string& s);
 
@@ -64,6 +70,9 @@ struct ToleranceReport {
   /// tolerance bands, forecast curve, critical latencies).  Unbounded
   /// tolerances serialize as null.
   std::string to_json() const;
+  /// Same object compacted onto one physical line without a trailing
+  /// newline (the JSONL batch payload form).
+  std::string to_json_line() const;
 };
 
 struct ReportOptions {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "util/error.hpp"
+#include "util/json.hpp"
 #include "util/strings.hpp"
 
 namespace llamp::stoch {
@@ -69,17 +70,22 @@ void Distribution::validate(const std::string& what) const {
 }
 
 std::string Distribution::to_string() const {
+  // Shortest exact decimals (not %g): the spec string is echoed into JSONL
+  // results and re-parseable as a request field, so
+  // parse_distribution(to_string()) must reproduce the distribution
+  // bitwise, however many digits its parameters carry.
+  const auto num = [](double v) { return json_double(v); };
   switch (kind) {
     case Kind::kBase:
       return "base";
     case Kind::kConstant:
-      return strformat("const:%g", a);
+      return "const:" + num(a);
     case Kind::kNormal:
-      return strformat("normal:%g,%g", a, b);
+      return "normal:" + num(a) + ',' + num(b);
     case Kind::kRelNormal:
-      return strformat("relnormal:%g", a);
+      return "relnormal:" + num(a);
     case Kind::kUniform:
-      return strformat("uniform:%g,%g", a, b);
+      return "uniform:" + num(a) + ',' + num(b);
   }
   return "?";
 }

@@ -1,33 +1,29 @@
 #include "tools/cli_driver.hpp"
 
 #include <algorithm>
-#include <array>
-#include <cmath>
+#include <fstream>
+#include <iostream>
 #include <limits>
-#include <memory>
+#include <optional>
 #include <ostream>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "api/batch.hpp"
+#include "api/engine.hpp"
+#include "api/request.hpp"
 #include "apps/registry.hpp"
-#include "core/analyzer.hpp"
-#include "core/campaign.hpp"
-#include "core/placement.hpp"
 #include "core/report.hpp"
-#include "injector/cluster_emulator.hpp"
-#include "lp/parametric.hpp"
-#include "schedgen/schedgen.hpp"
-#include "stoch/mc.hpp"
-#include "topo/spaces.hpp"
-#include "topo/topology.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
+#include "util/json.hpp"
 #include "util/strings.hpp"
-#include "util/table.hpp"
 
 namespace llamp::tools {
 namespace {
+
+constexpr const char* kVersion = "llamp 0.5.0";
 
 constexpr const char* kUsage = R"(llamp — LP-based MPI latency-tolerance analysis (conf_sc_ShenHCSDGWH24)
 
@@ -47,11 +43,21 @@ subcommands:
             stream the perturbed LP analyses into distributional summaries
             (runtime quantiles per ΔL, lambda_L spread, tolerance bands
             with confidence intervals)
+  batch     serve a JSONL request stream on one engine session: one request
+            object per input line ({"op": "analyze", ...} mirroring the
+            subcommand flags; see DESIGN.md §4d), one result object per
+            line on stdout, in input order whatever --threads; graphs are
+            cached across the whole batch
   topo      per-wire latency sensitivity on Fat Tree vs Dragonfly, plus the
             Dragonfly per-wire-class tolerance breakdown
   place     compare block, volume-greedy, and LLAMP Algorithm-3 rank
             placements on a Fat Tree
   apps      list the registered proxy applications
+
+`llamp`, `llamp help`, and `llamp <subcommand> --help` print this text and
+exit 0; `llamp --version` prints the version.  In --format=json modes,
+errors are additionally emitted on stdout as {"error": {...}} objects
+(exit codes unchanged: 1 analysis error, 2 usage error).
 
 common options (analyze/sweep/mc/topo/place; campaign has its own axes below):
   --app=NAME        proxy application (default lulesh; see `llamp apps`)
@@ -69,6 +75,10 @@ analyze/sweep/mc/campaign options:
   --threads=N       parallelism, <= 0 = hardware concurrency (default 0)
   --format=F        table (default), csv, or json
   --csv             (sweep) shorthand for --format=csv
+
+batch options:
+  --file=PATH       JSONL request file; '-' reads stdin (default -)
+  --threads=N       request-level parallelism, <= 0 = hardware concurrency
 
 mc options (all stochastic paths share --seed; identical seeds reproduce
 identical bytes whatever --threads):
@@ -114,15 +124,6 @@ topo/place options:
   --max-rounds=N              (place) Algorithm-3 round cap (default 64)
 )";
 
-/// Options shared by every analysis subcommand: which proxy app, at what
-/// scale, under which LogGPS configuration.
-struct AppConfig {
-  std::string app;
-  int ranks = 0;
-  double scale = 0.0;
-  loggops::Params params;
-};
-
 /// Integer flag values outside int range must be usage errors, not silent
 /// truncation through static_cast (a mistyped --ranks=2^32+8 would
 /// otherwise analyze ranks=8 with exit 0).
@@ -140,78 +141,45 @@ int int_flag(const Cli& cli, const std::string& key, long long fallback) {
 /// negative value must be a usage error — not wrap through the uint64
 /// conversion into an "everything eager" threshold that silently analyzes a
 /// different execution graph.
-std::uint64_t rendezvous_threshold_flag(const Cli& cli,
-                                        std::uint64_t fallback) {
-  const long long S = cli.get_int("S", static_cast<long long>(fallback));
+std::optional<std::uint64_t> rendezvous_threshold_flag(const Cli& cli) {
+  if (!cli.has("S")) return std::nullopt;
+  const long long S = cli.get_int("S", 0);
   if (S < 1) throw UsageError(strformat("need --S >= 1 (got %lld)", S));
   return static_cast<std::uint64_t>(S);
 }
 
-AppConfig parse_app_config(const Cli& cli) {
-  AppConfig cfg;
-  cfg.app = cli.get("app", "lulesh");
-  cfg.ranks = apps::supported_ranks(
-      cfg.app, int_flag(cli, "ranks", 8));
-  cfg.scale = cli.get_double("scale", 0.25);
-  // Same rule the campaign engine enforces: a non-finite or non-positive
-  // scale would silently analyze a clamped or nonsense trace.
-  if (!(cfg.scale > 0.0) || !std::isfinite(cfg.scale)) {
-    throw UsageError(
-        strformat("need finite --scale > 0 (got %g)", cfg.scale));
-  }
+// ---------------------------------------------------------------------------
+// The one flag → request parsing block (satellite of ISSUE 5): every
+// subcommand assembles its api request from these shared helpers, so a
+// common option is parsed in exactly one place.
+// ---------------------------------------------------------------------------
 
-  const std::string net = cli.get("net", "cscs");
-  if (net == "cscs") {
-    cfg.params = loggops::NetworkConfig::cscs_testbed();
-  } else if (net == "daint") {
-    cfg.params = loggops::NetworkConfig::piz_daint();
-  } else {
-    throw Error("unknown --net preset '" + net + "' (want cscs or daint)");
-  }
-
-  // Per-application overhead from Table II where the paper measured one;
-  // apps outside Table II (npb-*, namd) keep the preset's o.
-  core::apply_table2_overhead(cfg.params, cfg.app, cfg.ranks);
-  cfg.params.L = cli.get_double("L", cfg.params.L);
-  cfg.params.o = cli.get_double("o", cfg.params.o);
-  cfg.params.G = cli.get_double("G", cfg.params.G);
-  cfg.params.S = rendezvous_threshold_flag(cli, cfg.params.S);
-  cfg.params.validate();
-  return cfg;
+/// The shared app/params option block of every single-scenario subcommand.
+/// Clamping, preset resolution, and semantic validation happen in the
+/// engine — the CLI only transcribes flags.
+api::AppSpec app_spec(const Cli& cli) {
+  api::AppSpec spec;
+  spec.app = cli.get("app", spec.app);
+  spec.ranks = int_flag(cli, "ranks", spec.ranks);
+  spec.scale = cli.get_double("scale", spec.scale);
+  spec.net = cli.get("net", spec.net);
+  if (cli.has("L")) spec.L = cli.get_double("L", 0.0);
+  if (cli.has("o")) spec.o = cli.get_double("o", 0.0);
+  if (cli.has("G")) spec.G = cli.get_double("G", 0.0);
+  spec.S = rendezvous_threshold_flag(cli);
+  return spec;
 }
 
-graph::Graph build_graph(const AppConfig& cfg) {
-  // S is graph-shaping: the eager/rendezvous protocol choice is baked into
-  // the emitted edges, so an --S override must reach schedgen (keeping
-  // analyze/sweep consistent with the campaign engine's graphs).
-  schedgen::Options opt;
-  opt.rendezvous_threshold = cfg.params.S;
-  return schedgen::build_graph(
-      apps::make_app_trace(cfg.app, cfg.ranks, cfg.scale), opt);
+/// The shared ΔL-grid option block of analyze/sweep/mc/campaign.
+api::GridSpec grid_spec(const Cli& cli) {
+  api::GridSpec grid;
+  grid.dl_max_us = cli.get_double("dl-max-us", grid.dl_max_us);
+  grid.points = int_flag(cli, "points", grid.points);
+  return grid;
 }
 
-/// Validated ΔL-grid flags shared by analyze/sweep/campaign.  Degenerate
-/// grids (a single point cannot anchor a sweep, a non-positive ceiling
-/// cannot span one) are usage errors, not silent empty output.
-struct GridFlags {
-  TimeNs dl_max = 0.0;
-  int points = 0;
-};
-
-GridFlags grid_flags(const Cli& cli) {
-  GridFlags gf;
-  gf.dl_max = us(cli.get_double("dl-max-us", 100.0));
-  gf.points = int_flag(cli, "points", 11);
-  // One copy of the degenerate-grid rules lives in linear_grid; surface its
-  // UsageError here even for commands that build the grid later.
-  (void)core::linear_grid(gf.dl_max, gf.points);
-  return gf;
-}
-
-std::vector<TimeNs> sweep_grid(const GridFlags& gf) {
-  return core::linear_grid(gf.dl_max, gf.points);
-}
-
+/// The shared output-format option block (--format, and --csv where the
+/// subcommand keeps the historical shorthand).
 core::OutputFormat output_format(const Cli& cli, bool allow_csv_flag) {
   if (cli.has("format")) {
     return core::parse_output_format(cli.get("format", "table"));
@@ -220,55 +188,6 @@ core::OutputFormat output_format(const Cli& cli, bool allow_csv_flag) {
     return core::OutputFormat::kCsv;
   }
   return core::OutputFormat::kTable;
-}
-
-int cmd_analyze(const Cli& cli, std::ostream& out) {
-  const AppConfig cfg = parse_app_config(cli);
-  const GridFlags gf = grid_flags(cli);
-  const auto format = output_format(cli, /*allow_csv_flag=*/false);
-  const auto g = build_graph(cfg);
-  core::ReportOptions opts;
-  opts.sweep_max = gf.dl_max;
-  opts.sweep_points = gf.points;
-  opts.threads = int_flag(cli, "threads", 0);
-  const auto rep = core::make_report(g, cfg.params, opts);
-  switch (format) {
-    case core::OutputFormat::kTable:
-      out << strformat("app: %s   ranks: %d   scale: %g\n", cfg.app.c_str(),
-                       cfg.ranks, cfg.scale);
-      out << "graph: " << g.stats_string() << '\n';
-      out << rep.to_string();
-      break;
-    case core::OutputFormat::kCsv:
-      out << core::render(
-          core::sweep_curve_table(rep.curve, rep.base_runtime, false),
-          core::OutputFormat::kCsv);
-      break;
-    case core::OutputFormat::kJson:
-      out << rep.to_json();
-      break;
-  }
-  return 0;
-}
-
-int cmd_sweep(const Cli& cli, std::ostream& out) {
-  const AppConfig cfg = parse_app_config(cli);
-  const GridFlags gf = grid_flags(cli);
-  const auto format = output_format(cli, /*allow_csv_flag=*/true);
-  const auto g = build_graph(cfg);
-  core::LatencyAnalyzer an(g, cfg.params);
-  const auto points =
-      an.sweep(sweep_grid(gf), int_flag(cli, "threads", 0));
-
-  const bool human = format == core::OutputFormat::kTable;
-  if (human) {
-    out << strformat("app: %s   ranks: %d   scale: %g   base T: %s\n",
-                     cfg.app.c_str(), cfg.ranks, cfg.scale,
-                     human_time_ns(an.base_runtime()).c_str());
-  }
-  out << core::render(core::sweep_curve_table(points, an.base_runtime(), human),
-                      format);
-  return 0;
 }
 
 /// The uniform seed flag of every stochastic path (mc, the campaign mc
@@ -280,18 +199,6 @@ std::uint64_t seed_flag(const Cli& cli) {
     throw UsageError(strformat("need --seed >= 0 (got %lld)", v));
   }
   return static_cast<std::uint64_t>(v);
-}
-
-/// The sampled-parameter distributions of an mc run: --dist-X wins when
-/// given, otherwise --sigma-X as relative normal jitter (0 = degenerate).
-stoch::Distribution dist_flag(const Cli& cli, const std::string& param) {
-  if (cli.has("dist-" + param)) {
-    return stoch::parse_distribution(cli.get("dist-" + param, "base"));
-  }
-  const double sigma = cli.get_double("sigma-" + param, 0.0);
-  auto d = stoch::Distribution::rel_normal(sigma);
-  d.validate("--sigma-" + param);
-  return d;
 }
 
 /// Comma-separated list flags for the campaign grid axes.  Blank fields are
@@ -340,286 +247,153 @@ std::vector<int> int_list(const Cli& cli, const std::string& key,
   return out;
 }
 
-int cmd_mc(const Cli& cli, std::ostream& out) {
-  const AppConfig cfg = parse_app_config(cli);
-  const GridFlags gf = grid_flags(cli);
-  const auto format = output_format(cli, /*allow_csv_flag=*/false);
+// ---------------------------------------------------------------------------
+// Subcommands: parse flags into a typed request, execute it on the shared
+// engine, render the typed result.  All analysis logic lives behind
+// api::Engine; these adapters own nothing but flag spelling.
+// ---------------------------------------------------------------------------
 
-  stoch::McSpec spec;
-  spec.L = dist_flag(cli, "L");
-  spec.o = dist_flag(cli, "o");
-  spec.G = dist_flag(cli, "G");
-  spec.noise.sigma = cli.get_double("edge-sigma", 0.0);
-  spec.noise.bias = cli.get_double("edge-bias", 0.0);
-  spec.samples = int_flag(cli, "samples", 256);
-  spec.seed = seed_flag(cli);
-  spec.threads = int_flag(cli, "threads", 0);
-  spec.delta_Ls = sweep_grid(gf);
-  spec.band_percents = double_list(cli, "bands", "1,2,5");
-  spec.validate();
-
-  const auto g = build_graph(cfg);
-  const auto res = stoch::run_mc(g, cfg.params, spec);
-
-  const bool human = format == core::OutputFormat::kTable;
-  if (human) {
-    out << strformat("app: %s   ranks: %d   scale: %g\n", cfg.app.c_str(),
-                     cfg.ranks, cfg.scale);
-    out << strformat(
-        "mc: %d samples   seed %llu   L~%s   o~%s   G~%s   edge noise "
-        "sigma=%g bias=%g\n",
-        spec.samples, static_cast<unsigned long long>(spec.seed),
-        spec.L.to_string().c_str(), spec.o.to_string().c_str(),
-        spec.G.to_string().c_str(), spec.noise.sigma, spec.noise.bias);
-  }
-  out << core::render(stoch::mc_summary_table(res, human), format);
+int cmd_analyze(const Cli& cli, api::Engine& engine, std::ostream& out) {
+  api::AnalyzeRequest req;
+  req.app = app_spec(cli);
+  req.grid = grid_spec(cli);
+  req.threads = int_flag(cli, "threads", 0);
+  engine.analyze(req).render(output_format(cli, /*allow_csv_flag=*/false),
+                             out);
   return 0;
 }
 
-/// The LogGPS axis of a campaign: network presets crossed with the optional
-/// L/o/G override lists; a single --S override applies to every variant.
-/// Variant names embed the user's original field text (not a re-formatted
-/// value), so two distinct list entries can never collide into one label.
-std::vector<core::ConfigVariant> campaign_configs(const Cli& cli) {
-  struct Override {
-    std::string text;  ///< the user's spelling, used in the variant name
-    double value = 0.0;
-  };
-  const auto overrides = [&](const std::string& key) {
-    std::vector<Override> out;
-    if (!cli.has(key)) return out;
-    const auto values = double_list(cli, key, "");
-    const auto texts = name_list(cli, key, "");
-    for (std::size_t i = 0; i < values.size(); ++i) {
-      out.push_back({texts[i], values[i]});
-    }
-    return out;
-  };
-  const auto Ls = overrides("L-list");
-  const auto os_ = overrides("o-list");
-  const auto Gs = overrides("G-list");
-  // An absent axis contributes one pass-through (null) slot to the cross
-  // product.
-  const auto axis = [](const std::vector<Override>& list) {
-    std::vector<const Override*> ptrs;
-    for (const auto& o : list) ptrs.push_back(&o);
-    if (ptrs.empty()) ptrs.push_back(nullptr);
-    return ptrs;
-  };
-  std::vector<core::ConfigVariant> out;
-  for (const std::string& net : name_list(cli, "nets", "cscs")) {
-    loggops::Params base;
-    if (net == "cscs") {
-      base = loggops::NetworkConfig::cscs_testbed();
-    } else if (net == "daint") {
-      base = loggops::NetworkConfig::piz_daint();
-    } else {
-      throw UsageError("unknown --nets preset '" + net +
-                       "' (want cscs or daint)");
-    }
-    for (const Override* L : axis(Ls)) {
-      for (const Override* o : axis(os_)) {
-        for (const Override* G : axis(Gs)) {
-          core::ConfigVariant v;
-          v.name = net;
-          v.params = base;
-          if (L) {
-            v.params.L = L->value;
-            v.name += "/L=" + L->text;
-          }
-          if (o) {
-            v.params.o = o->value;
-            v.o_is_default = false;
-            v.name += "/o=" + o->text;
-          }
-          if (G) {
-            v.params.G = G->value;
-            v.name += "/G=" + G->text;
-          }
-          v.params.S = rendezvous_threshold_flag(cli, v.params.S);
-          out.push_back(std::move(v));
-        }
-      }
-    }
-  }
-  return out;
+int cmd_sweep(const Cli& cli, api::Engine& engine, std::ostream& out) {
+  api::SweepRequest req;
+  req.app = app_spec(cli);
+  req.grid = grid_spec(cli);
+  req.threads = int_flag(cli, "threads", 0);
+  engine.sweep(req).render(output_format(cli, /*allow_csv_flag=*/true), out);
+  return 0;
 }
 
-int cmd_campaign(const Cli& cli, std::ostream& out) {
-  core::CampaignSpec spec;
-  spec.apps = name_list(cli, "apps", "lulesh");
-  spec.ranks = int_list(cli, "ranks", "8");
-  spec.scales = double_list(cli, "scales", "0.25");
-  spec.topologies = name_list(cli, "topos", "none");
-  spec.configs = campaign_configs(cli);
-  spec.delta_Ls = sweep_grid(grid_flags(cli));
-  spec.threads = int_flag(cli, "threads", 0);
-  spec.topo.l_wire = cli.get_double("l-wire", spec.topo.l_wire);
-  spec.topo.d_switch = cli.get_double("d-switch", spec.topo.d_switch);
-  spec.topo.ft_radix = int_flag(cli, "ft-radix", spec.topo.ft_radix);
-  spec.topo.df_groups = int_flag(cli, "df-groups", spec.topo.df_groups);
-  spec.topo.df_routers = int_flag(cli, "df-routers", spec.topo.df_routers);
-  spec.topo.df_hosts = int_flag(cli, "df-hosts", spec.topo.df_hosts);
-  spec.mc.samples = int_flag(cli, "mc-samples", 0);
-  spec.mc.seed = seed_flag(cli);
-  spec.mc.sigma_L = cli.get_double("mc-sigma-L", 0.0);
-  spec.mc.sigma_o = cli.get_double("mc-sigma-o", 0.0);
-  spec.mc.sigma_G = cli.get_double("mc-sigma-G", 0.0);
-  spec.mc.noise.sigma = cli.get_double("mc-edge-sigma", 0.0);
-  spec.mc.noise.bias = cli.get_double("mc-edge-bias", 0.0);
-  const auto format = output_format(cli, /*allow_csv_flag=*/false);
+int cmd_mc(const Cli& cli, api::Engine& engine, std::ostream& out) {
+  api::McRequest req;
+  req.app = app_spec(cli);
+  req.grid = grid_spec(cli);
+  req.samples = int_flag(cli, "samples", req.samples);
+  req.seed = seed_flag(cli);
+  // A present-but-empty --dist-X= must stay an error (an unset shell
+  // variable interpolated into the flag), never a silent fall-back to the
+  // sigma path: an empty request field means "flag absent".
+  const auto dist = [&](const char* key) -> std::string {
+    if (!cli.has(key)) return {};
+    const std::string spec = cli.get(key, "base");
+    if (spec.empty()) {
+      throw UsageError(std::string("empty --") + key + " spec (want base, "
+                       "const:V, normal:MEAN,SD, relnormal:SIGMA, or "
+                       "uniform:LO,HI)");
+    }
+    return spec;
+  };
+  req.dist_L = dist("dist-L");
+  req.dist_o = dist("dist-o");
+  req.dist_G = dist("dist-G");
+  req.sigma_L = cli.get_double("sigma-L", 0.0);
+  req.sigma_o = cli.get_double("sigma-o", 0.0);
+  req.sigma_G = cli.get_double("sigma-G", 0.0);
+  req.edge_sigma = cli.get_double("edge-sigma", 0.0);
+  req.edge_bias = cli.get_double("edge-bias", 0.0);
+  req.bands = double_list(cli, "bands", "1,2,5");
+  req.threads = int_flag(cli, "threads", 0);
+  engine.mc(req).render(output_format(cli, /*allow_csv_flag=*/false), out);
+  return 0;
+}
 
-  // Optional per-point measurement column: the seeded cluster emulator as
-  // the campaign probe.  Every scenario constructs its own emulator from
-  // the shared --seed, so the column's bytes depend only on the spec —
-  // never on the thread count or scenario interleaving.  The probe knobs
-  // are validated whenever present — a bad or orphaned --probe-runs must
-  // be a usage error, not a silent no-op.
-  injector::ClusterEmulator::Config emu_cfg;
-  emu_cfg.noise_sigma = cli.get_double("noise-sigma", emu_cfg.noise_sigma);
-  emu_cfg.seed = seed_flag(cli);
-  const int probe_runs = int_flag(cli, "probe-runs", 5);
-  if (probe_runs < 1) {
-    throw UsageError(strformat("need --probe-runs >= 1 (got %d)", probe_runs));
-  }
-  if (emu_cfg.noise_sigma < 0.0) {
-    throw UsageError(strformat("need --noise-sigma >= 0 (got %g)",
-                               emu_cfg.noise_sigma));
-  }
+int cmd_campaign(const Cli& cli, api::Engine& engine, std::ostream& out) {
+  api::CampaignRequest req;
+  req.apps = name_list(cli, "apps", "lulesh");
+  req.ranks = int_list(cli, "ranks", "8");
+  req.scales = double_list(cli, "scales", "0.25");
+  req.topologies = name_list(cli, "topos", "none");
+  req.nets = name_list(cli, "nets", "cscs");
+  if (cli.has("L-list")) req.L_list = name_list(cli, "L-list", "");
+  if (cli.has("o-list")) req.o_list = name_list(cli, "o-list", "");
+  if (cli.has("G-list")) req.G_list = name_list(cli, "G-list", "");
+  req.S = rendezvous_threshold_flag(cli);
+  req.grid = grid_spec(cli);
+  req.topo.l_wire = cli.get_double("l-wire", req.topo.l_wire);
+  req.topo.d_switch = cli.get_double("d-switch", req.topo.d_switch);
+  req.topo.ft_radix = int_flag(cli, "ft-radix", req.topo.ft_radix);
+  req.topo.df_groups = int_flag(cli, "df-groups", req.topo.df_groups);
+  req.topo.df_routers = int_flag(cli, "df-routers", req.topo.df_routers);
+  req.topo.df_hosts = int_flag(cli, "df-hosts", req.topo.df_hosts);
+  req.mc_samples = int_flag(cli, "mc-samples", 0);
+  req.seed = seed_flag(cli);
+  req.mc_sigma_L = cli.get_double("mc-sigma-L", 0.0);
+  req.mc_sigma_o = cli.get_double("mc-sigma-o", 0.0);
+  req.mc_sigma_G = cli.get_double("mc-sigma-G", 0.0);
+  req.mc_edge_sigma = cli.get_double("mc-edge-sigma", 0.0);
+  req.mc_edge_bias = cli.get_double("mc-edge-bias", 0.0);
+  // Probe knobs without the probe are a mistake, not a no-op (the engine
+  // cannot see flag presence, so the orphan rule lives here).
   if (!cli.has("probe") &&
       (cli.has("probe-runs") || cli.has("noise-sigma"))) {
     throw UsageError(
         "probe options given without --probe (want --probe=emulator)");
   }
-  core::Campaign::Probe probe;
-  std::string probe_name;
   if (cli.has("probe")) {
-    const std::string kind = cli.get("probe", "");
-    if (kind != "emulator") {
-      throw UsageError("unknown --probe '" + kind + "' (want emulator)");
+    req.probe = cli.get("probe", "");
+    if (req.probe.empty()) {
+      throw UsageError("unknown --probe '' (want emulator)");
     }
-    probe = [emu_cfg, probe_runs](const core::Scenario& s,
-                                  const graph::Graph& g) {
-      injector::ClusterEmulator emulator(g, s.params, emu_cfg);
-      return emulator.sweep(s.delta_Ls, probe_runs);
-    };
-    probe_name = format == core::OutputFormat::kTable ? "measured"
-                                                      : "measured_ns";
   }
-
-  core::Campaign campaign(spec);
-  const auto results = campaign.run(probe);
-  const bool human = format == core::OutputFormat::kTable;
-  if (human) {
-    out << strformat(
-        "campaign: %zu scenarios x %zu ΔL points (%zu distinct graphs)\n",
-        campaign.stats().scenarios_run, spec.delta_Ls.size(),
-        campaign.stats().graphs_built);
-  }
-  out << core::render(core::campaign_points_table(results, human, probe_name),
-                      format);
+  req.probe_runs = int_flag(cli, "probe-runs", req.probe_runs);
+  req.noise_sigma = cli.get_double("noise-sigma", req.noise_sigma);
+  req.threads = int_flag(cli, "threads", 0);
+  engine.campaign(req).render(output_format(cli, /*allow_csv_flag=*/false),
+                              out);
   return 0;
 }
 
-int cmd_topo(const Cli& cli, std::ostream& out) {
-  const AppConfig cfg = parse_app_config(cli);
-  const auto g = build_graph(cfg);
-  const double l_wire = cli.get_double("l-wire", 274.0);
-  const double d_switch = cli.get_double("d-switch", 108.0);
-
-  const topo::FatTree fat_tree(int_flag(cli, "ft-radix", 8));
-  const topo::Dragonfly dragonfly(
-      int_flag(cli, "df-groups", 8),
-      int_flag(cli, "df-routers", 4),
-      int_flag(cli, "df-hosts", 8));
-  const std::array<const topo::Topology*, 2> topologies{&fat_tree,
-                                                        &dragonfly};
-  for (const topo::Topology* t : topologies) {
-    if (t->nnodes() < cfg.ranks) {
-      throw Error(t->name() + " has only " + std::to_string(t->nnodes()) +
-                  " nodes for " + std::to_string(cfg.ranks) + " ranks");
-    }
-  }
-  const auto placement = topo::identity_placement(cfg.ranks);
-
-  out << strformat("app: %s   ranks: %d   per-wire latency sensitivity\n\n",
-                   cfg.app.c_str(), cfg.ranks);
-  Table table({"topology", "T(l_wire)", "dT/dl_wire", "1% tolerance l_wire"});
-  for (const topo::Topology* t : topologies) {
-    auto space = std::make_shared<lp::LinkClassParamSpace>(
-        topo::make_wire_latency_space(cfg.params, *t, placement, l_wire,
-                                      d_switch));
-    lp::ParametricSolver solver(g, space);
-    const auto sol = solver.solve(0, l_wire);
-    const double tol = solver.max_param_for_budget(0, sol.value * 1.01);
-    table.add_row({t->name(), human_time_ns(sol.value),
-                   strformat("%.0f", sol.gradient[0]),
-                   std::isfinite(tol) ? human_time_ns(tol) : "unbounded"});
-  }
-  out << table.to_string();
-
-  // Dragonfly per-class breakdown (Fig. 19): tolerance of each wire class
-  // with the other two held at their base values.
-  auto df_space = std::make_shared<lp::LinkClassParamSpace>(
-      topo::make_dragonfly_class_space(cfg.params, dragonfly, placement,
-                                       l_wire, l_wire, l_wire, d_switch));
-  lp::ParametricSolver df_solver(g, df_space);
-  const auto base_sol = df_solver.solve(0, l_wire);
-  const double T0 = base_sol.value;
-  out << strformat("\nDragonfly wire classes (budget = 1%% over T = %s):\n",
-                   human_time_ns(T0).c_str());
-  Table classes({"class", "lambda", "1% tolerance"});
-  for (int k = 0; k < df_space->num_params(); ++k) {
-    const auto sol = k == 0 ? base_sol : df_solver.solve(k, l_wire);
-    const double tol = df_solver.max_param_for_budget(k, T0 * 1.01);
-    classes.add_row(
-        {df_space->param_name(k),
-         strformat("%.0f", sol.gradient[static_cast<std::size_t>(k)]),
-         std::isfinite(tol) ? human_time_ns(tol) : "unbounded"});
-  }
-  out << classes.to_string();
+int cmd_topo(const Cli& cli, api::Engine& engine, std::ostream& out) {
+  api::TopoRequest req;
+  req.app = app_spec(cli);
+  req.l_wire = cli.get_double("l-wire", req.l_wire);
+  req.d_switch = cli.get_double("d-switch", req.d_switch);
+  req.ft_radix = int_flag(cli, "ft-radix", req.ft_radix);
+  req.df_groups = int_flag(cli, "df-groups", req.df_groups);
+  req.df_routers = int_flag(cli, "df-routers", req.df_routers);
+  req.df_hosts = int_flag(cli, "df-hosts", req.df_hosts);
+  engine.topo(req).render(core::OutputFormat::kTable, out);
   return 0;
 }
 
-int cmd_place(const Cli& cli, std::ostream& out) {
-  const AppConfig cfg = parse_app_config(cli);
-  const auto g = build_graph(cfg);
-  const topo::FatTree ft(int_flag(cli, "ft-radix", 8));
-  if (ft.nnodes() < cfg.ranks) {
-    throw Error(ft.name() + " has only " + std::to_string(ft.nnodes()) +
-                " nodes for " + std::to_string(cfg.ranks) + " ranks");
-  }
-  core::WireCost wire;
-  wire.l_wire = cli.get_double("l-wire", wire.l_wire);
-  wire.d_switch = cli.get_double("d-switch", wire.d_switch);
-  const auto max_rounds = int_flag(cli, "max-rounds", 64);
-
-  const auto block = core::block_placement(g, cfg.params, ft, wire);
-  const auto volume = core::volume_greedy_placement(g, cfg.params, ft, wire);
-  const auto opt =
-      core::optimize_placement(g, cfg.params, ft, wire, {}, max_rounds);
-
-  out << strformat("app: %s   ranks: %d on %s\n\n", cfg.app.c_str(),
-                   cfg.ranks, ft.name().c_str());
-  Table table({"strategy", "predicted runtime", "vs block"});
-  const auto pct = [&](double t) {
-    return strformat("%+.2f%%", 100.0 * (t - block.predicted_runtime) /
-                                    block.predicted_runtime);
-  };
-  table.add_row({"block (default)", human_time_ns(block.predicted_runtime),
-                 "+0.00%"});
-  table.add_row({"volume-greedy", human_time_ns(volume.predicted_runtime),
-                 pct(volume.predicted_runtime)});
-  table.add_row({strformat("llamp algorithm 3 (%d swaps)", opt.swaps),
-                 human_time_ns(opt.predicted_runtime),
-                 pct(opt.predicted_runtime)});
-  out << table.to_string();
+int cmd_place(const Cli& cli, api::Engine& engine, std::ostream& out) {
+  api::PlaceRequest req;
+  req.app = app_spec(cli);
+  req.l_wire = cli.get_double("l-wire", req.l_wire);
+  req.d_switch = cli.get_double("d-switch", req.d_switch);
+  req.ft_radix = int_flag(cli, "ft-radix", req.ft_radix);
+  req.max_rounds = int_flag(cli, "max-rounds", req.max_rounds);
+  engine.place(req).render(core::OutputFormat::kTable, out);
   return 0;
 }
 
 int cmd_apps(std::ostream& out) {
   for (const auto& name : apps::app_names()) out << name << '\n';
   return 0;
+}
+
+int cmd_batch(const Cli& cli, api::Engine& engine, std::ostream& out) {
+  const std::string file = cli.get("file", "-");
+  const int threads = int_flag(cli, "threads", 0);
+  api::BatchOutcome outcome;
+  if (file == "-") {
+    outcome = api::serve_jsonl(engine, std::cin, out, threads);
+  } else {
+    std::ifstream in(file);
+    if (!in) throw UsageError("batch: cannot open '" + file + "'");
+    outcome = api::serve_jsonl(engine, in, out, threads);
+  }
+  // Per-request failures are reported in-band as {"error": ...} lines;
+  // the process exit code still flags that the batch was not fully clean.
+  return outcome.failures == 0 ? 0 : 1;
 }
 
 /// Boolean flags: these never take a following value, so a token after them
@@ -666,6 +440,7 @@ constexpr std::string_view kCampaignKeys[] = {
 constexpr std::string_view kMcKeys[] = {
     "samples",  "seed",    "sigma-L",    "sigma-o",   "sigma-G", "dist-L",
     "dist-o",   "dist-G",  "edge-sigma", "edge-bias", "bands"};
+constexpr std::string_view kBatchKeys[] = {"file", "threads"};
 
 /// Reject misspelled options and stray positionals: a typo'd flag must be a
 /// usage error, not a silent fall-back to the default value.  Returns an
@@ -676,12 +451,13 @@ std::string first_bad_arg(const std::string& sub,
   const auto add = [&](auto& keys) {
     known.insert(known.end(), std::begin(keys), std::end(keys));
   };
-  if (sub != "apps" && sub != "campaign") add(kCommonKeys);
+  if (sub != "apps" && sub != "campaign" && sub != "batch") add(kCommonKeys);
   if (sub == "analyze" || sub == "sweep" || sub == "mc") add(kGridKeys);
   if (sub == "mc") add(kMcKeys);
   if (sub == "sweep") known.push_back("csv");
   if (sub == "topo") add(kTopoKeys);
   if (sub == "place") add(kPlaceKeys);
+  if (sub == "batch") add(kBatchKeys);
   if (sub == "campaign") {
     add(kCampaignKeys);
     add(kGridKeys);
@@ -699,48 +475,96 @@ std::string first_bad_arg(const std::string& sub,
   return {};
 }
 
+/// Whether this invocation asked for JSON output (best effort, for the
+/// structured-error satellite: the flag may itself be malformed, in which
+/// case errors stay text-only).
+bool wants_json(const std::vector<std::string>& args) {
+  for (const std::string& arg : args) {
+    if (arg == "--format=json") return true;
+  }
+  return false;
+}
+
+/// Report an error on stderr and, in JSON mode, as a structured object on
+/// stdout, so `--format=json` consumers never have to scrape stderr.
+int report_error(const std::string& sub, const std::string& message,
+                 bool usage, bool json, std::ostream& out,
+                 std::ostream& err) {
+  err << "llamp " << sub << ": " << message << '\n';
+  if (json) {
+    out << strformat(
+        "{\"error\": {\"subcommand\": \"%s\", \"kind\": \"%s\", "
+        "\"message\": \"%s\"}}\n",
+        json_escape_string(sub).c_str(), usage ? "usage" : "analysis",
+        json_escape_string(message).c_str());
+  }
+  return usage ? 2 : 1;
+}
+
 }  // namespace
 
 int run(int argc, const char* const* argv, std::ostream& out,
         std::ostream& err) {
   if (argc < 2) {
-    err << kUsage;
-    return 2;
+    // A bare `llamp` is a question, not a mistake: print usage, exit 0.
+    out << kUsage;
+    return 0;
   }
   const std::string sub = argv[1];
   if (sub == "help" || sub == "--help" || sub == "-h") {
     out << kUsage;
     return 0;
   }
+  if (sub == "--version" || sub == "version") {
+    out << kVersion << '\n';
+    return 0;
+  }
   if (sub != "analyze" && sub != "sweep" && sub != "campaign" &&
-      sub != "mc" && sub != "topo" && sub != "place" && sub != "apps") {
+      sub != "mc" && sub != "batch" && sub != "topo" && sub != "place" &&
+      sub != "apps") {
     err << "llamp: unknown subcommand '" << sub << "'\n\n" << kUsage;
     return 2;
   }
+  // `llamp <sub> --help` before any validation: asking for help must work
+  // even alongside flags the subcommand would reject.
+  for (int i = 2; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      out << kUsage;
+      return 0;
+    }
+  }
   const std::vector<std::string> args = normalize_args(argc, argv);
+  const bool json = wants_json(args);
   if (const std::string bad = first_bad_arg(sub, args); !bad.empty()) {
-    err << "llamp " << sub << ": unrecognized argument '" << bad
-        << "' (see `llamp help`)\n";
-    return 2;
+    return report_error(
+        sub, "unrecognized argument '" + bad + "' (see `llamp help`)",
+        /*usage=*/true, json, out, err);
   }
   std::vector<const char*> cargs;
   cargs.push_back("llamp");
   for (const auto& a : args) cargs.push_back(a.c_str());
   const Cli cli(static_cast<int>(cargs.size()), cargs.data());
   try {
-    if (sub == "analyze") return cmd_analyze(cli, out);
-    if (sub == "sweep") return cmd_sweep(cli, out);
-    if (sub == "campaign") return cmd_campaign(cli, out);
-    if (sub == "mc") return cmd_mc(cli, out);
-    if (sub == "topo") return cmd_topo(cli, out);
-    if (sub == "place") return cmd_place(cli, out);
+    // One engine session per invocation: every subcommand dispatches
+    // through it, sharing the graph cache and workspace pool.  Only batch
+    // fans requests out, so its pool is sized from --threads (matching the
+    // free parallel_for semantics: the requested count wins even above the
+    // hardware concurrency); the other subcommands run on a 1-worker pool.
+    api::Engine engine(api::Engine::Options{
+        .threads = sub == "batch" ? int_flag(cli, "threads", 0) : 1});
+    if (sub == "analyze") return cmd_analyze(cli, engine, out);
+    if (sub == "sweep") return cmd_sweep(cli, engine, out);
+    if (sub == "campaign") return cmd_campaign(cli, engine, out);
+    if (sub == "mc") return cmd_mc(cli, engine, out);
+    if (sub == "batch") return cmd_batch(cli, engine, out);
+    if (sub == "topo") return cmd_topo(cli, engine, out);
+    if (sub == "place") return cmd_place(cli, engine, out);
     return cmd_apps(out);
   } catch (const UsageError& e) {
-    err << "llamp " << sub << ": " << e.what() << '\n';
-    return 2;
+    return report_error(sub, e.what(), /*usage=*/true, json, out, err);
   } catch (const Error& e) {
-    err << "llamp " << sub << ": " << e.what() << '\n';
-    return 1;
+    return report_error(sub, e.what(), /*usage=*/false, json, out, err);
   }
 }
 

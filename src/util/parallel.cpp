@@ -48,4 +48,99 @@ void parallel_for(std::size_t n, int threads,
                        [&fn](int, std::size_t i) { fn(i); });
 }
 
+ThreadPool::ThreadPool(int threads) {
+  int nthreads = threads > 0
+                     ? threads
+                     : static_cast<int>(std::thread::hardware_concurrency());
+  nthreads = std::max(1, nthreads);
+  workers_.reserve(static_cast<std::size_t>(nthreads - 1));
+  // The caller participates as worker 0, so a pool of size W spawns W - 1
+  // threads, carrying pool-worker ids 1 .. W-1.
+  for (int t = 1; t < nthreads; ++t) {
+    workers_.emplace_back([this, t] { worker_loop(t); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (auto& th : workers_) th.join();
+}
+
+void ThreadPool::worker_loop(int worker) {
+  std::uint64_t seen = 0;
+  while (true) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+    }
+    if (worker < job.nworkers) {
+      try {
+        for (std::size_t i = static_cast<std::size_t>(worker); i < job.n;
+             i += static_cast<std::size_t>(job.nworkers)) {
+          (*job.fn)(worker, i);
+        }
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (!error_) error_ = std::current_exception();
+      }
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        --remaining_;
+      }
+      done_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::for_workers(std::size_t n, int max_workers,
+                             const std::function<void(int, std::size_t)>& fn) {
+  const int cap = max_workers > 0 ? std::min(max_workers, size()) : size();
+  const int nworkers = effective_threads(n, cap);
+  if (nworkers == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(0, i);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    job_ = {n, nworkers, &fn};
+    remaining_ = nworkers - 1;  // pool workers 1 .. nworkers-1
+    error_ = nullptr;
+    ++generation_;
+  }
+  wake_.notify_all();
+  // The caller is worker 0; its exceptions line up with the workers' via
+  // the shared error slot so the first failure wins deterministically
+  // enough for reporting (the job always drains before rethrow).
+  try {
+    for (std::size_t i = 0; i < n;
+         i += static_cast<std::size_t>(nworkers)) {
+      fn(0, i);
+    }
+  } catch (...) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!error_) error_ = std::current_exception();
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_.wait(lock, [&] { return remaining_ == 0; });
+  if (error_) {
+    const std::exception_ptr e = error_;
+    error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+void ThreadPool::for_each(std::size_t n, int max_workers,
+                          const std::function<void(std::size_t)>& fn) {
+  for_workers(n, max_workers, [&fn](int, std::size_t i) { fn(i); });
+}
+
 }  // namespace llamp

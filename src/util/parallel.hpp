@@ -1,7 +1,13 @@
 #pragma once
 
+#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <exception>
 #include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 namespace llamp {
 
@@ -36,5 +42,59 @@ void parallel_for(std::size_t n, int threads,
 /// scratch: results must not depend on which worker served an index.
 void parallel_for_workers(std::size_t n, int threads,
                           const std::function<void(int, std::size_t)>& fn);
+
+/// Persistent worker pool with parallel_for_workers semantics: workers are
+/// spawned once and reused across jobs, so a long-lived session (the
+/// api::Engine serving many requests) pays thread start-up once instead of
+/// per call.  Index distribution is identical to parallel_for_workers —
+/// worker w serves indices w, w + W, w + 2W, ... with W =
+/// min(size(), effective_threads(n, max_workers)) — so under the same
+/// determinism contract (fn(i) depends only on i) results are independent
+/// of both the pool size and which pool ran the job.
+///
+/// One job runs at a time per pool; for_workers is not reentrant from
+/// inside fn (jobs that need nested parallelism use the free functions).
+/// The first exception thrown by any fn is rethrown on the caller after
+/// the job drains.
+class ThreadPool {
+ public:
+  /// `threads` <= 0 sizes the pool to the hardware concurrency.
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Run fn(worker, i) for i in [0, n).  `max_workers` caps the workers
+  /// used for this job (<= 0 = the whole pool); n <= 1 or a cap of 1 runs
+  /// inline on the caller.  The caller thread participates as worker 0, so
+  /// a pool of size W uses W threads total, matching the free functions.
+  void for_workers(std::size_t n, int max_workers,
+                   const std::function<void(int, std::size_t)>& fn);
+
+  /// Convenience form without a worker index.
+  void for_each(std::size_t n, int max_workers,
+                const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop(int worker);
+
+  struct Job {
+    std::size_t n = 0;
+    int nworkers = 0;
+    const std::function<void(int, std::size_t)>* fn = nullptr;
+  };
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  Job job_;
+  std::uint64_t generation_ = 0;  ///< bumped per job; workers wake on change
+  int remaining_ = 0;             ///< workers still running the current job
+  bool stop_ = false;
+  std::exception_ptr error_;
+};
 
 }  // namespace llamp

@@ -1,0 +1,580 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "api/batch.hpp"
+#include "api/engine.hpp"
+#include "api/request.hpp"
+#include "core/report.hpp"
+#include "tools/cli_driver.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace llamp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// JSON round trip: serialize → parse → serialize must be byte-identical for
+// every request type, and the parsed request must execute identically.
+// ---------------------------------------------------------------------------
+
+void expect_round_trip(const api::Request& req) {
+  const std::string json = api::to_json(req);
+  const api::Request parsed = api::parse_request(json);
+  EXPECT_EQ(api::to_json(parsed), json) << json;
+  EXPECT_EQ(req.index(), parsed.index());
+  EXPECT_STREQ(api::op_name(req), api::op_name(parsed));
+}
+
+api::AppSpec fancy_app() {
+  api::AppSpec app;
+  app.app = "hpcg";
+  app.ranks = 27;
+  app.scale = 0.05;
+  app.net = "daint";
+  app.L = 2500.0;
+  app.o = 4321.5;
+  app.G = 0.021;
+  app.S = 1024;
+  return app;
+}
+
+TEST(ApiRequestJson, AnalyzeRoundTrip) {
+  api::AnalyzeRequest req;
+  expect_round_trip(req);  // all defaults
+  req.app = fancy_app();
+  req.grid = {42.5, 7};
+  req.threads = 3;
+  expect_round_trip(req);
+}
+
+TEST(ApiRequestJson, SweepRoundTrip) {
+  api::SweepRequest req;
+  expect_round_trip(req);
+  req.app = fancy_app();
+  req.grid = {30.0, 4};
+  expect_round_trip(req);
+}
+
+TEST(ApiRequestJson, McRoundTrip) {
+  api::McRequest req;
+  expect_round_trip(req);
+  req.app = fancy_app();
+  req.grid = {20.0, 3};
+  req.samples = 64;
+  req.seed = 7;
+  req.dist_L = "uniform:2500,3500";
+  req.sigma_o = 0.02;
+  req.edge_sigma = 0.003;
+  req.edge_bias = 0.001;
+  req.bands = {1.0, 2.5};
+  req.threads = 2;
+  expect_round_trip(req);
+}
+
+TEST(ApiRequestJson, CampaignRoundTrip) {
+  api::CampaignRequest req;
+  expect_round_trip(req);
+  req.apps = {"lulesh", "hpcg"};
+  req.ranks = {8, 27};
+  req.scales = {0.02, 0.05};
+  req.topologies = {"none", "fat-tree"};
+  req.nets = {"cscs", "daint"};
+  req.L_list = {"5000", "1e4"};
+  req.o_list = {"4000"};
+  req.S = 2048;
+  req.grid = {20.0, 3};
+  req.topo.ft_radix = 16;
+  req.mc_samples = 8;
+  req.seed = 3;
+  req.mc_sigma_L = 0.05;
+  req.probe = "emulator";
+  req.probe_runs = 2;
+  req.noise_sigma = 0.004;
+  req.threads = 4;
+  expect_round_trip(req);
+}
+
+TEST(ApiRequestJson, TopoRoundTrip) {
+  api::TopoRequest req;
+  expect_round_trip(req);
+  req.app = fancy_app();
+  req.l_wire = 300.0;
+  req.d_switch = 100.0;
+  req.ft_radix = 16;
+  req.df_groups = 4;
+  expect_round_trip(req);
+}
+
+TEST(ApiRequestJson, PlaceRoundTrip) {
+  api::PlaceRequest req;
+  expect_round_trip(req);
+  req.app = fancy_app();
+  req.max_rounds = 16;
+  expect_round_trip(req);
+}
+
+TEST(ApiRequestJson, ParseAppliesDefaults) {
+  const api::Request req = api::parse_request("{\"op\": \"analyze\"}");
+  const auto& r = std::get<api::AnalyzeRequest>(req);
+  EXPECT_EQ(r.app.app, "lulesh");
+  EXPECT_EQ(r.app.ranks, 8);
+  EXPECT_DOUBLE_EQ(r.app.scale, 0.25);
+  EXPECT_FALSE(r.app.L.has_value());
+  EXPECT_DOUBLE_EQ(r.grid.dl_max_us, 100.0);
+  EXPECT_EQ(r.grid.points, 11);
+  EXPECT_EQ(r.threads, 0);
+}
+
+// The JSON surface takes the CLI's typo stance: unknown fields, wrong
+// types, malformed documents, and orphaned probe knobs are usage errors.
+TEST(ApiRequestJson, RejectsMalformedRequests) {
+  const std::vector<std::string> bad = {
+      "",
+      "not json",
+      "[]",
+      "42",
+      "{\"op\": \"frobnicate\"}",
+      "{}",
+      "{\"op\": \"analyze\", \"pionts\": 3}",
+      "{\"op\": \"analyze\", \"app\": {\"nmae\": \"lulesh\"}}",
+      "{\"op\": \"analyze\", \"grid\": {\"points\": \"three\"}}",
+      "{\"op\": \"analyze\", \"grid\": {\"points\": 2.5}}",
+      "{\"op\": \"mc\", \"seed\": -1}",
+      "{\"op\": \"mc\", \"dist_L\": \"\"}",
+      "{\"op\": \"analyze\", \"app\": {\"ranks\": 1e300}}",
+      "{\"op\": \"campaign\", \"probe_runs\": 2}",
+      "{\"op\": \"analyze\"} trailing",
+      "{\"op\": \"analyze\", \"op\": \"sweep\"}",
+  };
+  for (const std::string& json : bad) {
+    EXPECT_THROW((void)api::parse_request(json), UsageError) << json;
+  }
+}
+
+TEST(ApiRequestJson, SeedsAboveDoublePrecisionSurviveExactly) {
+  // Seeds are u64; going through a double would silently round anything
+  // above 2^53 and break the reproducibility contract.
+  const auto parsed = api::parse_request(
+      "{\"op\": \"mc\", \"seed\": 9007199254740993}");
+  EXPECT_EQ(std::get<api::McRequest>(parsed).seed, 9007199254740993ull);
+
+  const auto max = api::parse_request(
+      "{\"op\": \"mc\", \"seed\": 18446744073709551615}");
+  EXPECT_EQ(std::get<api::McRequest>(parsed).seed, 9007199254740993ull);
+  EXPECT_EQ(std::get<api::McRequest>(max).seed, 18446744073709551615ull);
+
+  api::McRequest req;
+  req.seed = 18446744073709551615ull;
+  expect_round_trip(req);
+
+  // Scientific spellings stay usable while exact; overflow is an error.
+  const auto sci = api::parse_request("{\"op\": \"mc\", \"seed\": 5e3}");
+  EXPECT_EQ(std::get<api::McRequest>(sci).seed, 5000ull);
+  EXPECT_THROW(
+      (void)api::parse_request(
+          "{\"op\": \"mc\", \"seed\": 18446744073709551616}"),
+      UsageError);
+  EXPECT_THROW((void)api::parse_request("{\"op\": \"mc\", \"seed\": 1e300}"),
+               UsageError);
+}
+
+TEST(ApiRequestJson, NumberSpellingSurvivesTheOverrideAxes) {
+  // L_list entries name config variants, so "1e4" must not be rewritten
+  // as "10000" by a (de)serialization pass.
+  const api::Request req = api::parse_request(
+      "{\"op\": \"campaign\", \"L_list\": [\"1e4\", 5000]}");
+  const auto& r = std::get<api::CampaignRequest>(req);
+  ASSERT_EQ(r.L_list.size(), 2u);
+  EXPECT_EQ(r.L_list[0], "1e4");
+  EXPECT_EQ(r.L_list[1], "5000");
+}
+
+// ---------------------------------------------------------------------------
+// CLI ↔ Engine byte equivalence: the CLI is a thin adapter, so building
+// the request by hand and rendering the engine's result must reproduce the
+// subcommand's bytes exactly, for every subcommand and format.
+// ---------------------------------------------------------------------------
+
+struct CliResult {
+  int code = -1;
+  std::string out;
+  std::string err;
+};
+
+CliResult run_cli(std::vector<const char*> args) {
+  args.insert(args.begin(), "llamp");
+  std::ostringstream out, err;
+  CliResult r;
+  r.code = tools::run(static_cast<int>(args.size()), args.data(), out, err);
+  r.out = out.str();
+  r.err = err.str();
+  return r;
+}
+
+api::AppSpec small_app(const char* name) {
+  api::AppSpec app;
+  app.app = name;
+  app.ranks = 8;
+  app.scale = 0.02;
+  return app;
+}
+
+template <typename Result>
+std::string rendered(const Result& res, core::OutputFormat format) {
+  std::ostringstream os;
+  res.render(format, os);
+  return os.str();
+}
+
+TEST(ApiCliEquivalence, Analyze) {
+  api::AnalyzeRequest req;
+  req.app = small_app("lulesh");
+  req.grid = {50.0, 3};
+  api::Engine engine;
+  const auto res = engine.analyze(req);
+  const std::vector<const char*> args = {"analyze", "--app=lulesh",
+                                         "--ranks=8", "--scale=0.02",
+                                         "--points=3", "--dl-max-us=50"};
+  for (const auto& [flag, format] :
+       std::vector<std::pair<const char*, core::OutputFormat>>{
+           {"--format=table", core::OutputFormat::kTable},
+           {"--format=csv", core::OutputFormat::kCsv},
+           {"--format=json", core::OutputFormat::kJson}}) {
+    auto cli_args = args;
+    cli_args.push_back(flag);
+    const auto cli = run_cli(cli_args);
+    ASSERT_EQ(cli.code, 0) << cli.err;
+    EXPECT_EQ(cli.out, rendered(res, format)) << flag;
+  }
+}
+
+TEST(ApiCliEquivalence, Sweep) {
+  api::SweepRequest req;
+  req.app = small_app("hpcg");
+  req.grid = {30.0, 4};
+  api::Engine engine;
+  const auto res = engine.sweep(req);
+  const auto cli = run_cli({"sweep", "--app=hpcg", "--ranks=8",
+                            "--scale=0.02", "--points=4", "--dl-max-us=30"});
+  ASSERT_EQ(cli.code, 0) << cli.err;
+  EXPECT_EQ(cli.out, rendered(res, core::OutputFormat::kTable));
+}
+
+TEST(ApiCliEquivalence, Campaign) {
+  api::CampaignRequest req;
+  req.apps = {"lulesh", "hpcg"};
+  req.scales = {0.02};
+  req.topologies = {"none", "fat-tree"};
+  req.grid = {20.0, 3};
+  api::Engine engine;
+  const auto res = engine.campaign(req);
+  for (const char* fmt : {"--format=table", "--format=csv", "--format=json"}) {
+    const auto cli =
+        run_cli({"campaign", "--apps=lulesh,hpcg", "--scales=0.02",
+                 "--topos=none,fat-tree", "--points=3", "--dl-max-us=20",
+                 fmt});
+    ASSERT_EQ(cli.code, 0) << cli.err;
+    const auto format = core::parse_output_format(fmt + 9);
+    EXPECT_EQ(cli.out, rendered(res, format)) << fmt;
+  }
+}
+
+TEST(ApiCliEquivalence, Mc) {
+  api::McRequest req;
+  req.app = small_app("lulesh");
+  req.grid = {20.0, 3};
+  req.samples = 8;
+  req.seed = 7;
+  req.sigma_L = 0.05;
+  req.edge_sigma = 0.003;
+  api::Engine engine;
+  const auto res = engine.mc(req);
+  const auto cli = run_cli({"mc", "--app=lulesh", "--ranks=8",
+                            "--scale=0.02", "--points=3", "--dl-max-us=20",
+                            "--samples=8", "--seed=7", "--sigma-L=0.05",
+                            "--edge-sigma=0.003", "--format=csv"});
+  ASSERT_EQ(cli.code, 0) << cli.err;
+  EXPECT_EQ(cli.out, rendered(res, core::OutputFormat::kCsv));
+}
+
+TEST(ApiCliEquivalence, Topo) {
+  api::TopoRequest req;
+  req.app = small_app("icon");
+  req.app.scale = 0.05;
+  api::Engine engine;
+  const auto res = engine.topo(req);
+  const auto cli =
+      run_cli({"topo", "--app=icon", "--ranks=8", "--scale=0.05"});
+  ASSERT_EQ(cli.code, 0) << cli.err;
+  EXPECT_EQ(cli.out, rendered(res, core::OutputFormat::kTable));
+}
+
+TEST(ApiCliEquivalence, Place) {
+  api::PlaceRequest req;
+  req.app = small_app("icon");
+  req.app.scale = 0.05;
+  api::Engine engine;
+  const auto res = engine.place(req);
+  const auto cli =
+      run_cli({"place", "--app=icon", "--ranks=8", "--scale=0.05"});
+  ASSERT_EQ(cli.code, 0) << cli.err;
+  EXPECT_EQ(cli.out, rendered(res, core::OutputFormat::kTable));
+}
+
+// ---------------------------------------------------------------------------
+// Engine session caching: a repeated request must re-lower nothing, and
+// the cache must be shared across request types.
+// ---------------------------------------------------------------------------
+
+TEST(ApiEngineCache, RepeatedRequestHitsTheGraphCache) {
+  api::Engine engine;
+  api::AnalyzeRequest req;
+  req.app = small_app("lulesh");
+  req.grid = {20.0, 3};
+  const auto first = engine.analyze(req);
+  const auto after_first = engine.cache_stats();
+  EXPECT_EQ(after_first.built, 1u);
+  EXPECT_EQ(after_first.hits, 0u);
+
+  const auto second = engine.analyze(req);
+  const auto after_second = engine.cache_stats();
+  EXPECT_EQ(after_second.built, 1u) << "second request re-built the graph";
+  EXPECT_EQ(after_second.hits, 1u);
+  EXPECT_EQ(rendered(first, core::OutputFormat::kTable),
+            rendered(second, core::OutputFormat::kTable));
+}
+
+TEST(ApiEngineCache, CacheIsSharedAcrossRequestTypes) {
+  api::Engine engine;
+  api::AnalyzeRequest analyze;
+  analyze.app = small_app("lulesh");
+  analyze.grid = {20.0, 3};
+  (void)engine.analyze(analyze);
+  EXPECT_EQ(engine.cache_stats().built, 1u);
+
+  // Same scenario through sweep and a campaign: no new graph.
+  api::SweepRequest sweep;
+  sweep.app = small_app("lulesh");
+  sweep.grid = {20.0, 3};
+  (void)engine.sweep(sweep);
+  EXPECT_EQ(engine.cache_stats().built, 1u);
+
+  api::CampaignRequest campaign;
+  campaign.apps = {"lulesh", "hpcg"};
+  campaign.scales = {0.02};
+  campaign.grid = {20.0, 3};
+  (void)engine.campaign(campaign);
+  const auto stats = engine.cache_stats();
+  EXPECT_EQ(stats.built, 2u) << "only hpcg was new";
+  EXPECT_GE(stats.hits, 2u);
+}
+
+TEST(ApiEngineCache, WarmCacheNeverChangesCampaignBytes) {
+  api::CampaignRequest req;
+  req.apps = {"lulesh", "hpcg"};
+  req.scales = {0.02};
+  req.grid = {20.0, 3};
+
+  api::Engine cold;
+  const auto cold_res = cold.campaign(req);
+
+  api::Engine warm;
+  api::AnalyzeRequest analyze;
+  analyze.app = small_app("hpcg");
+  analyze.grid = {20.0, 3};
+  (void)warm.analyze(analyze);  // pre-populates hpcg's graph
+  const auto warm_res = warm.campaign(req);
+
+  for (const auto format :
+       {core::OutputFormat::kTable, core::OutputFormat::kCsv,
+        core::OutputFormat::kJson}) {
+    EXPECT_EQ(rendered(cold_res, format), rendered(warm_res, format));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Batch execution.
+// ---------------------------------------------------------------------------
+
+std::string mixed_workload_jsonl() {
+  // >= 20 requests mixing every op, small enough to stay fast.
+  std::string in;
+  for (const char* app : {"lulesh", "hpcg", "milc", "icon"}) {
+    in += std::string("{\"op\": \"analyze\", \"app\": {\"name\": \"") + app +
+          "\", \"scale\": 0.02}, \"grid\": {\"dl_max_us\": 20, "
+          "\"points\": 3}}\n";
+    in += std::string("{\"op\": \"sweep\", \"app\": {\"name\": \"") + app +
+          "\", \"scale\": 0.02}, \"grid\": {\"dl_max_us\": 20, "
+          "\"points\": 3}}\n";
+    in += std::string("{\"op\": \"mc\", \"app\": {\"name\": \"") + app +
+          "\", \"scale\": 0.02}, \"grid\": {\"dl_max_us\": 20, "
+          "\"points\": 3}, \"samples\": 4, \"sigma_L\": 0.05}\n";
+    in += std::string("{\"op\": \"topo\", \"app\": {\"name\": \"") + app +
+          "\", \"scale\": 0.02}}\n";
+    in += std::string("{\"op\": \"place\", \"app\": {\"name\": \"") + app +
+          "\", \"scale\": 0.02}}\n";
+  }
+  in +=
+      "{\"op\": \"campaign\", \"apps\": [\"lulesh\", \"hpcg\"], "
+      "\"scales\": [0.02], \"grid\": {\"dl_max_us\": 20, \"points\": 3}}\n";
+  return in;  // 21 requests
+}
+
+TEST(ApiBatch, ByteDeterministicAcrossThreadCounts) {
+  const std::string input = mixed_workload_jsonl();
+  auto serve = [&](int threads) {
+    // Pool sized to the requested count so the 8-thread run is genuinely
+    // parallel whatever the host's core count.
+    api::Engine engine(api::Engine::Options{.threads = threads});
+    std::istringstream in(input);
+    std::ostringstream out;
+    const auto outcome = api::serve_jsonl(engine, in, out, threads);
+    EXPECT_EQ(outcome.requests, 21u);
+    EXPECT_EQ(outcome.failures, 0u);
+    return out.str();
+  };
+  const std::string serial = serve(1);
+  const std::string parallel = serve(8);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ApiBatch, ResultsComeBackInInputOrder) {
+  const std::string input = mixed_workload_jsonl();
+  api::Engine engine(api::Engine::Options{.threads = 8});
+  std::istringstream in(input);
+  std::ostringstream out;
+  (void)api::serve_jsonl(engine, in, out, 8);
+  std::istringstream lines(out.str());
+  std::string line;
+  std::size_t expect_id = 0;
+  while (std::getline(lines, line)) {
+    const JsonValue doc = JsonValue::parse(line);
+    const JsonValue* id = doc.find("id");
+    ASSERT_NE(id, nullptr) << line;
+    EXPECT_EQ(id->as_number("id"), static_cast<double>(expect_id));
+    EXPECT_NE(doc.find("result"), nullptr) << line;
+    ++expect_id;
+  }
+  EXPECT_EQ(expect_id, 21u);
+}
+
+TEST(ApiBatch, BadLinesFailInBandAndDoNotAbortTheBatch) {
+  const std::string input =
+      "{\"op\": \"sweep\", \"app\": {\"name\": \"lulesh\", \"scale\": "
+      "0.02}, \"grid\": {\"dl_max_us\": 20, \"points\": 3}}\n"
+      "\n"  // blank lines are skipped
+      "this is not json\n"
+      "{\"op\": \"sweep\", \"grid\": {\"points\": 1}}\n"
+      "{\"op\": \"analyze\", \"app\": {\"name\": \"no-such-app\"}}\n"
+      "{\"op\": \"sweep\", \"bogus_field\": 1}\n"
+      "{\"op\": \"place\", \"app\": {\"name\": \"icon\", \"scale\": "
+      "0.02}}\n";
+  api::Engine engine;
+  std::istringstream in(input);
+  std::ostringstream out;
+  const auto outcome = api::serve_jsonl(engine, in, out, 2);
+  EXPECT_EQ(outcome.requests, 6u);
+  EXPECT_EQ(outcome.failures, 4u);
+
+  std::vector<std::string> lines;
+  std::istringstream split(out.str());
+  std::string line;
+  while (std::getline(split, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 6u);
+  EXPECT_NE(lines[0].find("\"result\""), std::string::npos);
+  // Unparseable JSON: error with no op to echo.
+  EXPECT_NE(lines[1].find("\"error\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"kind\": \"usage\""), std::string::npos);
+  EXPECT_EQ(lines[1].find("\"op\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"kind\": \"usage\""), std::string::npos);
+  EXPECT_NE(lines[2].find("points"), std::string::npos);
+  EXPECT_NE(lines[3].find("\"kind\": \"analysis\""), std::string::npos);
+  // A rejected-but-readable request still echoes its op.
+  EXPECT_NE(lines[4].find("\"op\": \"sweep\""), std::string::npos);
+  EXPECT_NE(lines[4].find("bogus_field"), std::string::npos);
+  EXPECT_NE(lines[5].find("\"result\""), std::string::npos);
+}
+
+TEST(ApiBatch, RunBatchSharesTheSessionCache) {
+  api::Engine engine(api::Engine::Options{.threads = 4});
+  std::vector<api::Request> requests;
+  for (int i = 0; i < 6; ++i) {
+    api::SweepRequest req;
+    req.app = small_app("lulesh");
+    req.grid = {20.0, 3};
+    requests.emplace_back(req);
+  }
+  const auto outcomes = engine.run_batch(requests, 4);
+  ASSERT_EQ(outcomes.size(), 6u);
+  for (const auto& o : outcomes) EXPECT_TRUE(o.response.has_value());
+  const auto stats = engine.cache_stats();
+  EXPECT_EQ(stats.built, 1u) << "identical requests must share one graph";
+  EXPECT_EQ(stats.hits, 5u);
+}
+
+TEST(ApiBatch, ConcurrentRunBatchCallsSerializeSafely) {
+  // The engine doc promises concurrent run_batch callers are safe (they
+  // serialize on an internal lock); both batches must complete cleanly.
+  api::Engine engine(api::Engine::Options{.threads = 4});
+  auto batch_of = [](const char* app) {
+    std::vector<api::Request> reqs;
+    for (int i = 0; i < 4; ++i) {
+      api::SweepRequest req;
+      req.app = small_app(app);
+      req.grid = {20.0, 3};
+      reqs.emplace_back(req);
+    }
+    return reqs;
+  };
+  std::vector<api::Engine::Outcome> a, b;
+  std::thread t1([&] { a = engine.run_batch(batch_of("lulesh"), 4); });
+  std::thread t2([&] { b = engine.run_batch(batch_of("hpcg"), 4); });
+  t1.join();
+  t2.join();
+  ASSERT_EQ(a.size(), 4u);
+  ASSERT_EQ(b.size(), 4u);
+  for (const auto& o : a) EXPECT_TRUE(o.response.has_value()) << o.error;
+  for (const auto& o : b) EXPECT_TRUE(o.response.has_value()) << o.error;
+}
+
+// Degenerate-input hygiene of the JSON layer itself.
+TEST(ApiJsonValue, ParserEdgeCases) {
+  EXPECT_THROW((void)JsonValue::parse("{\"a\": 01}"), UsageError);
+  EXPECT_THROW((void)JsonValue::parse("{\"a\": +1}"), UsageError);
+  EXPECT_THROW((void)JsonValue::parse("{\"a\": tru}"), UsageError);
+  EXPECT_THROW((void)JsonValue::parse("{\"a\" 1}"), UsageError);
+  EXPECT_THROW((void)JsonValue::parse("{\"a\": \"x}"), UsageError);
+  EXPECT_THROW((void)JsonValue::parse("[1, 2,]"), UsageError);
+  EXPECT_THROW((void)JsonValue::parse("{\"a\": 1, \"a\": 2}"), UsageError);
+  EXPECT_THROW((void)JsonValue::parse("nullx"), UsageError);
+
+  const JsonValue v = JsonValue::parse(
+      " {\"s\": \"a\\u0041\\n\", \"n\": -1.5e3, \"b\": true, "
+      "\"x\": null, \"arr\": [1, \"two\"]} ");
+  EXPECT_EQ(v.find("s")->as_string("s"), "aA\n");
+  EXPECT_DOUBLE_EQ(v.find("n")->as_number("n"), -1500.0);
+  EXPECT_TRUE(v.find("b")->as_bool("b"));
+  EXPECT_TRUE(v.find("x")->is_null());
+  EXPECT_EQ(v.find("arr")->as_array("arr").size(), 2u);
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(ApiJsonValue, JsonDoubleRoundTrips) {
+  for (const double x : {0.0, 0.25, 0.1, 1e-9, 3.0000000001, 12345.678,
+                         1.7976931348623157e308}) {
+    const std::string s = json_double(x);
+    EXPECT_EQ(std::stod(s), x) << s;
+  }
+  EXPECT_EQ(json_double(0.25), "0.25");
+  EXPECT_EQ(json_double(std::numeric_limits<double>::infinity()), "null");
+}
+
+}  // namespace
+}  // namespace llamp

@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -101,13 +105,65 @@ TEST(CliSmoke, HelpAndUsageErrors) {
   EXPECT_EQ(help.code, 0);
   EXPECT_TRUE(contains(help.out, "usage: llamp"));
 
+  // A bare `llamp` is a question, not a mistake: usage on stdout, exit 0.
   const auto none = run_cli({});
-  EXPECT_EQ(none.code, 2);
-  EXPECT_TRUE(contains(none.err, "usage: llamp"));
+  EXPECT_EQ(none.code, 0);
+  EXPECT_TRUE(contains(none.out, "usage: llamp"));
+  EXPECT_TRUE(none.err.empty());
+
+  // So is `llamp <sub> --help`, even next to flags the subcommand would
+  // otherwise reject.
+  for (const auto& args : std::vector<std::vector<const char*>>{
+           {"sweep", "--help"},
+           {"campaign", "-h"},
+           {"batch", "--help"},
+           {"analyze", "--points=1", "--help"},
+           {"mc", "--no-such-flag=1", "--help"},
+       }) {
+    const auto r = run_cli(args);
+    EXPECT_EQ(r.code, 0) << args[0];
+    EXPECT_TRUE(contains(r.out, "usage: llamp"));
+  }
 
   const auto unknown = run_cli({"frobnicate"});
   EXPECT_EQ(unknown.code, 2);
   EXPECT_TRUE(contains(unknown.err, "unknown subcommand"));
+}
+
+TEST(CliSmoke, VersionFlag) {
+  for (const char* spelling : {"--version", "version"}) {
+    const auto r = run_cli({spelling});
+    EXPECT_EQ(r.code, 0);
+    EXPECT_TRUE(contains(r.out, "llamp 0.5"));
+    EXPECT_TRUE(r.err.empty());
+  }
+}
+
+// --format=json consumers must never have to scrape stderr: errors are
+// additionally emitted as one structured {"error": ...} object on stdout,
+// with exit codes unchanged.
+TEST(CliSmoke, JsonModeEmitsStructuredErrors) {
+  const auto usage = run_cli(
+      {"sweep", "--app=lulesh", "--points=1", "--format=json"});
+  EXPECT_EQ(usage.code, 2);
+  EXPECT_TRUE(contains(usage.out, "\"error\""));
+  EXPECT_TRUE(contains(usage.out, "\"kind\": \"usage\""));
+  EXPECT_TRUE(contains(usage.out, "\"subcommand\": \"sweep\""));
+  EXPECT_TRUE(contains(usage.err, "need --points >= 2"));
+
+  const auto analysis = run_cli(
+      {"analyze", "--app=not-an-app", "--format=json"});
+  EXPECT_EQ(analysis.code, 1);
+  EXPECT_TRUE(contains(analysis.out, "\"kind\": \"analysis\""));
+
+  const auto typo = run_cli({"sweep", "--pionts=5", "--format=json"});
+  EXPECT_EQ(typo.code, 2);
+  EXPECT_TRUE(contains(typo.out, "unrecognized argument"));
+
+  // Without --format=json, stdout stays clean.
+  const auto text = run_cli({"sweep", "--app=lulesh", "--points=1"});
+  EXPECT_EQ(text.code, 2);
+  EXPECT_TRUE(text.out.empty());
 }
 
 // A typo'd option or stray positional must be a usage error (exit 2), not a
@@ -350,6 +406,7 @@ TEST(CliMc, UsageErrors) {
            {"mc", "--app=lulesh", "--samples=-3"},
            {"mc", "--app=lulesh", "--seed=-1"},
            {"mc", "--app=lulesh", "--dist-L=gaussian:1,2"},
+           {"mc", "--app=lulesh", "--dist-L="},
            {"mc", "--app=lulesh", "--dist-L=uniform:5,1"},
            {"mc", "--app=lulesh", "--sigma-L=-0.1"},
            {"mc", "--app=lulesh", "--edge-sigma=-0.5"},
@@ -443,6 +500,85 @@ TEST(CliCampaignStochastic, UsageErrors) {
     EXPECT_EQ(r.code, 2) << r.err;
     EXPECT_FALSE(r.err.empty());
   }
+}
+
+// ---------------------------------------------------------------------------
+// The batch subcommand: JSONL requests in, JSONL results out, input order,
+// byte-deterministic whatever --threads.
+// ---------------------------------------------------------------------------
+
+/// A self-deleting JSONL request file under the test's temp directory.
+struct JsonlFile {
+  std::string path;
+  explicit JsonlFile(const std::string& contents) {
+    path = testing::TempDir() + "llamp_batch_test_" +
+           std::to_string(::getpid()) + "_" +
+           std::to_string(counter()++) + ".jsonl";
+    std::ofstream f(path);
+    f << contents;
+  }
+  ~JsonlFile() { std::remove(path.c_str()); }
+  static int& counter() {
+    static int n = 0;
+    return n;
+  }
+};
+
+const char* kMixedBatch =
+    "{\"op\": \"sweep\", \"app\": {\"name\": \"lulesh\", \"scale\": 0.02}, "
+    "\"grid\": {\"dl_max_us\": 20, \"points\": 3}}\n"
+    "{\"op\": \"analyze\", \"app\": {\"name\": \"hpcg\", \"scale\": 0.02}, "
+    "\"grid\": {\"dl_max_us\": 20, \"points\": 3}}\n"
+    "{\"op\": \"mc\", \"app\": {\"name\": \"lulesh\", \"scale\": 0.02}, "
+    "\"grid\": {\"dl_max_us\": 20, \"points\": 3}, \"samples\": 4, "
+    "\"sigma_L\": 0.05, \"seed\": 7}\n"
+    "{\"op\": \"campaign\", \"apps\": [\"lulesh\", \"hpcg\"], \"scales\": "
+    "[0.02], \"grid\": {\"dl_max_us\": 20, \"points\": 3}}\n"
+    "{\"op\": \"topo\", \"app\": {\"name\": \"icon\", \"scale\": 0.02}}\n"
+    "{\"op\": \"place\", \"app\": {\"name\": \"icon\", \"scale\": 0.02}}\n";
+
+TEST(CliBatch, ExecutesJsonlAndIsThreadCountInvariant) {
+  const JsonlFile file(kMixedBatch);
+  auto run_with = [&](const char* threads) {
+    return run_cli({"batch", "--file", file.path.c_str(), threads});
+  };
+  const auto serial = run_with("--threads=1");
+  const auto parallel = run_with("--threads=8");
+  ASSERT_EQ(serial.code, 0) << serial.err;
+  ASSERT_EQ(parallel.code, 0) << parallel.err;
+  EXPECT_FALSE(serial.out.empty());
+  EXPECT_EQ(serial.out, parallel.out);
+  // One result line per request, ids in input order.
+  EXPECT_EQ(std::count(serial.out.begin(), serial.out.end(), '\n'), 6);
+  EXPECT_TRUE(contains(serial.out, "{\"id\": 0, \"op\": \"sweep\""));
+  EXPECT_TRUE(contains(serial.out, "{\"id\": 5, \"op\": \"place\""));
+}
+
+TEST(CliBatch, FailedLinesAreInBandAndExitCodeFlagsThem) {
+  const JsonlFile file(
+      "{\"op\": \"sweep\", \"app\": {\"name\": \"lulesh\", \"scale\": "
+      "0.02}, \"grid\": {\"dl_max_us\": 20, \"points\": 3}}\n"
+      "{\"op\": \"sweep\", \"grid\": {\"points\": 1}}\n");
+  const auto r = run_cli({"batch", "--file", file.path.c_str()});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_TRUE(contains(r.out, "\"result\""));
+  EXPECT_TRUE(contains(r.out, "\"error\""));
+  EXPECT_TRUE(contains(r.out, "need --points >= 2"));
+}
+
+TEST(CliBatch, UsageErrors) {
+  const auto missing = run_cli({"batch", "--file=/no/such/file.jsonl"});
+  EXPECT_EQ(missing.code, 2);
+  EXPECT_TRUE(contains(missing.err, "cannot open"));
+
+  const JsonlFile file("");
+  const auto stray = run_cli({"batch", "--file", file.path.c_str(),
+                              "--format=json"});
+  EXPECT_EQ(stray.code, 2);  // batch output is always JSONL; no --format
+
+  const auto empty = run_cli({"batch", "--file", file.path.c_str()});
+  EXPECT_EQ(empty.code, 0);
+  EXPECT_TRUE(empty.out.empty());
 }
 
 TEST(CliSmoke, AnalysisErrorsReportAndFail) {

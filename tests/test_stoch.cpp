@@ -47,6 +47,23 @@ TEST(StochDistribution, ParseRoundTrips) {
   }
 }
 
+// The spec string is echoed into JSONL results and re-parseable as a
+// request field, so to_string must reproduce the parameters *bitwise*
+// however many digits they carry (%g-style truncation would silently
+// change the distribution on the round trip).
+TEST(StochDistribution, ToStringIsExactForAwkwardParameters) {
+  const auto d = stoch::Distribution::normal(3000.123456789012, 0.1);
+  const auto back = stoch::parse_distribution(d.to_string());
+  EXPECT_EQ(back.a, d.a);
+  EXPECT_EQ(back.b, d.b);
+
+  const auto rel = stoch::Distribution::rel_normal(1.0 / 3.0);
+  EXPECT_EQ(stoch::parse_distribution(rel.to_string()).a, rel.a);
+  // Short spellings stay short.
+  EXPECT_EQ(stoch::Distribution::rel_normal(0.05).to_string(),
+            "relnormal:0.05");
+}
+
 TEST(StochDistribution, ParseRejectsGarbage) {
   for (const char* spec :
        {"", "gaussian:1,2", "normal:1", "normal:1,2,3", "const:",
