@@ -92,7 +92,9 @@ int main(int argc, char** argv) {
     const double ms =
         std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
     std::size_t failures = 0;
-    for (const auto& o : outcomes) failures += o.response ? 0 : 1;
+    for (const auto& o : outcomes) {
+      if (!o.response) ++failures;
+    }
     if (failures != 0) {
       std::fprintf(stderr, "bench_api_batch: %zu failed requests\n",
                    failures);

@@ -40,25 +40,26 @@ void adi_iteration(trace::TraceBuilder& tb, const Grid<2>& grid, int nranks,
                    std::uint64_t line_bytes, TimeNs cell_ns, double jitter,
                    std::uint64_t seed, int it) {
   for (int dim = 0; dim < 2; ++dim) {
+    const std::size_t d = static_cast<std::size_t>(dim);
     // Forward sweep.
     for (int r = 0; r < nranks; ++r) {
-      if (grid.has_neighbor(r, dim, -1)) {
-        tb.recv(r, grid.neighbor(r, dim, -1), line_bytes, 10 + dim);
+      if (grid.has_neighbor(r, d, -1)) {
+        tb.recv(r, grid.neighbor(r, d, -1), line_bytes, 10 + dim);
       }
       tb.compute(r, jittered_compute(cell_ns, jitter, seed, r, it * 8 + dim));
-      if (grid.has_neighbor(r, dim, +1)) {
-        tb.send(r, grid.neighbor(r, dim, +1), line_bytes, 10 + dim);
+      if (grid.has_neighbor(r, d, +1)) {
+        tb.send(r, grid.neighbor(r, d, +1), line_bytes, 10 + dim);
       }
     }
     // Backward substitution.
     for (int r = 0; r < nranks; ++r) {
-      if (grid.has_neighbor(r, dim, +1)) {
-        tb.recv(r, grid.neighbor(r, dim, +1), line_bytes, 20 + dim);
+      if (grid.has_neighbor(r, d, +1)) {
+        tb.recv(r, grid.neighbor(r, d, +1), line_bytes, 20 + dim);
       }
       tb.compute(r,
                  jittered_compute(cell_ns * 0.6, jitter, seed, r, it * 8 + 4 + dim));
-      if (grid.has_neighbor(r, dim, -1)) {
-        tb.send(r, grid.neighbor(r, dim, -1), line_bytes, 20 + dim);
+      if (grid.has_neighbor(r, d, -1)) {
+        tb.send(r, grid.neighbor(r, d, -1), line_bytes, 20 + dim);
       }
     }
   }

@@ -26,12 +26,11 @@ std::shared_ptr<GraphCache::Slot> GraphCache::slot_for(const GraphKey& key) {
 const graph::Graph& GraphCache::build_in(Slot& slot, const GraphKey& key) {
   // Per-key lock: concurrent first touches of one key build it once;
   // builds of distinct keys proceed in parallel (the map mutex is never
-  // held across a build).
+  // held across a build, and the atomic tallies never re-enter it).
   const std::lock_guard<std::mutex> lock(slot.build_mutex);
   if (!slot.graph) {
     slot.graph = build(key);
-    const std::lock_guard<std::mutex> stats_lock(mutex_);
-    ++stats_.built;
+    built_.fetch_add(1, std::memory_order_relaxed);
   }
   return *slot.graph;
 }
@@ -40,13 +39,11 @@ const graph::Graph& GraphCache::get(const GraphKey& key) {
   const std::shared_ptr<Slot> slot = slot_for(key);
   const std::lock_guard<std::mutex> lock(slot->build_mutex);
   if (slot->graph) {
-    const std::lock_guard<std::mutex> stats_lock(mutex_);
-    ++stats_.hits;
+    hits_.fetch_add(1, std::memory_order_relaxed);
     return *slot->graph;
   }
   slot->graph = build(key);
-  const std::lock_guard<std::mutex> stats_lock(mutex_);
-  ++stats_.built;
+  built_.fetch_add(1, std::memory_order_relaxed);
   return *slot->graph;
 }
 
@@ -64,8 +61,8 @@ void GraphCache::warm(const std::vector<GraphKey>& keys, int threads) {
 }
 
 GraphCache::Stats GraphCache::stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  return {built_.load(std::memory_order_relaxed),
+          hits_.load(std::memory_order_relaxed)};
 }
 
 }  // namespace llamp::core

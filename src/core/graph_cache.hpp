@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -62,7 +63,12 @@ class GraphCache {
     std::size_t hits = 0;   ///< get() calls served already-built graphs
   };
   /// Cumulative statistics; the repeated-request engine tests pin that a
-  /// second identical request re-lowers nothing.
+  /// second identical request re-lowers nothing.  The counters are plain
+  /// monotonic tallies kept as atomics (bumping them used to re-take the
+  /// map mutex inside the per-key build lock — benign-looking, but a lock
+  /// the hot hit path does not need and a pattern TSan-grade review
+  /// rejects); a stats() snapshot is therefore monotonic but not an
+  /// instantaneous cut across both counters.
   Stats stats() const;
 
  private:
@@ -78,9 +84,10 @@ class GraphCache {
   const graph::Graph& build_in(Slot& slot, const GraphKey& key);
   static std::unique_ptr<graph::Graph> build(const GraphKey& key);
 
-  mutable std::mutex mutex_;
+  std::mutex mutex_;  ///< guards graphs_ only
   std::map<GraphKey, std::shared_ptr<Slot>> graphs_;
-  Stats stats_;
+  std::atomic<std::size_t> built_{0};
+  std::atomic<std::size_t> hits_{0};
 };
 
 }  // namespace llamp::core

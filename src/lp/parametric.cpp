@@ -213,6 +213,7 @@ void ParametricSolver::prepare(Workspace& ws) const {
   if (ws.cands_.capacity() < max_in_degree_) ws.cands_.reserve(max_in_degree_);
 }
 
+// llamp-lint: hot-path begin
 template <typename EdgeAt>
 void ParametricSolver::forward_pass(int active, double value, Workspace& ws,
                                     const EdgeAt& edge_at) const {
@@ -253,12 +254,17 @@ void ParametricSolver::forward_pass(int active, double value, Workspace& ws,
       continue;
     }
     cands.clear();
+    // llamp-lint: allow(hot-alloc): within the capacity prepare() reserved
+    // (max_in_degree_); zero steady-state allocation is pinned by
+    // test_alloc_free's counting operator new.
     cands.emplace_back(best_val, best_slope);
     for (std::uint32_t j = jlo + 1; j < jhi; ++j) {
       const auto [c, s] = edge_at(j, in_edge_[j]);
       const std::uint32_t u = in_other_[j];
       const double cv = finish[u] + c;
       const double cs = slope[u] + s;
+      // llamp-lint: allow(hot-alloc): same reserved-capacity argument as
+      // the first candidate above.
       cands.emplace_back(cv, cs);
       const double be = value_eps(best_val);
       if (cv > best_val + be || (cv > best_val - be && cs > best_slope)) {
@@ -321,6 +327,8 @@ void ParametricSolver::forward_pass(int active, double value, Workspace& ws,
           term_coeff_[i];
     }
     if (g_.edge(e).kind == graph::EdgeKind::kComm) ++sol.messages;
+    // llamp-lint: allow(hot-alloc): chain_ was reserved to num_vertices in
+    // prepare(), the longest possible argmax chain.
     ws.chain_.push_back(e);
     pos = topo_pos_[g_.edge(e).from];
   }
@@ -375,6 +383,7 @@ double ParametricSolver::replay(int active, double x, Workspace& ws) const {
   }
   return acc;
 }
+// llamp-lint: hot-path end
 
 const ParametricSolver::Solution& ParametricSolver::solve(int active,
                                                           double value,
@@ -394,6 +403,7 @@ ParametricSolver::Solution ParametricSolver::solve() const {
   return solve(0, base_.empty() ? 0.0 : base_[0]);
 }
 
+// llamp-lint: hot-path begin
 void ParametricSolver::sweep(int k, std::span<const double> xs, Workspace& ws,
                              SweepEval* out, SweepStats* stats) const {
   if (k < 0 || k >= num_params_) {
@@ -425,6 +435,7 @@ void ParametricSolver::sweep(int k, std::span<const double> xs, Workspace& ws,
   }
   if (stats) *stats = local;
 }
+// llamp-lint: hot-path end
 
 std::vector<ParametricSolver::SweepEval> ParametricSolver::sweep(
     int k, std::span<const double> xs) const {

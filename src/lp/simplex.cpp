@@ -47,10 +47,13 @@ struct Tableau {
   // Basis.
   std::vector<int> basic_of_row;    // column basic in each row
   std::vector<double> binv;         // m*m row-major
-  double& Binv(int i, int k) { return binv[static_cast<std::size_t>(i) *
-                                           static_cast<std::size_t>(m) + k]; }
+  double& Binv(int i, int k) {
+    return binv[static_cast<std::size_t>(i) * static_cast<std::size_t>(m) +
+                static_cast<std::size_t>(k)];
+  }
   double BinvC(int i, int k) const {
-    return binv[static_cast<std::size_t>(i) * static_cast<std::size_t>(m) + k];
+    return binv[static_cast<std::size_t>(i) * static_cast<std::size_t>(m) +
+                static_cast<std::size_t>(k)];
   }
 };
 

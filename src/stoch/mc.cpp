@@ -160,6 +160,10 @@ McResult run_mc(const graph::Graph& g, const loggops::Params& base,
         solver = &*local;
       }
 
+      // llamp-lint: hot-path begin
+      // Steady state: every per-sample evaluation below runs against
+      // preallocated per-worker scratch; only the perturbed-space setup
+      // above (the general path) may allocate.
       for (std::size_t k = 0; k < npts; ++k) {
         sc.xs[k] = p.L + spec.delta_Ls[k];
       }
@@ -185,6 +189,7 @@ McResult run_mc(const graph::Graph& g, const loggops::Params& base,
             solver->max_param_for_budget_from(0, sc.xs[0], budget, sc.ws);
         out[npts + 2 + b] = std::isfinite(tol) ? tol - sc.xs[0] : tol;
       }
+      // llamp-lint: hot-path end
     });
 
     // Ordered reduction: ascending sample index, metric-major within a

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace llamp::lint {
+
+/// One diagnostic, rendered as `file:line: [rule] message`.  Findings are
+/// value types so the self-test suite can pin them structurally as well as
+/// byte-wise.
+struct Finding {
+  std::string file;  ///< root-relative path, forward slashes
+  int line = 0;      ///< 1-based
+  std::string rule;
+  std::string message;
+
+  friend bool operator==(const Finding&, const Finding&) = default;
+};
+
+/// Catalogue entry for `--list-rules` and DESIGN.md §6.
+struct RuleInfo {
+  const char* id;
+  const char* summary;
+};
+
+/// Every rule the checker knows, in reporting order.
+const std::vector<RuleInfo>& rule_catalogue();
+
+/// Lint one file.  `relpath` (root-relative, forward slashes) selects the
+/// file-scoped rules: headers vs sources, src/tools/ exemptions, emitter /
+/// hot-path designations.  Pure function of (relpath, content).
+std::vector<Finding> lint_file(const std::string& relpath,
+                               const std::string& content);
+
+/// Walk `root`/src for *.hpp / *.cpp in sorted path order and lint each.
+/// Returns findings sorted by (file, line, rule, message).  Throws
+/// std::runtime_error if `root`/src does not exist or a file fails to read.
+std::vector<Finding> lint_tree(const std::string& root);
+
+/// `file:line: [rule] message\n` per finding, in the given order.
+std::string format_findings(const std::vector<Finding>& findings);
+
+/// Sort into the canonical reporting order.
+void sort_findings(std::vector<Finding>& findings);
+
+/// The llamp-lint CLI: `llamp-lint [--root=DIR] [--list-rules] [file...]`.
+/// Exit 0 clean, 1 findings, 2 usage/IO error.  Split from main() so the
+/// test suite can drive it.
+int run_cli(int argc, const char* const* argv, std::string& out,
+            std::string& err);
+
+}  // namespace llamp::lint

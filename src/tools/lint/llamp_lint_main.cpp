@@ -1,0 +1,12 @@
+#include <cstdio>
+
+#include "tools/lint/lint.hpp"
+
+int main(int argc, char** argv) {
+  std::string out;
+  std::string err;
+  const int rc = llamp::lint::run_cli(argc, argv, out, err);
+  if (!out.empty()) std::fwrite(out.data(), 1, out.size(), stdout);
+  if (!err.empty()) std::fwrite(err.data(), 1, err.size(), stderr);
+  return rc;
+}

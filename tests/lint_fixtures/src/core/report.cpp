@@ -1,0 +1,13 @@
+// Fixture: unordered containers in an emitter file (det-unordered).
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+std::string emit(const std::unordered_map<int, std::string>& cells) {
+  std::string out;
+  for (const auto& [k, v] : cells) out += v;  // hash-order bytes!
+  return out;
+}
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+#pragma once
+
+// Fixture (all-negative): a fully conforming header.  Tricky tokens live
+// only where the stripper must hide them: R"(rand srand std::cout)" raw
+// strings, 'r' char literals, /* std::chrono::steady_clock::now() */.
+#include <string>
+
+namespace fixture {
+
+inline std::string renown(bool operand) {
+  // "renown" and "operand" contain banned words as substrings; identifier
+  // boundaries must keep them invisible.
+  const char* raw = R"delim(srand(time(nullptr)) std::cerr)delim";
+  return operand ? std::string(raw) : std::string(1, 'r');
+}
+
+}  // namespace fixture

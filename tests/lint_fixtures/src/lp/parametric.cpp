@@ -1,0 +1,33 @@
+// Fixture: hot-path allocation bans and the allow() mechanics, in a
+// designated hot-path file.
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+struct Workspace {
+  std::vector<double> buf;
+};
+
+// llamp-lint: hot-path begin
+double steady_state(Workspace& ws, int n) {
+  auto* leak = new double[4];  // seeded: raw allocation
+  std::string label = "solve";  // seeded: string construction
+  ws.buf.push_back(1.0);  // seeded: unsuppressed growth call
+  // llamp-lint: allow(hot-alloc): capacity reserved by the caller; this
+  // suppression is valid and must eat exactly one finding.
+  ws.buf.push_back(2.0);
+  // llamp-lint: allow(hot-alloc)
+  ws.buf.push_back(3.0);  // reasonless allow suppresses nothing
+  // llamp-lint: allow(hot-alloc): stale — the next line does not allocate.
+  label.clear();
+  delete[] leak;
+  return static_cast<double>(n) + ws.buf.back();
+}
+// llamp-lint: hot-path end
+
+// Outside the region the same calls are fine.
+void setup(Workspace& ws, int n) { ws.buf.resize(static_cast<size_t>(n)); }
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Fixture: a designated hot-path file whose region markers were deleted,
+// plus a stray end marker.
+
+namespace fixture {
+
+double sample(int i) { return static_cast<double>(i); }
+
+// llamp-lint: hot-path end
+
+}  // namespace fixture

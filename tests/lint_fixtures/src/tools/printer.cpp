@@ -1,0 +1,13 @@
+// Fixture (all-negative): src/tools/ may print, and unordered containers
+// are fine outside emitter files.
+#include <iostream>
+#include <unordered_map>
+
+namespace fixture {
+
+void print(const std::unordered_map<int, int>& m) {
+  std::cout << m.size() << "\n";
+  std::cerr << "done\n";
+}
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Fixture: the *_io.cpp naming convention also classifies as emitter.
+#include <unordered_set>
+
+namespace fixture {
+
+int count(const std::unordered_set<int>& s) {
+  return static_cast<int>(s.size());
+}
+
+}  // namespace fixture

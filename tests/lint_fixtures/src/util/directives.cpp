@@ -1,0 +1,15 @@
+// Fixture: directive hygiene — typos and unknown rules must surface, not
+// silently do nothing.
+
+namespace fixture {
+
+// llamp-lint: allow(no-such-rule): suppress something that cannot exist
+inline int a() { return 1; }
+
+// llamp-lint: allow(hot-alloc missing close paren
+inline int b() { return 2; }
+
+// llamp-lint: hot-pathbegin
+inline int c() { return 3; }
+
+}  // namespace fixture

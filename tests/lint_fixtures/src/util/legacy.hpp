@@ -1,0 +1,14 @@
+#include <random>
+
+#pragma once
+
+using namespace std;
+
+namespace fixture {
+
+inline unsigned seed_me() {
+  random_device rd;
+  return rd();
+}
+
+}  // namespace fixture

@@ -1,0 +1,26 @@
+// Fixture: wall clocks, C randomness, and iostream in library code.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <iostream>
+
+namespace fixture {
+
+double jitter() {
+  std::srand(static_cast<unsigned>(std::time(nullptr)));
+  return static_cast<double>(std::rand()) / RAND_MAX;
+}
+
+long stamp() {
+  const auto t = std::chrono::steady_clock::now();
+  return t.time_since_epoch().count();
+}
+
+void report(double v) { std::cout << "jitter: " << v << "\n"; }
+
+// Negative cases: banned words in comments (rand, srand, std::cout) and in
+// string literals are invisible to the token scanner.
+inline const char* doc() { return "uses rand() and std::cout internally"; }
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Fixture: region-marker edge cases — nesting and an unterminated region.
+
+namespace fixture {
+
+// llamp-lint: hot-path begin
+// llamp-lint: hot-path begin
+inline int twice(int v) { return 2 * v; }
+// llamp-lint: hot-path end
+
+// llamp-lint: hot-path begin
+inline int thrice(int v) { return 3 * v; }
+
+}  // namespace fixture

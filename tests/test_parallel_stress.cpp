@@ -1,0 +1,155 @@
+// Concurrency stress for the two long-lived shared structures behind the
+// api::Engine: util/parallel::ThreadPool (persistent workers reused across
+// jobs) and core::GraphCache (build-once graphs behind per-key locks).
+// These suites are the primary target of the ThreadSanitizer CI job — they
+// are written to maximize contention, not coverage: many tiny jobs, many
+// threads racing one key, exceptions thrown mid-job.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <set>
+#include <vector>
+
+#include "core/graph_cache.hpp"
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+
+namespace llamp {
+namespace {
+
+constexpr std::uint64_t kS = 256 * 1024;  // the default rendezvous threshold
+
+// ---------------------------------------------------------------------------
+// ThreadPool under reuse pressure.
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolStress, ManyTinyJobsBackToBack) {
+  // Hundreds of small jobs on one pool: every submission re-publishes job_
+  // and re-arms the generation/remaining handshake, which is where a
+  // missed-wakeup or torn-read bug would live.
+  ThreadPool pool(8);
+  for (int round = 0; round < 400; ++round) {
+    std::atomic<long long> sum{0};
+    const std::size_t n = 1 + static_cast<std::size_t>(round % 37);
+    pool.for_workers(n, 0, [&](int, std::size_t i) {
+      sum.fetch_add(static_cast<long long>(i) + 1, std::memory_order_relaxed);
+    });
+    const long long nn = static_cast<long long>(n);
+    ASSERT_EQ(sum.load(), nn * (nn + 1) / 2) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolStress, ExceptionStormLeavesPoolServiceable) {
+  // Alternate failing and clean jobs; a failed job must drain fully (no
+  // worker left running into the next job's state) and rethrow exactly one
+  // exception on the caller.
+  ThreadPool pool(4);
+  for (int round = 0; round < 100; ++round) {
+    std::atomic<int> ran{0};
+    try {
+      pool.for_workers(64, 0, [&](int, std::size_t i) {
+        ran.fetch_add(1, std::memory_order_relaxed);
+        if (round % 2 == 0 && i % 19 == 3) throw Error("storm");
+      });
+      EXPECT_EQ(round % 2, 1) << "even rounds must throw";
+      EXPECT_EQ(ran.load(), 64);
+    } catch (const Error&) {
+      EXPECT_EQ(round % 2, 0) << "odd rounds must not throw";
+    }
+  }
+  std::atomic<int> count{0};
+  pool.for_workers(32, 0, [&](int, std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPoolStress, WorkerScratchStaysPerWorker) {
+  // Per-worker accumulators indexed by the worker id: if two threads ever
+  // shared a worker index concurrently, TSan would flag the unsynchronized
+  // writes and the totals would drift.
+  ThreadPool pool(6);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<long long> per_worker(static_cast<std::size_t>(pool.size()),
+                                      0);
+    pool.for_workers(257, 0, [&](int w, std::size_t i) {
+      per_worker[static_cast<std::size_t>(w)] +=
+          static_cast<long long>(i) + 1;
+    });
+    long long total = 0;
+    for (const long long v : per_worker) total += v;
+    ASSERT_EQ(total, 257LL * 258 / 2);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GraphCache: racing first touches of one key, and mixed warm/get traffic.
+// ---------------------------------------------------------------------------
+
+core::GraphKey small_key(double scale) {
+  return core::GraphKey{"lulesh", 8, scale, kS};
+}
+
+TEST(GraphCacheStress, ConcurrentSameKeyBuildsExactlyOnce) {
+  core::GraphCache cache;
+  constexpr std::size_t kCallers = 16;
+  std::vector<const graph::Graph*> got(kCallers, nullptr);
+  parallel_for(kCallers, static_cast<int>(kCallers), [&](std::size_t i) {
+    got[i] = &cache.get(small_key(0.02));
+  });
+  for (const graph::Graph* g : got) EXPECT_EQ(g, got[0]);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.built, 1u);
+  EXPECT_EQ(stats.hits, kCallers - 1);
+}
+
+TEST(GraphCacheStress, DistinctKeysBuildInParallelThenHit) {
+  core::GraphCache cache;
+  const std::vector<core::GraphKey> keys = {
+      small_key(0.02), small_key(0.03), {"hpcg", 8, 0.02, kS},
+      {"milc", 8, 0.02, kS}};
+  cache.warm(keys, 8);
+  EXPECT_EQ(cache.stats().built, keys.size());
+  EXPECT_EQ(cache.stats().hits, 0u) << "warm() must not count hits";
+
+  // Every post-warm get, from any thread, is a pure lookup.
+  constexpr std::size_t kLookups = 64;
+  std::vector<const graph::Graph*> got(kLookups, nullptr);
+  parallel_for(kLookups, 8, [&](std::size_t i) {
+    got[i] = &cache.get(keys[i % keys.size()]);
+  });
+  EXPECT_EQ(cache.stats().built, keys.size());
+  EXPECT_EQ(cache.stats().hits, kLookups);
+  std::set<const graph::Graph*> distinct(got.begin(), got.end());
+  EXPECT_EQ(distinct.size(), keys.size());
+}
+
+TEST(GraphCacheStress, HammerMixedColdAndWarmKeys) {
+  // Threads race gets across a small key set while some keys are still
+  // cold, exercising slot creation (map mutex), first-touch builds (slot
+  // mutex), and hit counting all at once.  ThreadPool drives it so the
+  // pool and the cache are stressed together, engine-style.
+  core::GraphCache cache;
+  const std::vector<core::GraphKey> keys = {small_key(0.02), small_key(0.025),
+                                            small_key(0.03)};
+  ThreadPool pool(8);
+  std::vector<const graph::Graph*> by_key(keys.size(), nullptr);
+  for (int round = 0; round < 6; ++round) {
+    pool.for_workers(48, 0, [&](int, std::size_t i) {
+      const std::size_t k = i % keys.size();
+      const graph::Graph& g = cache.get(keys[k]);
+      ASSERT_GT(g.num_vertices(), 0u);
+    });
+  }
+  for (std::size_t k = 0; k < keys.size(); ++k) {
+    by_key[k] = &cache.get(keys[k]);
+  }
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.built, keys.size());
+  EXPECT_EQ(stats.hits, 6u * 48u + keys.size() - stats.built);
+  EXPECT_EQ(std::set<const graph::Graph*>(by_key.begin(), by_key.end()).size(),
+            keys.size());
+}
+
+}  // namespace
+}  // namespace llamp
