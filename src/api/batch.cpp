@@ -34,7 +34,13 @@ BatchOutcome serve_jsonl(Engine& engine, std::istream& in, std::ostream& out,
   std::vector<std::string> parse_errors;  // aligned; empty = parsed
   std::vector<std::string> parse_error_ops;  // best-effort op of bad lines
   std::string line;
+  std::size_t lineno = 0;  // physical 1-based input line
   while (std::getline(in, line)) {
+    ++lineno;
+    // CRLF input (a Windows-written request file) parses like LF input:
+    // getline leaves the '\r' on the line, which would otherwise reach the
+    // JSON parser as a trailing byte of every request.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
     if (trim(line).empty()) continue;
     try {
       requests.push_back(parse_request(line));
@@ -42,7 +48,10 @@ BatchOutcome serve_jsonl(Engine& engine, std::istream& in, std::ostream& out,
       parse_error_ops.emplace_back();
     } catch (const Error& e) {
       requests.emplace_back();  // placeholder; never executed
-      parse_errors.emplace_back(e.what());
+      // Name the physical input line (blank lines shift it off the id) so
+      // the producer of a bad request file can find the offending line.
+      parse_errors.push_back(
+          strformat("input line %zu: %s", lineno, e.what()));
       // A rejected request (unknown field, bad type) often still names its
       // op; echo it so consumers keying on .op see it on failures too.
       // Only a line that is not valid JSON at all loses the field.

@@ -9,9 +9,14 @@ namespace llamp::api {
 
 /// JSONL batch serving: the first serving-shaped consumer of the engine.
 ///
-/// Protocol: one request object per input line (blank lines are skipped);
-/// one response object per request on the output, **in input order**
-/// whatever the thread count:
+/// Protocol: one request object per input line; one response object per
+/// request on the output, **in input order** whatever the thread count.
+/// Input framing is forgiving where it is unambiguous: CRLF line endings
+/// are accepted (the '\r' is stripped), blank and whitespace-only lines
+/// are skipped, and a missing trailing newline on the last request is
+/// fine.  Lines that fail to parse are rejected in-band with the physical
+/// 1-based input line number in the error message ("input line N: ..."),
+/// since skipped blanks shift ids off line numbers:
 ///
 ///   {"id": 3, "op": "sweep", "result": {...}}
 ///   {"id": 4, "op": "mc", "error": {"kind": "usage", "message": "..."}}

@@ -313,8 +313,12 @@ ResolvedApp Engine::resolve(const AppSpec& spec) const {
   return r;
 }
 
+core::GraphKey Engine::key_for(const ResolvedApp& app) {
+  return {app.app, app.ranks, app.scale, app.params.S};
+}
+
 const graph::Graph& Engine::graph_for(const ResolvedApp& app) {
-  return cache_.get({app.app, app.ranks, app.scale, app.params.S});
+  return cache_.get(key_for(app));
 }
 
 AnalyzeResult Engine::analyze(const AnalyzeRequest& req) {
@@ -329,7 +333,10 @@ AnalyzeResult Engine::analyze(const AnalyzeRequest& req) {
   AnalyzeResult res;
   res.app = app;
   res.graph_stats = g.stats_string();
-  res.report = core::make_report(g, app.params, opts);
+  // Warm-starting analyzer: lowering and anchors come from the session
+  // solver cache.  Bytes are identical to a cold analysis by contract.
+  const core::LatencyAnalyzer an(g, app.params, solver_cache_, key_for(app));
+  res.report = core::make_report(an, opts);
   return res;
 }
 
@@ -337,7 +344,7 @@ SweepResult Engine::sweep(const SweepRequest& req) {
   const ResolvedApp app = resolve(req.app);
   const auto grid = core::linear_grid(us(req.grid.dl_max_us), req.grid.points);
   const graph::Graph& g = graph_for(app);
-  const core::LatencyAnalyzer an(g, app.params);
+  const core::LatencyAnalyzer an(g, app.params, solver_cache_, key_for(app));
   SweepResult res;
   res.app = app;
   res.base_runtime = an.base_runtime();
@@ -379,7 +386,16 @@ McResult Engine::mc(const McRequest& req) {
   McResult res;
   res.app = app;
   res.spec = spec;
-  res.result = stoch::run_mc(g, app.params, spec);
+  // When the run's shared-solver fast path engages (only L sampled), its
+  // operating point is known up front — lower it through the session
+  // solver cache so repeated mc requests (and analyze/sweep of the same
+  // scenario when the point coincides) share one problem.  run_mc
+  // re-verifies the handle; the result bytes cannot depend on it.
+  std::shared_ptr<const lp::LoweredProblem> lowered;
+  if (const auto sp = stoch::shared_operating_point(spec, app.params)) {
+    lowered = solver_cache_.latency(key_for(app), g, *sp)->problem();
+  }
+  res.result = stoch::run_mc(g, app.params, spec, std::move(lowered));
   return res;
 }
 
@@ -522,7 +538,7 @@ CampaignResult Engine::campaign(const CampaignRequest& req) {
 
   core::Campaign campaign(spec);
   CampaignResult res;
-  res.results = campaign.run(probe, cache_);
+  res.results = campaign.run(probe, cache_, solver_cache_);
   res.scenarios = campaign.stats().scenarios_run;
   res.delta_points = spec.delta_Ls.size();
   res.distinct_graphs = campaign.stats().graphs_built;

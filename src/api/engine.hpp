@@ -12,6 +12,7 @@
 #include "core/campaign.hpp"
 #include "core/graph_cache.hpp"
 #include "core/report.hpp"
+#include "core/solver_cache.hpp"
 #include "loggops/params.hpp"
 #include "lp/parametric.hpp"
 #include "stoch/mc.hpp"
@@ -176,6 +177,14 @@ class Engine {
 
   /// Cumulative graph-cache statistics of this session.
   core::GraphCache::Stats cache_stats() const { return cache_.stats(); }
+  /// Cumulative solver-cache statistics (lowerings + anchor replays).
+  core::SolverCache::Stats solver_cache_stats() const {
+    return solver_cache_.stats();
+  }
+  /// One-line human form of solver_cache_stats().
+  std::string solver_cache_stats_string() const {
+    return solver_cache_.stats_string();
+  }
 
   ThreadPool& pool() { return pool_; }
 
@@ -183,11 +192,16 @@ class Engine {
   /// Clamp/validate an AppSpec into a concrete scenario (the shared
   /// "common options" block of every single-scenario subcommand).
   ResolvedApp resolve(const AppSpec& spec) const;
+  static core::GraphKey key_for(const ResolvedApp& app);
   const graph::Graph& graph_for(const ResolvedApp& app);
   Response run_on(int worker, const Request& req);
   TopoResult topo_on(int worker, const TopoRequest& req);
 
   core::GraphCache cache_;
+  /// Lowered solvers + anchor state, keyed (graph key, space fingerprint)
+  /// beside the graph cache.  Declared after cache_ (and therefore
+  /// destroyed first): entries reference session graphs.
+  core::SolverCache solver_cache_;
   ThreadPool pool_;
   std::vector<lp::ParametricSolver::Workspace> workspaces_;
   /// Serializes run_batch callers: the pool runs one job at a time, and

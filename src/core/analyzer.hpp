@@ -3,6 +3,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/solver_cache.hpp"
 #include "graph/graph.hpp"
 #include "loggops/params.hpp"
 #include "lp/param_space.hpp"
@@ -19,8 +20,20 @@ namespace llamp::core {
 class LatencyAnalyzer {
  public:
   LatencyAnalyzer(const graph::Graph& g, loggops::Params p);
+  /// Warm-starting form (the api::Engine path): the latency lowering is
+  /// fetched from `cache` under (key, p) instead of being rebuilt, and the
+  /// point evaluations (base runtime, forecasts, sweeps) are served through
+  /// the entry's anchor store, so repeated and nearby requests replay
+  /// instead of re-solving.  `g` MUST be the graph cached under `key`, and
+  /// `cache` must outlive the analyzer.  Every number produced is bitwise
+  /// identical to the cold constructor's — the cache can never change
+  /// bytes, only time.
+  LatencyAnalyzer(const graph::Graph& g, loggops::Params p,
+                  SolverCache& cache, const GraphKey& key);
   /// The analyzer keeps a reference; a temporary graph would dangle.
   LatencyAnalyzer(graph::Graph&&, loggops::Params) = delete;
+  LatencyAnalyzer(graph::Graph&&, loggops::Params, SolverCache&,
+                  const GraphKey&) = delete;
 
   const loggops::Params& params() const { return params_; }
 
@@ -86,7 +99,14 @@ class LatencyAnalyzer {
  private:
   const graph::Graph& g_;
   loggops::Params params_;
-  std::shared_ptr<const lp::LatencyParamSpace> space_;
+  /// Engaged by the warm constructor: the session cache serving this
+  /// analyzer's point evaluations, and the entry holding the shared
+  /// lowering + anchors.  Declared before space_/solver_ — the warm
+  /// constructor initializes those from warm_.
+  SolverCache* cache_ = nullptr;
+  GraphKey key_;
+  std::shared_ptr<SolverCache::Entry> warm_;
+  std::shared_ptr<const lp::ParamSpace> space_;
   lp::ParametricSolver solver_;
   TimeNs base_runtime_ = 0.0;
 };

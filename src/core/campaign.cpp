@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <memory>
+#include <optional>
 #include <set>
 #include <utility>
 
@@ -171,21 +172,40 @@ Campaign::ScenarioResult eval_scenario(const Scenario& s,
                                        const TopologyOptions& topo,
                                        const McAxis& mc,
                                        const Campaign::Probe& probe,
+                                       SolverCache& solvers,
                                        lp::ParametricSolver::Workspace& ws) {
   Campaign::ScenarioResult res;
   res.scenario = s;
   res.graph_vertices = g.num_vertices();
   res.graph_edges = g.num_edges();
 
-  const ScenarioSpace ss = make_space(s, topo);
-  const lp::ParametricSolver solver(g, ss.space);
-  res.base_runtime = solver.solve(0, ss.base, ws).value;
+  // Flat-latency scenarios resolve their lowering through the solver
+  // cache (shared across campaigns / request types of one session) and
+  // serve each grid point through Entry::eval — a replay when a cached
+  // anchor covers the point, a recorded dense solve otherwise, bitwise
+  // identical either way.  Topology scenarios keep per-scenario
+  // wire-latency lowerings (not cacheable by LogGPS fingerprint).
+  std::shared_ptr<SolverCache::Entry> entry;
+  double base = 0.0;
+  std::optional<lp::ParametricSolver> local;
+  if (s.topology == "none") {
+    entry = solvers.latency(graph_key(s), g, s.params);
+    local.emplace(entry->problem());
+    base = s.params.L;
+  } else {
+    const ScenarioSpace ss = make_space(s, topo);
+    local.emplace(g, ss.space);
+    base = ss.base;
+  }
+  const lp::ParametricSolver& solver = *local;
+  res.base_runtime =
+      entry ? entry->eval(0, base, ws).value : solver.solve(0, base, ws).value;
 
   const std::size_t npts = s.delta_Ls.size();
   std::vector<double> xs(npts);
   bool ascending = true;
   for (std::size_t i = 0; i < npts; ++i) {
-    xs[i] = ss.base + s.delta_Ls[i];
+    xs[i] = base + s.delta_Ls[i];
     if (i > 0 && s.delta_Ls[i - 1] > s.delta_Ls[i]) ascending = false;
   }
   res.points.resize(npts);
@@ -196,7 +216,15 @@ Campaign::ScenarioResult eval_scenario(const Scenario& s,
     pt.lambda = lambda;
     pt.rho = value > 0.0 ? xs[i] * lambda / value : 0.0;
   };
-  if (ascending) {
+  if (entry) {
+    // Per-point through the cache: repeated campaigns (and repeated grid
+    // points across scenarios sharing a graph + config) replay instead of
+    // re-solving.  Grid order is irrelevant here.
+    for (std::size_t i = 0; i < npts; ++i) {
+      const auto ev = entry->eval(0, xs[i], ws);
+      fill(i, ev.value, ev.slope);
+    }
+  } else if (ascending) {
     // Every CLI grid is ascending: one segment walk answers the whole grid
     // in O(#linear pieces) forward passes, bitwise identical to per-point
     // solves.
@@ -218,8 +246,7 @@ Campaign::ScenarioResult eval_scenario(const Scenario& s,
   for (const double pct : s.band_percents) {
     const double budget = res.base_runtime * (1.0 + pct / 100.0);
     const double tol = solver.max_param_for_budget(0, budget, ws);
-    res.bands.push_back(
-        {pct, std::isfinite(tol) ? tol - ss.base : tol});
+    res.bands.push_back({pct, std::isfinite(tol) ? tol - base : tol});
   }
 
   if (mc.samples > 0) {
@@ -238,7 +265,11 @@ Campaign::ScenarioResult eval_scenario(const Scenario& s,
     spec.threads = 1;
     spec.delta_Ls = s.delta_Ls;
     spec.band_percents.clear();
-    const stoch::McResult mres = stoch::run_mc(g, s.params, spec);
+    // With all-degenerate jitter off-axes the mc run's shared solver is
+    // exactly this scenario's cached lowering; run_mc verifies the match
+    // and lowers afresh otherwise.
+    const stoch::McResult mres = stoch::run_mc(
+        g, s.params, spec, entry ? entry->problem() : nullptr);
     res.mc.reserve(mres.runtime.size());
     for (const stoch::Summary& sum : mres.runtime) {
       res.mc.push_back({sum.mean(), sum.stddev(), sum.q05(), sum.q95()});
@@ -386,6 +417,15 @@ std::vector<Campaign::ScenarioResult> Campaign::run(const Probe& probe) {
 
 std::vector<Campaign::ScenarioResult> Campaign::run(const Probe& probe,
                                                     GraphCache& cache) {
+  // Without a session solver cache the lowerings live exactly as long as
+  // the run (still shared across this run's scenarios and grid points).
+  SolverCache solvers;
+  return run(probe, cache, solvers);
+}
+
+std::vector<Campaign::ScenarioResult> Campaign::run(const Probe& probe,
+                                                    GraphCache& cache,
+                                                    SolverCache& solvers) {
   // Phase 1: resolve every distinct execution graph through the cache,
   // building the misses in parallel.  Keys are collected in
   // first-appearance order.
@@ -409,7 +449,7 @@ std::vector<Campaign::ScenarioResult> Campaign::run(const Probe& probe,
   parallel_for_workers(scenarios_.size(), threads_, [&](int w, std::size_t i) {
     const Scenario& s = scenarios_[i];
     const graph::Graph& g = cache.get(graph_key(s));
-    results[i] = eval_scenario(s, g, topo_, mc_, probe,
+    results[i] = eval_scenario(s, g, topo_, mc_, probe, solvers,
                                wss[static_cast<std::size_t>(w)]);
   });
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/graph_cache.hpp"
+#include "core/solver_cache.hpp"
 #include "graph/graph.hpp"
 #include "loggops/params.hpp"
 #include "stoch/distribution.hpp"
@@ -178,6 +179,18 @@ class Campaign {
   /// cached ones are reused.  The emitted bytes are independent of the
   /// cache's prior contents.
   std::vector<ScenarioResult> run(const Probe& probe, GraphCache& cache);
+
+  /// Same, additionally resolving flat-latency scenario solvers through an
+  /// external SolverCache (the api::Engine session pairing): lowered
+  /// problems persist across campaigns and are shared with analyze/sweep/mc
+  /// requests of the same scenarios, and repeated grid points replay from
+  /// cached anchor state instead of re-solving.  The emitted bytes are
+  /// independent of either cache's prior contents (replay from a covering
+  /// anchor is bitwise-equal to a dense solve).  Topology scenarios keep
+  /// their per-scenario wire-latency lowerings — those spaces are not
+  /// cacheable by LogGPS fingerprint.
+  std::vector<ScenarioResult> run(const Probe& probe, GraphCache& cache,
+                                  SolverCache& solvers);
 
   struct RunStats {
     /// Distinct execution graphs the grid spans (= graphs constructed when

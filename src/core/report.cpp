@@ -106,8 +106,14 @@ Table sweep_curve_table(const std::vector<LatencyAnalyzer::SweepPoint>& curve,
 
 ToleranceReport make_report(const graph::Graph& g, const loggops::Params& p,
                             const ReportOptions& opts) {
+  const LatencyAnalyzer an(g, p);
+  return make_report(an, opts);
+}
+
+ToleranceReport make_report(const LatencyAnalyzer& an,
+                            const ReportOptions& opts) {
   if (opts.sweep_points < 2) throw Error("report: need >= 2 sweep points");
-  LatencyAnalyzer an(g, p);
+  const loggops::Params& p = an.params();
   ToleranceReport rep;
   rep.params = p;
   rep.base_runtime = an.base_runtime();
@@ -166,7 +172,11 @@ namespace {
 /// golden-pinned); compact packs the identical members onto one line for
 /// JSONL payloads.
 std::string report_json(const ToleranceReport& rep, bool pretty) {
-  const auto num = [](double v) { return strformat("%.10g", v); };
+  // Non-finite values must never leak as bare "inf"/"nan" tokens — those
+  // are not JSON.  Finite values keep the historical %.10g bytes.
+  const auto num = [](double v) {
+    return std::isfinite(v) ? strformat("%.10g", v) : std::string("null");
+  };
   const char* open = pretty ? "{\n  " : "{";
   const char* sep = pretty ? ",\n  " : ", ";
   const char* close = pretty ? "\n}\n" : "}";

@@ -88,4 +88,11 @@ struct ReportOptions {
 ToleranceReport make_report(const graph::Graph& g, const loggops::Params& p,
                             const ReportOptions& opts = {});
 
+/// Same report over a caller-constructed analyzer (the api::Engine path:
+/// a warm-starting analyzer wired to the session's SolverCache).  The
+/// emitted bytes are identical to the graph+params form — the analyzer's
+/// construction mode can never change them.
+ToleranceReport make_report(const LatencyAnalyzer& an,
+                            const ReportOptions& opts = {});
+
 }  // namespace llamp::core

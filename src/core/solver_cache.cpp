@@ -1,0 +1,148 @@
+#include "core/solver_cache.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "lp/param_space.hpp"
+#include "util/strings.hpp"
+
+namespace llamp::core {
+namespace {
+
+/// Round-trip-exact fingerprints: %.17g reproduces any double bit for bit,
+/// so two fingerprints compare equal iff the lowered cost arrays would.
+std::string latency_fingerprint(const loggops::Params& p) {
+  return strformat("latency;L=%.17g;o=%.17g;g=%.17g;G=%.17g;O=%.17g;S=%llu",
+                   p.L, p.o, p.g, p.G, p.O,
+                   static_cast<unsigned long long>(p.S));
+}
+
+std::string latency_bandwidth_fingerprint(const loggops::Params& p) {
+  return strformat(
+      "latency_bandwidth;L=%.17g;o=%.17g;g=%.17g;G=%.17g;O=%.17g;S=%llu",
+      p.L, p.o, p.g, p.G, p.O, static_cast<unsigned long long>(p.S));
+}
+
+std::shared_ptr<const lp::ParamSpace> make_latency_space(
+    const loggops::Params& p) {
+  return std::make_shared<lp::LatencyParamSpace>(p);
+}
+
+std::shared_ptr<const lp::ParamSpace> make_latency_bandwidth_space(
+    const loggops::Params& p) {
+  return std::make_shared<lp::LatencyBandwidthParamSpace>(p);
+}
+
+}  // namespace
+
+lp::LoweredProblem::SweepEval SolverCache::Entry::eval(
+    int k, double x, lp::LoweredProblem::Cursor& cur) {
+  // Warm path: any published anchor whose stability zone covers x replays
+  // bitwise identically to a dense solve (see the class contract), so the
+  // first covering anchor found is as good as any other — overlapping
+  // zones cannot make the served bytes depend on scan order.
+  if (prob_->flat()) {
+    std::shared_ptr<const lp::LoweredProblem::AnchorState> hit;
+    {
+      const std::lock_guard<std::mutex> lock(anchor_mutex_);
+      for (const auto& a : anchors_) {
+        if (a->covers(k, x)) {
+          hit = a;
+          break;
+        }
+      }
+    }
+    if (hit) {
+      owner_->replays_.fetch_add(1, std::memory_order_relaxed);
+      return prob_->replay_anchor(*hit, k, x);
+    }
+  }
+
+  // Cold path: dense solve, then publish the anchor so later queries in
+  // this basis piece (from any thread) replay instead.
+  const auto& sol = prob_->solve(k, x, cur);
+  const lp::LoweredProblem::SweepEval out{
+      x, sol.value, sol.gradient[static_cast<std::size_t>(k)]};
+  owner_->anchor_solves_.fetch_add(1, std::memory_order_relaxed);
+  if (prob_->flat()) {
+    auto fresh = std::make_shared<lp::LoweredProblem::AnchorState>();
+    prob_->save_anchor(cur, *fresh);
+    const std::lock_guard<std::mutex> lock(anchor_mutex_);
+    if (anchors_.size() < kMaxAnchors) {
+      const auto pos = std::lower_bound(
+          anchors_.begin(), anchors_.end(), fresh,
+          [](const auto& a, const auto& b) {
+            if (a->solution.active != b->solution.active) {
+              return a->solution.active < b->solution.active;
+            }
+            return a->solution.at < b->solution.at;
+          });
+      if (pos == anchors_.end() ||
+          (*pos)->solution.active != fresh->solution.active ||
+          (*pos)->solution.at != fresh->solution.at) {
+        anchors_.insert(pos, std::move(fresh));
+      }
+    }
+  }
+  return out;
+}
+
+std::size_t SolverCache::Entry::anchor_count() const {
+  const std::lock_guard<std::mutex> lock(anchor_mutex_);
+  return anchors_.size();
+}
+
+std::shared_ptr<SolverCache::Entry> SolverCache::entry_for(
+    const SolverKey& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& entry = entries_[key];
+  if (!entry) {
+    entry = std::shared_ptr<Entry>(new Entry());
+    entry->owner_ = this;
+  }
+  return entry;
+}
+
+std::shared_ptr<SolverCache::Entry> SolverCache::get(const SolverKey& key,
+                                                     const graph::Graph& g,
+                                                     const loggops::Params& p,
+                                                     SpaceFactory make) {
+  const std::shared_ptr<Entry> entry = entry_for(key);
+  // Per-key lock, GraphCache-style: concurrent first touches of one key
+  // lower it once; lowerings of distinct keys proceed in parallel (the map
+  // mutex is never held across a lowering).
+  const std::lock_guard<std::mutex> lock(entry->build_mutex_);
+  if (entry->prob_) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    entry->prob_ = std::make_shared<const lp::LoweredProblem>(g, make(p));
+    built_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return entry;
+}
+
+std::shared_ptr<SolverCache::Entry> SolverCache::latency(
+    const GraphKey& key, const graph::Graph& g, const loggops::Params& p) {
+  return get({key, latency_fingerprint(p)}, g, p, &make_latency_space);
+}
+
+std::shared_ptr<SolverCache::Entry> SolverCache::latency_bandwidth(
+    const GraphKey& key, const graph::Graph& g, const loggops::Params& p) {
+  return get({key, latency_bandwidth_fingerprint(p)}, g, p,
+             &make_latency_bandwidth_space);
+}
+
+SolverCache::Stats SolverCache::stats() const {
+  return {built_.load(std::memory_order_relaxed),
+          hits_.load(std::memory_order_relaxed),
+          anchor_solves_.load(std::memory_order_relaxed),
+          replays_.load(std::memory_order_relaxed)};
+}
+
+std::string SolverCache::stats_string() const {
+  const Stats s = stats();
+  return strformat("solvers: built=%zu hits=%zu anchor_solves=%zu replays=%zu",
+                   s.built, s.hits, s.anchor_solves, s.replays);
+}
+
+}  // namespace llamp::core

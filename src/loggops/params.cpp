@@ -1,5 +1,6 @@
 #include "loggops/params.hpp"
 
+#include <cmath>
 #include <map>
 
 #include "util/error.hpp"
@@ -8,6 +9,14 @@
 namespace llamp::loggops {
 
 void Params::validate() const {
+  // Non-finite values would sail through every downstream comparison (NaN
+  // compares false against any bound) and surface only as "null" cells in
+  // serialized output — reject them here, at the validation boundary every
+  // ingestion path funnels through.
+  if (!std::isfinite(L) || !std::isfinite(o) || !std::isfinite(g) ||
+      !std::isfinite(G) || !std::isfinite(O)) {
+    throw Error("loggops: non-finite parameter in " + to_string());
+  }
   if (L < 0 || o < 0 || g < 0 || G < 0 || O < 0) {
     throw Error("loggops: negative parameter in " + to_string());
   }

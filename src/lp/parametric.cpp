@@ -53,7 +53,7 @@ void constrain(double win_val, double win_slope, double cand_val,
 /// loads and one multiply-add, no inner term loop, no per-edge heap
 /// vectors.  Indexed by adjacency slot `j`, so the forward pass streams the
 /// cost arrays strictly sequentially.
-struct ParametricSolver::FlatEdgeAt {
+struct LoweredProblem::FlatEdgeAt {
   const double* cst;  ///< slot-permuted constants of the active parameter
   const double* slp;  ///< slot-permuted slopes of the active parameter
   double x;
@@ -66,8 +66,8 @@ struct ParametricSolver::FlatEdgeAt {
 /// General multi-parameter fallback: walk the CSR term list exactly like
 /// the seed walked the per-edge Affine::terms vectors (same term order,
 /// same floating-point summation order, flat contiguous storage).
-struct ParametricSolver::CsrEdgeAt {
-  const ParametricSolver* s;
+struct LoweredProblem::CsrEdgeAt {
+  const LoweredProblem* s;
   const double* point;
   int active;
   std::pair<double, double> operator()(std::uint32_t /*slot*/,
@@ -84,8 +84,8 @@ struct ParametricSolver::CsrEdgeAt {
   }
 };
 
-ParametricSolver::ParametricSolver(const graph::Graph& g,
-                                   std::shared_ptr<const ParamSpace> space)
+LoweredProblem::LoweredProblem(const graph::Graph& g,
+                               std::shared_ptr<const ParamSpace> space)
     : g_(g), space_(std::move(space)) {
   if (!g.finalized()) throw LpError("graph must be finalized");
   if (!space_) throw LpError("null parameter space");
@@ -198,30 +198,32 @@ ParametricSolver::ParametricSolver(const graph::Graph& g,
   }
 }
 
-void ParametricSolver::prepare(Workspace& ws) const {
+void LoweredProblem::prepare(Cursor& cur) const {
   // The pass writes finish/slope/arg_edge for every vertex before reading
   // it, so the arrays are resized without clearing; the variable-length
   // buffers are reserved to their structural maxima.  Steady state never
   // allocates.
   const std::size_t n = g_.num_vertices();
-  if (ws.finish_.size() != n) {
-    ws.finish_.resize(n);
-    ws.slope_.resize(n);
-    ws.arg_edge_.resize(n);
+  if (cur.finish_.size() != n) {
+    cur.finish_.resize(n);
+    cur.slope_.resize(n);
+    cur.arg_edge_.resize(n);
   }
-  if (ws.chain_.capacity() < n) ws.chain_.reserve(n);
-  if (ws.cands_.capacity() < max_in_degree_) ws.cands_.reserve(max_in_degree_);
+  if (cur.chain_.capacity() < n) cur.chain_.reserve(n);
+  if (cur.cands_.capacity() < max_in_degree_) {
+    cur.cands_.reserve(max_in_degree_);
+  }
 }
 
 // llamp-lint: hot-path begin
 template <typename EdgeAt>
-void ParametricSolver::forward_pass(int active, double value, Workspace& ws,
-                                    const EdgeAt& edge_at) const {
+void LoweredProblem::forward_pass(int active, double value, Cursor& cur,
+                                  const EdgeAt& edge_at) const {
   const std::size_t n = g_.num_vertices();
-  double* const finish = ws.finish_.data();
-  double* const slope = ws.slope_.data();
-  std::uint32_t* const arg_edge = ws.arg_edge_.data();
-  auto& cands = ws.cands_;
+  double* const finish = cur.finish_.data();
+  double* const slope = cur.slope_.data();
+  std::uint32_t* const arg_edge = cur.arg_edge_.data();
+  auto& cands = cur.cands_;
 
   // Allowed movement of the active parameter relative to `value` keeping
   // every max-argument selection (the LP basis) valid.
@@ -284,7 +286,7 @@ void ParametricSolver::forward_pass(int active, double value, Workspace& ws,
 
   // T = max over sinks (visited in ascending vertex-id order, exactly like
   // the seed's 0..n scan), with the same envelope bookkeeping.
-  Solution& sol = ws.solution_;
+  Solution& sol = cur.solution_;
   sol.active = active;
   sol.at = value;
   sol.messages = 0;
@@ -311,13 +313,13 @@ void ParametricSolver::forward_pass(int active, double value, Workspace& ws,
   sol.value = best_val;
   sol.lo = value + dlo;
   sol.hi = value + dhi;
-  ws.stable_hi_ = value + stable_dhi;
+  cur.stable_hi_ = value + stable_dhi;
 
   // Gradient for *all* parameters: walk the argmax chain from the critical
   // sink, accumulating each edge's coefficients, and cache the chain
   // (source -> sink order) for interior-point replay by the segment walk.
   sol.gradient.assign(static_cast<std::size_t>(num_params_), 0.0);
-  ws.chain_.clear();
+  cur.chain_.clear();
   std::uint32_t pos = best_sink;
   while (arg_edge[pos] != kNoEdge) {
     const std::uint32_t e = arg_edge[pos];
@@ -329,88 +331,127 @@ void ParametricSolver::forward_pass(int active, double value, Workspace& ws,
     if (g_.edge(e).kind == graph::EdgeKind::kComm) ++sol.messages;
     // llamp-lint: allow(hot-alloc): chain_ was reserved to num_vertices in
     // prepare(), the longest possible argmax chain.
-    ws.chain_.push_back(e);
+    cur.chain_.push_back(e);
     pos = topo_pos_[g_.edge(e).from];
   }
-  ws.chain_src_ = g_.topo_order()[pos];
-  std::reverse(ws.chain_.begin(), ws.chain_.end());
+  cur.chain_src_ = g_.topo_order()[pos];
+  std::reverse(cur.chain_.begin(), cur.chain_.end());
 }
 
-void ParametricSolver::solve_into(int active, double value,
-                                  Workspace& ws) const {
+double LoweredProblem::replay_flat(std::span<const std::uint32_t> chain,
+                                   graph::VertexId chain_src, int active,
+                                   double x) const {
+  // Re-sum the critical path with the dense pass's exact operation order:
+  // finish[src] = vc[src]; then per chain edge e=(u,w):
+  // best = finish[u] + cost(e); finish[w] = best + vc[w].
+  const std::size_t ne = g_.num_edges();
+  // Edge-id-indexed flat arrays; the chain stores edge ids.
+  const double* cst =
+      flat_const_.data() + static_cast<std::size_t>(active) * ne;
+  const double* slp =
+      flat_slope_.data() + static_cast<std::size_t>(active) * ne;
+  double acc = vertex_cost_[chain_src];
+  for (const std::uint32_t e : chain) {
+    acc += cst[e] + slp[e] * x;
+    acc += vertex_cost_[g_.edge(e).to];
+  }
+  return acc;
+}
+
+double LoweredProblem::replay(int active, double x, Cursor& cur) const {
+  if (flat_) {
+    return replay_flat(cur.chain_, cur.chain_src_, active, x);
+  }
+  // CSR fallback: evaluate each chain edge at the cursor's point vector
+  // (same term-walk operation order as the dense pass).
+  cur.point_[static_cast<std::size_t>(active)] = x;
+  const CsrEdgeAt at{this, cur.point_.data(), active};
+  double acc = vertex_cost_[cur.chain_src_];
+  for (const std::uint32_t e : cur.chain_) {
+    acc += at(0, e).first;
+    acc += vertex_cost_[g_.edge(e).to];
+  }
+  return acc;
+}
+
+LoweredProblem::SweepEval LoweredProblem::replay_anchor(
+    const AnchorState& anchor, int k, double x) const {
+  // The cross-request warm path: a cached anchor serves a later point query
+  // with no forward pass and no cursor.  Everything read here is immutable
+  // problem state or the caller's anchor, so concurrent replays from any
+  // number of threads are safe.
+  if (!flat_) {
+    throw LpError("replay_anchor: requires the flat lowering");
+  }
+  if (!anchor.covers(k, x)) {
+    throw LpError(strformat(
+        "replay_anchor: x = %g outside the anchor's zone [%g, %g)", x,
+        anchor.solution.at, anchor.stable_hi));
+  }
+  const double slope = anchor.solution.gradient[static_cast<std::size_t>(k)];
+  if (x == anchor.solution.at) {
+    // The anchor point itself: the stored dense solution is the answer.
+    return {x, anchor.solution.value, slope};
+  }
+  return {x, replay_flat(anchor.chain, anchor.chain_src, k, x), slope};
+}
+// llamp-lint: hot-path end
+
+void LoweredProblem::solve_into(int active, double value, Cursor& cur) const {
   if (active < 0 || active >= num_params_) {
     throw LpError("parametric: active parameter out of range");
   }
-  prepare(ws);
+  prepare(cur);
   if (flat_) {
     const std::size_t slots = in_edge_.size();
     const FlatEdgeAt at{
         flat_const_slot_.data() + static_cast<std::size_t>(active) * slots,
         flat_slope_slot_.data() + static_cast<std::size_t>(active) * slots,
         value};
-    forward_pass(active, value, ws, at);
+    forward_pass(active, value, cur, at);
   } else {
-    ws.point_.assign(base_.begin(), base_.end());
-    ws.point_[static_cast<std::size_t>(active)] = value;
-    const CsrEdgeAt at{this, ws.point_.data(), active};
-    forward_pass(active, value, ws, at);
+    cur.point_.assign(base_.begin(), base_.end());
+    cur.point_[static_cast<std::size_t>(active)] = value;
+    const CsrEdgeAt at{this, cur.point_.data(), active};
+    forward_pass(active, value, cur, at);
   }
 }
 
-double ParametricSolver::replay(int active, double x, Workspace& ws) const {
-  // Re-sum the cached critical path with the dense pass's exact operation
-  // order: finish[src] = vc[src]; then per chain edge e=(u,w):
-  // best = finish[u] + cost(e); finish[w] = best + vc[w].
-  double acc = vertex_cost_[ws.chain_src_];
-  if (flat_) {
-    const std::size_t ne = g_.num_edges();
-    // Edge-id-indexed flat arrays; the chain stores edge ids.
-    const double* cst =
-        flat_const_.data() + static_cast<std::size_t>(active) * ne;
-    const double* slp =
-        flat_slope_.data() + static_cast<std::size_t>(active) * ne;
-    for (const std::uint32_t e : ws.chain_) {
-      acc += cst[e] + slp[e] * x;
-      acc += vertex_cost_[g_.edge(e).to];
-    }
-  } else {
-    ws.point_[static_cast<std::size_t>(active)] = x;
-    const CsrEdgeAt at{this, ws.point_.data(), active};
-    for (const std::uint32_t e : ws.chain_) {
-      acc += at(0, e).first;
-      acc += vertex_cost_[g_.edge(e).to];
-    }
+void LoweredProblem::save_anchor(const Cursor& cur, AnchorState& out) const {
+  if (cur.chain_src_ == graph::kInvalidVertex) {
+    throw LpError("save_anchor: cursor holds no solve");
   }
-  return acc;
-}
-// llamp-lint: hot-path end
-
-const ParametricSolver::Solution& ParametricSolver::solve(int active,
-                                                          double value,
-                                                          Workspace& ws) const {
-  solve_into(active, value, ws);
-  return ws.solution_;
+  out.solution = cur.solution_;
+  out.chain.assign(cur.chain_.begin(), cur.chain_.end());
+  out.chain_src = cur.chain_src_;
+  out.stable_hi = cur.stable_hi_;
 }
 
-ParametricSolver::Solution ParametricSolver::solve(int active,
-                                                   double value) const {
-  Workspace ws;
-  solve_into(active, value, ws);
-  return std::move(ws.solution_);
+const LoweredProblem::Solution& LoweredProblem::solve(int active, double value,
+                                                      Cursor& cur) const {
+  solve_into(active, value, cur);
+  return cur.solution_;
 }
 
-ParametricSolver::Solution ParametricSolver::solve() const {
+LoweredProblem::Solution LoweredProblem::solve(int active,
+                                               double value) const {
+  Cursor cur;
+  solve_into(active, value, cur);
+  return std::move(cur.solution_);
+}
+
+LoweredProblem::Solution LoweredProblem::solve() const {
   return solve(0, base_.empty() ? 0.0 : base_[0]);
 }
 
 // llamp-lint: hot-path begin
-void ParametricSolver::sweep(int k, std::span<const double> xs, Workspace& ws,
-                             SweepEval* out, SweepStats* stats) const {
+void LoweredProblem::sweep(int k, std::span<const double> xs, Cursor& cur,
+                           SweepEval* out, SweepStats* stats) const {
   if (k < 0 || k >= num_params_) {
     throw LpError("parametric: active parameter out of range");
   }
   SweepStats local;
-  bool have = false;  // never trust state a previous caller left in ws
+  bool have = false;  // never trust state a previous caller left in cur
   double prev = -kInfD;
   for (std::size_t i = 0; i < xs.size(); ++i) {
     const double x = xs[i];
@@ -419,16 +460,16 @@ void ParametricSolver::sweep(int k, std::span<const double> xs, Workspace& ws,
                               "(x[%zu] = %g after %g)", i, x, prev));
     }
     prev = x;
-    const Solution& sol = ws.solution_;
+    const Solution& sol = cur.solution_;
     if (have && x == sol.at) {
       out[i] = {x, sol.value, sol.gradient[static_cast<std::size_t>(k)]};
-    } else if (have && x > sol.at && x < ws.stable_hi_) {
+    } else if (have && x > sol.at && x < cur.stable_hi_) {
       ++local.replays;
-      out[i] = {x, replay(k, x, ws),
+      out[i] = {x, replay(k, x, cur),
                 sol.gradient[static_cast<std::size_t>(k)]};
     } else {
       ++local.anchor_solves;
-      solve_into(k, x, ws);
+      solve_into(k, x, cur);
       have = true;
       out[i] = {x, sol.value, sol.gradient[static_cast<std::size_t>(k)]};
     }
@@ -437,23 +478,23 @@ void ParametricSolver::sweep(int k, std::span<const double> xs, Workspace& ws,
 }
 // llamp-lint: hot-path end
 
-std::vector<ParametricSolver::SweepEval> ParametricSolver::sweep(
+std::vector<LoweredProblem::SweepEval> LoweredProblem::sweep(
     int k, std::span<const double> xs) const {
-  Workspace ws;
+  Cursor cur;
   std::vector<SweepEval> out(xs.size());
-  sweep(k, xs, ws, out.data());
+  sweep(k, xs, cur, out.data());
   return out;
 }
 
-std::vector<ParametricSolver::Segment> ParametricSolver::piecewise(
-    int k, double lo, double hi, Workspace& ws) const {
+std::vector<LoweredProblem::Segment> LoweredProblem::piecewise(
+    int k, double lo, double hi, Cursor& cur) const {
   if (!(lo <= hi)) throw LpError("piecewise: empty interval");
   std::vector<Segment> segs;
   double x = lo;
   const double eps = std::max(1e-6, (hi - lo) * 1e-12);
   constexpr std::size_t kMaxSegments = 1u << 20;
   while (x <= hi) {
-    const Solution& s = solve(k, x, ws);
+    const Solution& s = solve(k, x, cur);
     const double slope = s.gradient[static_cast<std::size_t>(k)];
     const double seg_hi = std::min(s.hi, hi);
     if (!segs.empty() && std::fabs(segs.back().slope - slope) < 1e-9) {
@@ -470,34 +511,34 @@ std::vector<ParametricSolver::Segment> ParametricSolver::piecewise(
   return segs;
 }
 
-std::vector<ParametricSolver::Segment> ParametricSolver::piecewise(
+std::vector<LoweredProblem::Segment> LoweredProblem::piecewise(
     int k, double lo, double hi) const {
-  Workspace ws;
-  return piecewise(k, lo, hi, ws);
+  Cursor cur;
+  return piecewise(k, lo, hi, cur);
 }
 
-std::vector<double> ParametricSolver::critical_values(int k, double lo,
-                                                      double hi,
-                                                      Workspace& ws) const {
+std::vector<double> LoweredProblem::critical_values(int k, double lo,
+                                                    double hi,
+                                                    Cursor& cur) const {
   std::vector<double> out;
-  const auto segs = piecewise(k, lo, hi, ws);
+  const auto segs = piecewise(k, lo, hi, cur);
   for (std::size_t i = 1; i < segs.size(); ++i) {
     out.push_back(segs[i].lo);
   }
   return out;
 }
 
-std::vector<double> ParametricSolver::critical_values(int k, double lo,
-                                                      double hi) const {
-  Workspace ws;
-  return critical_values(k, lo, hi, ws);
+std::vector<double> LoweredProblem::critical_values(int k, double lo,
+                                                    double hi) const {
+  Cursor cur;
+  return critical_values(k, lo, hi, cur);
 }
 
-std::vector<double> ParametricSolver::critical_values_algorithm2(
+std::vector<double> LoweredProblem::critical_values_algorithm2(
     int k, double lo, double hi, double step, double eps) const {
   if (!(lo <= hi)) throw LpError("algorithm2: empty interval");
   if (eps <= 0.0) throw LpError("algorithm2: eps must be positive");
-  Workspace ws;
+  Cursor cur;
   std::vector<double> lc;
   double L = hi;
   double lambda = std::numeric_limits<double>::quiet_NaN();
@@ -506,7 +547,7 @@ std::vector<double> ParametricSolver::critical_values_algorithm2(
   for (std::size_t iter = 0; iter < kMaxIters; ++iter) {
     // "Assign constraint l >= L; optimize" — one solve yields the objective,
     // the reduced cost λ', and SALBLow (the basis' feasibility floor).
-    const Solution& s = solve(k, L, ws);
+    const Solution& s = solve(k, L, cur);
     const double lambda_new = s.gradient[static_cast<std::size_t>(k)];
     const double lo_new = s.lo;
     if (!std::isnan(lambda) && std::fabs(lambda_new - lambda) > 1e-12) {
@@ -521,7 +562,7 @@ std::vector<double> ParametricSolver::critical_values_algorithm2(
     if (L < lo) {
       // One final probe at the interval's left end covers a boundary that
       // sits between lo and the current basis' floor.
-      const Solution& tail = solve(k, lo, ws);
+      const Solution& tail = solve(k, lo, cur);
       const double tail_lambda = tail.gradient[static_cast<std::size_t>(k)];
       if (std::fabs(tail_lambda - lambda) > 1e-12 && lo_new >= lo - eps &&
           lo_new <= hi + eps) {
@@ -537,18 +578,18 @@ std::vector<double> ParametricSolver::critical_values_algorithm2(
   return lc;
 }
 
-double ParametricSolver::max_param_for_budget(int k, double budget,
-                                              Workspace& ws) const {
+double LoweredProblem::max_param_for_budget(int k, double budget,
+                                            Cursor& cur) const {
   if (k < 0 || k >= num_params_) {
     throw LpError("tolerance: parameter out of range");
   }
   return max_param_for_budget_from(k, base_[static_cast<std::size_t>(k)],
-                                   budget, ws);
+                                   budget, cur);
 }
 
-double ParametricSolver::max_param_for_budget_from(int k, double from,
-                                                   double budget,
-                                                   Workspace& ws) const {
+double LoweredProblem::max_param_for_budget_from(int k, double from,
+                                                 double budget,
+                                                 Cursor& cur) const {
   if (k < 0 || k >= num_params_) {
     throw LpError("tolerance: parameter out of range");
   }
@@ -561,7 +602,7 @@ double ParametricSolver::max_param_for_budget_from(int k, double from,
   // jittered application graphs with thousands of near-ties.
   const double eps = std::max(1e-6, std::fabs(budget) * 1e-12);
   double x = from;
-  const Solution* s = &solve(k, x, ws);
+  const Solution* s = &solve(k, x, cur);
   if (s->value > budget + value_eps(budget)) {
     throw LpError(strformat("tolerance: T(%g) = %g already exceeds budget %g",
                             x, s->value, budget));
@@ -577,8 +618,12 @@ double ParametricSolver::max_param_for_budget_from(int k, double from,
       double proposal;
       if (slope > 1e-12) {
         proposal = x + (budget - s->value) / slope;
-        // Tangent crossing inside the current piece: exact answer.
-        if (proposal <= s->hi + eps) return proposal;
+        // Tangent crossing inside the current piece: exact answer.  The
+        // clamp defines the boundary case where the budget is already tied
+        // within the fuzzy band at `from` (T(from) in (budget,
+        // budget + eps]): the tangent would extrapolate below the anchor —
+        // a negative tolerance — so the result is pinned to `from` itself.
+        if (proposal <= s->hi + eps) return std::max(proposal, from);
       } else {
         if (!std::isfinite(s->hi)) return kInfD;  // flat forever
         proposal = s->hi + eps;
@@ -593,7 +638,9 @@ double ParametricSolver::max_param_for_budget_from(int k, double from,
       // Walk the current piece's line back down to the budget.
       double proposal =
           slope > 1e-12 ? x - (s->value - budget) / slope : s->lo - eps;
-      if (slope > 1e-12 && proposal >= s->lo - eps) return proposal;
+      if (slope > 1e-12 && proposal >= s->lo - eps) {
+        return std::max(proposal, from);  // same boundary clamp as above
+      }
       if (proposal <= bracket_lo || proposal >= bracket_hi) {
         proposal = 0.5 * (bracket_lo + bracket_hi);
       }
@@ -602,14 +649,19 @@ double ParametricSolver::max_param_for_budget_from(int k, double from,
     if (std::isfinite(bracket_hi) && bracket_hi - bracket_lo <= eps) {
       return bracket_lo;
     }
-    s = &solve(k, x, ws);
+    s = &solve(k, x, cur);
   }
   throw LpError("tolerance: did not converge");
 }
 
-double ParametricSolver::max_param_for_budget(int k, double budget) const {
-  Workspace ws;
-  return max_param_for_budget(k, budget, ws);
+double LoweredProblem::max_param_for_budget(int k, double budget) const {
+  Cursor cur;
+  return max_param_for_budget(k, budget, cur);
+}
+
+ParametricSolver::ParametricSolver(std::shared_ptr<const LoweredProblem> prob)
+    : prob_(std::move(prob)) {
+  if (!prob_) throw LpError("parametric: null lowered problem");
 }
 
 }  // namespace llamp::lp

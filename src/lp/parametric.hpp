@@ -11,8 +11,8 @@
 
 namespace llamp::lp {
 
-/// Exact solver for the LP class produced by Algorithm 1.  Those LPs are
-/// longest-path problems on a DAG whose edge costs are affine in the
+/// Exact solver state for the LP class produced by Algorithm 1.  Those LPs
+/// are longest-path problems on a DAG whose edge costs are affine in the
 /// decision parameters, so the optimum is computable by a single forward
 /// pass — and, crucially, the pass can carry *sensitivity* information
 /// along:
@@ -27,6 +27,15 @@ namespace llamp::lp {
 /// class a drop-in high-capacity replacement for the simplex path; the test
 /// suite proves the two agree on random graphs.
 ///
+/// Ownership split (DESIGN.md §4e): a LoweredProblem is the *immutable*
+/// half of a solver — the CSR/SoA cost arrays, topo permutation, and base
+/// point lowered once at construction.  After construction every method is
+/// const and touches only caller-owned scratch, so one LoweredProblem may
+/// be shared freely across threads and cached across requests (see
+/// core::SolverCache).  The mutable half is the per-query Cursor below; the
+/// bridge between queries is the AnchorState snapshot, which replays
+/// bitwise-identically to a dense solve inside its stability zone.
+///
 /// Hot-path layout (see DESIGN.md §"Solver internals"): at construction the
 /// ParamSpace's per-edge Affine expressions are lowered into flat
 /// structure-of-arrays storage.  When every edge carries at most one
@@ -39,14 +48,23 @@ namespace llamp::lp {
 /// replicate the seed implementation's floating-point operation order
 /// exactly, so results are bit-for-bit identical to the original per-edge
 /// heap-vector walk.
-class ParametricSolver {
+class LoweredProblem {
  public:
-  ParametricSolver(const graph::Graph& g,
-                   std::shared_ptr<const ParamSpace> space);
-  /// The solver keeps a reference; a temporary graph would dangle.
-  ParametricSolver(graph::Graph&&, std::shared_ptr<const ParamSpace>) = delete;
+  LoweredProblem(const graph::Graph& g,
+                 std::shared_ptr<const ParamSpace> space);
+  /// The problem keeps a reference; a temporary graph would dangle.
+  LoweredProblem(graph::Graph&&, std::shared_ptr<const ParamSpace>) = delete;
+  LoweredProblem(const LoweredProblem&) = delete;
+  LoweredProblem& operator=(const LoweredProblem&) = delete;
 
   const ParamSpace& space() const { return *space_; }
+  std::shared_ptr<const ParamSpace> space_ptr() const { return space_; }
+  const graph::Graph& graph() const { return g_; }
+  int num_params() const { return num_params_; }
+  /// True when the per-active-parameter flat lowering is in effect (every
+  /// edge has at most one term, small space).  Anchor replay without a
+  /// cursor — replay_anchor() — requires it.
+  bool flat() const { return flat_; }
 
   struct Solution {
     double value = 0.0;  ///< T: program makespan at the evaluation point
@@ -64,25 +82,25 @@ class ParametricSolver {
     std::size_t messages = 0;
   };
 
-  /// Reusable scratch for the solve/sweep hot path.  A workspace owns the
-  /// forward-pass arrays, the cached critical path of its last solve, and a
-  /// Solution slot that solve(active, value, ws) reuses, so steady-state
+  /// The mutable per-query half of a solver: the forward-pass arrays, the
+  /// cached basis (critical path + stability bounds) of its last solve, and
+  /// a Solution slot that solve(active, value, cur) reuses, so steady-state
   /// solves perform zero heap allocations (buffers grow to the largest
   /// graph/space seen and are then only reused).
   ///
-  /// Ownership rules: one workspace per thread.  A workspace may be shared
-  /// freely across ParametricSolver instances and scenarios — every solve
+  /// Ownership rules: one cursor per thread.  A cursor may be shared
+  /// freely across LoweredProblem instances and scenarios — every solve
   /// rewrites all state it reads — but never across concurrent callers.
-  class Workspace {
+  class Cursor {
    public:
-    Workspace() = default;
-    Workspace(const Workspace&) = delete;
-    Workspace& operator=(const Workspace&) = delete;
-    Workspace(Workspace&&) = default;
-    Workspace& operator=(Workspace&&) = default;
+    Cursor() = default;
+    Cursor(const Cursor&) = delete;
+    Cursor& operator=(const Cursor&) = delete;
+    Cursor(Cursor&&) = default;
+    Cursor& operator=(Cursor&&) = default;
 
    private:
-    friend class ParametricSolver;
+    friend class LoweredProblem;
     std::vector<double> finish_;
     std::vector<double> slope_;
     std::vector<std::uint32_t> arg_edge_;
@@ -101,11 +119,11 @@ class ParametricSolver {
   };
 
   /// Evaluate with parameter `active` set to `value` and all others at
-  /// their base values, reusing `ws` for all scratch state.  The returned
-  /// reference lives in `ws` and is invalidated by the next solve through
-  /// the same workspace.  Steady state performs no heap allocations.
-  const Solution& solve(int active, double value, Workspace& ws) const;
-  /// Convenience form that allocates a transient workspace.
+  /// their base values, reusing `cur` for all scratch state.  The returned
+  /// reference lives in `cur` and is invalidated by the next solve through
+  /// the same cursor.  Steady state performs no heap allocations.
+  const Solution& solve(int active, double value, Cursor& cur) const;
+  /// Convenience form that allocates a transient cursor.
   Solution solve(int active, double value) const;
   /// Evaluate at the base point (active parameter 0).
   Solution solve() const;
@@ -124,14 +142,14 @@ class ParametricSolver {
   /// so piece boundaries are precisely the critical latencies L_c.
   std::vector<Segment> piecewise(int k, double lo, double hi) const;
   std::vector<Segment> piecewise(int k, double lo, double hi,
-                                 Workspace& ws) const;
+                                 Cursor& cur) const;
 
   /// Critical latencies within [lo, hi]: the parameter values where λ
   /// changes (Algorithm 2's output list), derived from the exact piecewise
   /// curve.
   std::vector<double> critical_values(int k, double lo, double hi) const;
   std::vector<double> critical_values(int k, double lo, double hi,
-                                      Workspace& ws) const;
+                                      Cursor& cur) const;
 
   /// Faithful port of the paper's Algorithm 2 (Appendix D): scan the
   /// interval right-to-left, hopping to SALBLow − ε after each solve and
@@ -149,13 +167,21 @@ class ParametricSolver {
   /// a critical path up to the budget; throws LpError if even the base
   /// value exceeds the budget.
   double max_param_for_budget(int k, double budget) const;
-  double max_param_for_budget(int k, double budget, Workspace& ws) const;
+  double max_param_for_budget(int k, double budget, Cursor& cur) const;
   /// Same search anchored at `from` instead of the space's base value (the
   /// Monte Carlo engine's per-sample operating points sit off-base).
-  /// Requires T(from) <= budget; throws LpError otherwise.  With
-  /// from == base_value(k) this is exactly max_param_for_budget.
+  ///
+  /// Boundary contract (pinned by tests): throws LpError iff
+  /// T(from) > budget + value_eps(budget); otherwise the result is always
+  /// >= `from`, even when the budget sits inside the fuzzy feasibility band
+  /// at `from` itself (T(from) in (budget, budget + eps] clamps to `from`
+  /// rather than extrapolating a negative tolerance).  When the budget
+  /// exactly ties a segment knot T(L_c) == budget, the crossing returned is
+  /// the tangent solution of the piece that reaches it — a fixed value
+  /// independent of the cursor's prior state, so warm and cold paths agree
+  /// bitwise.
   double max_param_for_budget_from(int k, double from, double budget,
-                                   Workspace& ws) const;
+                                   Cursor& cur) const;
 
   /// One evaluated point of a segment-walk sweep.
   struct SweepEval {
@@ -183,23 +209,59 @@ class ParametricSolver {
   /// pieces, so the pass count lies between the segment count and the point
   /// count.)  Writes xs.size() entries to `out`.  Throws LpError on
   /// descending xs.
-  void sweep(int k, std::span<const double> xs, Workspace& ws,
+  void sweep(int k, std::span<const double> xs, Cursor& cur,
              SweepEval* out, SweepStats* stats = nullptr) const;
   std::vector<SweepEval> sweep(int k, std::span<const double> xs) const;
+
+  /// A detached snapshot of one anchor solve: the solution, the critical
+  /// path it selected, and the stability zone on which a dense re-solve
+  /// provably re-selects that basis.  This is the unit core::SolverCache
+  /// stores — an anchor saved by one request serves later requests (and
+  /// other threads) through replay_anchor() without touching any cursor.
+  struct AnchorState {
+    Solution solution;
+    std::vector<std::uint32_t> chain;  ///< critical path, source -> sink
+    graph::VertexId chain_src = graph::kInvalidVertex;
+    /// Absolute bound below which a dense pass re-selects this basis.
+    double stable_hi = -std::numeric_limits<double>::infinity();
+
+    /// True when replay_anchor(*this, k, x) is valid: same active
+    /// parameter, and x at the anchor point or inside its stability zone.
+    bool covers(int k, double x) const {
+      return solution.active == k &&
+             (x == solution.at || (x > solution.at && x < stable_hi));
+    }
+  };
+
+  /// Snapshot the cursor's last anchor solve into `out` (reusing its
+  /// buffers).  Requires a prior solve through `cur` on this problem.
+  void save_anchor(const Cursor& cur, AnchorState& out) const;
+
+  /// Warm entry point: T and λ at `x` for parameter k served from a saved
+  /// anchor, bitwise identical to solve(k, x) (the segment-walk replay
+  /// equivalence, pinned by the hot-path test wall).  Read-only on both the
+  /// problem and the anchor — safe to call concurrently from any number of
+  /// threads with no cursor at all.  Requires anchor.covers(k, x), an
+  /// anchor saved from *this* problem, and the flat lowering (flat());
+  /// throws LpError otherwise.
+  SweepEval replay_anchor(const AnchorState& anchor, int k, double x) const;
 
  private:
   struct FlatEdgeAt;
   struct CsrEdgeAt;
 
   template <typename EdgeAt>
-  void forward_pass(int active, double value, Workspace& ws,
+  void forward_pass(int active, double value, Cursor& cur,
                     const EdgeAt& edge_at) const;
-  /// Dense solve into ws (solution, chain, stability bound).
-  void solve_into(int active, double value, Workspace& ws) const;
-  /// T at `x` via the cached critical path of ws's last solve.  Only valid
-  /// for ws.solution_.at <= x < ws.stable_hi_.
-  double replay(int active, double x, Workspace& ws) const;
-  void prepare(Workspace& ws) const;
+  /// Dense solve into cur (solution, chain, stability bound).
+  void solve_into(int active, double value, Cursor& cur) const;
+  /// T at `x` via the cached critical path of cur's last solve.  Only valid
+  /// for cur.solution_.at <= x < cur.stable_hi_.
+  double replay(int active, double x, Cursor& cur) const;
+  /// Flat-lowering chain re-sum shared by replay() and replay_anchor().
+  double replay_flat(std::span<const std::uint32_t> chain,
+                     graph::VertexId chain_src, int active, double x) const;
+  void prepare(Cursor& cur) const;
 
   const graph::Graph& g_;
   std::shared_ptr<const ParamSpace> space_;
@@ -237,6 +299,87 @@ class ParametricSolver {
 
   std::vector<double> vertex_cost_;  ///< vertex-id indexed (replay)
   std::vector<double> base_;
+};
+
+/// Thin value façade over a shared LoweredProblem: the historical solver
+/// type every consumer constructs.  Constructing one from (graph, space)
+/// lowers a fresh problem; constructing one from a shared LoweredProblem
+/// (the core::SolverCache path) reuses an existing lowering at zero cost.
+/// All methods forward; Workspace is the Cursor under its historical name.
+class ParametricSolver {
+ public:
+  using Solution = LoweredProblem::Solution;
+  using Workspace = LoweredProblem::Cursor;
+  using Segment = LoweredProblem::Segment;
+  using SweepEval = LoweredProblem::SweepEval;
+  using SweepStats = LoweredProblem::SweepStats;
+  using AnchorState = LoweredProblem::AnchorState;
+
+  ParametricSolver(const graph::Graph& g,
+                   std::shared_ptr<const ParamSpace> space)
+      : prob_(std::make_shared<const LoweredProblem>(g, std::move(space))) {}
+  /// The solver keeps a reference; a temporary graph would dangle.
+  ParametricSolver(graph::Graph&&, std::shared_ptr<const ParamSpace>) = delete;
+  /// Adopt an already-lowered problem (shared across threads/requests).
+  explicit ParametricSolver(std::shared_ptr<const LoweredProblem> prob);
+
+  const ParamSpace& space() const { return prob_->space(); }
+  const LoweredProblem& lowered() const { return *prob_; }
+  const std::shared_ptr<const LoweredProblem>& lowered_ptr() const {
+    return prob_;
+  }
+
+  const Solution& solve(int active, double value, Workspace& ws) const {
+    return prob_->solve(active, value, ws);
+  }
+  Solution solve(int active, double value) const {
+    return prob_->solve(active, value);
+  }
+  Solution solve() const { return prob_->solve(); }
+
+  std::vector<Segment> piecewise(int k, double lo, double hi) const {
+    return prob_->piecewise(k, lo, hi);
+  }
+  std::vector<Segment> piecewise(int k, double lo, double hi,
+                                 Workspace& ws) const {
+    return prob_->piecewise(k, lo, hi, ws);
+  }
+
+  std::vector<double> critical_values(int k, double lo, double hi) const {
+    return prob_->critical_values(k, lo, hi);
+  }
+  std::vector<double> critical_values(int k, double lo, double hi,
+                                      Workspace& ws) const {
+    return prob_->critical_values(k, lo, hi, ws);
+  }
+
+  std::vector<double> critical_values_algorithm2(int k, double lo, double hi,
+                                                 double step = 0.0,
+                                                 double eps = 1e-6) const {
+    return prob_->critical_values_algorithm2(k, lo, hi, step, eps);
+  }
+
+  double max_param_for_budget(int k, double budget) const {
+    return prob_->max_param_for_budget(k, budget);
+  }
+  double max_param_for_budget(int k, double budget, Workspace& ws) const {
+    return prob_->max_param_for_budget(k, budget, ws);
+  }
+  double max_param_for_budget_from(int k, double from, double budget,
+                                   Workspace& ws) const {
+    return prob_->max_param_for_budget_from(k, from, budget, ws);
+  }
+
+  void sweep(int k, std::span<const double> xs, Workspace& ws,
+             SweepEval* out, SweepStats* stats = nullptr) const {
+    prob_->sweep(k, xs, ws, out, stats);
+  }
+  std::vector<SweepEval> sweep(int k, std::span<const double> xs) const {
+    return prob_->sweep(k, xs);
+  }
+
+ private:
+  std::shared_ptr<const LoweredProblem> prob_;
 };
 
 }  // namespace llamp::lp

@@ -69,8 +69,30 @@ void Summary::add(double x) {
   q95_.add(x);
 }
 
+std::optional<loggops::Params> shared_operating_point(
+    const McSpec& spec, const loggops::Params& base) {
+  if (!(spec.o.degenerate() && spec.G.degenerate() &&
+        spec.noise.degenerate())) {
+    return std::nullopt;
+  }
+  // Degenerate distributions return a fixed value whatever the generator
+  // state, so the shared operating point can be read with a throwaway Rng
+  // (same construction run_mc's samples use, so the bytes agree).
+  Rng probe_rng(spec.seed);
+  loggops::Params shared = base;
+  shared.o = spec.o.sample(probe_rng, base.o);
+  shared.G = spec.G.sample(probe_rng, base.G);
+  return shared;
+}
+
 McResult run_mc(const graph::Graph& g, const loggops::Params& base,
                 const McSpec& spec) {
+  return run_mc(g, base, spec, nullptr);
+}
+
+McResult run_mc(const graph::Graph& g, const loggops::Params& base,
+                const McSpec& spec,
+                std::shared_ptr<const lp::LoweredProblem> lowered) {
   spec.validate();
   base.validate();
 
@@ -88,21 +110,35 @@ McResult run_mc(const graph::Graph& g, const loggops::Params& base,
   // Otherwise each sample lowers its own perturbed space, which is what
   // the paper's "re-measure the operating point and redo the analysis"
   // amounts to.
-  const bool shared_solver_path =
-      spec.o.degenerate() && spec.G.degenerate() && spec.noise.degenerate();
+  const std::optional<loggops::Params> shared_point =
+      shared_operating_point(spec, base);
+  const bool shared_solver_path = shared_point.has_value();
 
-  // Degenerate distributions return a fixed value whatever the generator
-  // state, so the shared operating point can be read with a throwaway Rng.
   loggops::Params shared_params = base;
-  std::shared_ptr<const lp::ParamSpace> shared_space;
   std::optional<lp::ParametricSolver> shared;
   if (shared_solver_path) {
-    Rng probe_rng(spec.seed);
-    shared_params.o = spec.o.sample(probe_rng, base.o);
-    shared_params.G = spec.G.sample(probe_rng, base.G);
+    shared_params = *shared_point;
     shared_params.validate();
-    shared_space = std::make_shared<lp::LatencyParamSpace>(shared_params);
-    shared.emplace(g, shared_space);
+    // Adopt the caller's cached lowering only if it is verifiably this
+    // run's problem: same graph object and the exact shared operating
+    // point.  A mismatched handle falls through to a fresh lowering, so a
+    // stale cache entry can never change a byte of the result.
+    const lp::LatencyParamSpace* cached_space =
+        lowered ? dynamic_cast<const lp::LatencyParamSpace*>(
+                      &lowered->space())
+                : nullptr;
+    const auto same_point = [&](const loggops::Params& cp) {
+      return cp.L == shared_params.L && cp.o == shared_params.o &&
+             cp.g == shared_params.g && cp.G == shared_params.G &&
+             cp.O == shared_params.O && cp.S == shared_params.S;
+    };
+    if (cached_space != nullptr && &lowered->graph() == &g &&
+        same_point(cached_space->params())) {
+      shared.emplace(std::move(lowered));
+    } else {
+      shared.emplace(
+          g, std::make_shared<lp::LatencyParamSpace>(shared_params));
+    }
   }
 
   // One metric row per sample: runtime at every ΔL, then λ_L, ρ_L, then the

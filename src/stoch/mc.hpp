@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -10,6 +12,10 @@
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/time.hpp"
+
+namespace llamp::lp {
+class LoweredProblem;
+}  // namespace llamp::lp
 
 namespace llamp::stoch {
 
@@ -90,11 +96,31 @@ struct McResult {
   std::vector<Band> bands;          ///< aligned with spec.band_percents
 };
 
+/// The LogGPS operating point all samples share when the spec's o, G, and
+/// edge-noise distributions are degenerate — then only the sampled L moves
+/// and one parametric LP serves every sample.  Returns `base` with o and G
+/// pinned to their (fixed) degenerate draws, or nullopt when samples
+/// differ structurally (each lowers its own perturbed space).  This is the
+/// exact operating point run_mc's shared-solver fast path analyzes; a
+/// caller holding a solver cache can pre-lower it and pass the problem to
+/// the run_mc overload below.
+std::optional<loggops::Params> shared_operating_point(
+    const McSpec& spec, const loggops::Params& base);
+
 /// Run the Monte Carlo analysis of `g` around the operating point `base`.
 /// `base` supplies every value the spec's distributions pin to it (kBase /
 /// kRelNormal) and the non-sampled LogGPS components (g, O, S).
 McResult run_mc(const graph::Graph& g, const loggops::Params& base,
                 const McSpec& spec);
+
+/// Same, reusing `lowered` (a cached LatencyParamSpace lowering over `g`
+/// at *shared_operating_point(spec, base)) for the shared-solver fast
+/// path instead of lowering afresh.  The problem is verified against the
+/// run's graph and operating point and silently ignored on mismatch — a
+/// wrong cache handle can cost time, never change bytes.
+McResult run_mc(const graph::Graph& g, const loggops::Params& base,
+                const McSpec& spec,
+                std::shared_ptr<const lp::LoweredProblem> lowered);
 
 /// The distributional report as a table: one row per metric — runtime at
 /// every ΔL, λ_L, ρ_L, one tolerance band per percent — with streaming

@@ -399,6 +399,113 @@ TEST(ApiEngineCache, WarmCacheNeverChangesCampaignBytes) {
 }
 
 // ---------------------------------------------------------------------------
+// Solver warm-starting (PR 7): responses must be byte-identical whether the
+// solver cache is cold, warm, or shared across threads — across repeated
+// and nearby requests, every output format, and every request type — and
+// repeats must re-lower nothing.
+// ---------------------------------------------------------------------------
+
+constexpr core::OutputFormat kAllFormats[] = {core::OutputFormat::kTable,
+                                              core::OutputFormat::kCsv,
+                                              core::OutputFormat::kJson};
+
+TEST(ApiSolverCache, RepeatedAndNearbyRequestsMatchColdBytes) {
+  std::vector<api::SweepRequest> sweeps;
+  for (const double dl : {20.0, 20.0, 21.0, 20.5, 20.0}) {
+    api::SweepRequest req;
+    req.app = small_app("hpcg");
+    req.grid = {dl, 3};
+    sweeps.push_back(req);
+  }
+  api::AnalyzeRequest analyze;
+  analyze.app = small_app("hpcg");
+  analyze.grid = {20.0, 3};
+
+  api::Engine warm;
+  for (int round = 0; round < 2; ++round) {
+    for (const auto& req : sweeps) {
+      const auto warm_res = warm.sweep(req);
+      api::Engine cold;
+      const auto cold_res = cold.sweep(req);
+      for (const auto format : kAllFormats) {
+        EXPECT_EQ(rendered(cold_res, format), rendered(warm_res, format));
+      }
+      EXPECT_EQ(cold_res.to_json_line(), warm_res.to_json_line());
+    }
+    const auto warm_rep = warm.analyze(analyze);
+    api::Engine cold;
+    const auto cold_rep = cold.analyze(analyze);
+    for (const auto format : kAllFormats) {
+      EXPECT_EQ(rendered(cold_rep, format), rendered(warm_rep, format));
+    }
+    EXPECT_EQ(cold_rep.to_json_line(), warm_rep.to_json_line());
+  }
+
+  // One scenario, one latency lowering (analyze adds the bandwidth space);
+  // every repeat and nearby grid reused them.
+  const auto stats = warm.solver_cache_stats();
+  EXPECT_EQ(stats.built, 2u) << warm.solver_cache_stats_string();
+  EXPECT_GE(stats.hits, 10u);
+  EXPECT_GT(stats.replays, 0u) << "repeats should replay cached anchors";
+}
+
+TEST(ApiSolverCache, McWarmPathMatchesColdBytes) {
+  api::McRequest req;
+  req.app = small_app("lulesh");
+  req.grid = {20.0, 3};
+  req.samples = 8;
+  req.seed = 7;
+  req.sigma_L = 0.05;  // only L jittered: the shared-solver path engages
+
+  api::Engine warm;
+  api::SweepRequest pre;
+  pre.app = small_app("lulesh");
+  pre.grid = {20.0, 3};
+  (void)warm.sweep(pre);  // pre-warms the very lowering mc should reuse
+  const auto warm_res = warm.mc(req);
+  api::Engine cold;
+  const auto cold_res = cold.mc(req);
+  for (const auto format : kAllFormats) {
+    EXPECT_EQ(rendered(cold_res, format), rendered(warm_res, format));
+  }
+  EXPECT_EQ(cold_res.to_json_line(), warm_res.to_json_line());
+
+  // With edge noise the shared path disengages (per-sample perturbed
+  // spaces); bytes still cannot depend on the session's cache.
+  req.edge_sigma = 0.003;
+  const auto warm_noise = warm.mc(req);
+  const auto cold_noise = cold.mc(req);
+  EXPECT_EQ(cold_noise.to_json_line(), warm_noise.to_json_line());
+}
+
+TEST(ApiSolverCache, CampaignWarmVsColdBytesIncludingMcAxis) {
+  api::CampaignRequest req;
+  req.apps = {"lulesh", "hpcg"};
+  req.scales = {0.02};
+  req.grid = {20.0, 3};
+  req.mc_samples = 4;
+  req.mc_sigma_L = 0.05;
+
+  api::Engine cold;
+  const auto cold_res = cold.campaign(req);
+
+  api::Engine warm;
+  api::AnalyzeRequest analyze;
+  analyze.app = small_app("hpcg");
+  analyze.grid = {20.0, 3};
+  (void)warm.analyze(analyze);  // pre-warms hpcg's graph AND its lowering
+  const auto first = warm.campaign(req);
+  const auto second = warm.campaign(req);  // fully warm repeat
+
+  for (const auto format : kAllFormats) {
+    EXPECT_EQ(rendered(cold_res, format), rendered(first, format));
+    EXPECT_EQ(rendered(cold_res, format), rendered(second, format));
+  }
+  EXPECT_EQ(cold_res.to_json_line(), second.to_json_line());
+  EXPECT_GT(warm.solver_cache_stats().replays, 0u);
+}
+
+// ---------------------------------------------------------------------------
 // Batch execution.
 // ---------------------------------------------------------------------------
 
@@ -424,6 +531,25 @@ std::string mixed_workload_jsonl() {
       "{\"op\": \"campaign\", \"apps\": [\"lulesh\", \"hpcg\"], "
       "\"scales\": [0.02], \"grid\": {\"dl_max_us\": 20, \"points\": 3}}\n";
   return in;  // 21 requests
+}
+
+TEST(ApiSolverCache, WarmBatchBytesAreThreadCountInvariant) {
+  // The full mixed workload, served twice on one engine: the warm pass
+  // must reproduce the cold pass byte for byte, at 1 and at 8 threads.
+  const std::string input = mixed_workload_jsonl();
+  auto serve_twice = [&](int threads) {
+    api::Engine engine(api::Engine::Options{.threads = threads});
+    std::istringstream in1(input);
+    std::ostringstream out1;
+    (void)api::serve_jsonl(engine, in1, out1, threads);
+    std::istringstream in2(input);
+    std::ostringstream out2;
+    (void)api::serve_jsonl(engine, in2, out2, threads);
+    EXPECT_EQ(out1.str(), out2.str())
+        << "warm pass changed bytes at threads=" << threads;
+    return out2.str();
+  };
+  EXPECT_EQ(serve_twice(1), serve_twice(8));
 }
 
 TEST(ApiBatch, ByteDeterministicAcrossThreadCounts) {
@@ -542,6 +668,127 @@ TEST(ApiBatch, ConcurrentRunBatchCallsSerializeSafely) {
   ASSERT_EQ(b.size(), 4u);
   for (const auto& o : a) EXPECT_TRUE(o.response.has_value()) << o.error;
   for (const auto& o : b) EXPECT_TRUE(o.response.has_value()) << o.error;
+}
+
+TEST(ApiBatch, CrlfBlankLinesAndMissingTrailingNewlineAreHandled) {
+  const std::string sweep_line =
+      "{\"op\": \"sweep\", \"app\": {\"name\": \"lulesh\", \"scale\": "
+      "0.02}, \"grid\": {\"dl_max_us\": 20, \"points\": 3}}";
+  const std::string place_line =
+      "{\"op\": \"place\", \"app\": {\"name\": \"icon\", \"scale\": 0.02}}";
+  const std::string lf = sweep_line + "\n" + place_line + "\n";
+  // Same two requests: CRLF endings, a whitespace-only CR line between
+  // them, and no trailing newline on the last request.
+  const std::string crlf = sweep_line + "\r\n\r\n" + place_line;
+
+  auto serve = [](const std::string& input) {
+    api::Engine engine;
+    std::istringstream in(input);
+    std::ostringstream out;
+    const auto outcome = api::serve_jsonl(engine, in, out, 2);
+    EXPECT_EQ(outcome.requests, 2u);
+    EXPECT_EQ(outcome.failures, 0u);
+    return out.str();
+  };
+  EXPECT_EQ(serve(lf), serve(crlf));
+}
+
+TEST(ApiBatch, ParseErrorsNameThePhysicalInputLine) {
+  // Leading blanks shift request ids off physical line numbers — the
+  // in-band error must name the physical line, id stays the request index.
+  const std::string input = "\n\nnot json\r\n{\"op\": \"sweep\"[]}\n";
+  api::Engine engine;
+  std::istringstream in(input);
+  std::ostringstream out;
+  const auto outcome = api::serve_jsonl(engine, in, out, 1);
+  EXPECT_EQ(outcome.requests, 2u);
+  EXPECT_EQ(outcome.failures, 2u);
+  std::vector<std::string> lines;
+  std::istringstream split(out.str());
+  std::string line;
+  while (std::getline(split, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"id\": 0"), std::string::npos);
+  EXPECT_NE(lines[0].find("input line 3:"), std::string::npos) << lines[0];
+  EXPECT_NE(lines[1].find("\"id\": 1"), std::string::npos);
+  EXPECT_NE(lines[1].find("input line 4:"), std::string::npos) << lines[1];
+}
+
+// ---------------------------------------------------------------------------
+// Non-finite hygiene (PR 7): inf/nan must never reach any serializer as a
+// bare JSON token — parameters are rejected at validation, and every value
+// emitter degrades to null.
+// ---------------------------------------------------------------------------
+
+TEST(ApiNonFinite, ParamOverridesAreRejectedAtValidation) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  api::Engine engine;
+  for (const double bad : {nan, inf}) {
+    api::AnalyzeRequest req;
+    req.app = small_app("lulesh");
+    req.grid = {20.0, 3};
+    req.app.L = bad;
+    EXPECT_THROW((void)engine.analyze(req), Error);
+    req.app.L.reset();
+    req.app.o = bad;
+    EXPECT_THROW((void)engine.analyze(req), Error);
+    req.app.o.reset();
+    req.app.G = bad;
+    EXPECT_THROW((void)engine.analyze(req), Error);
+  }
+}
+
+TEST(ApiNonFinite, ReportJsonEmitsNullForNonFiniteValues) {
+  core::ToleranceReport rep;
+  rep.params = loggops::NetworkConfig::cscs_testbed();
+  rep.base_runtime = std::numeric_limits<double>::infinity();
+  rep.lambda_L_base = std::numeric_limits<double>::quiet_NaN();
+  rep.lambda_G = -std::numeric_limits<double>::infinity();
+  rep.bands.push_back({1.0, std::numeric_limits<double>::infinity()});
+  core::LatencyAnalyzer::SweepPoint pt;
+  pt.delta_L = 0.0;
+  pt.runtime = std::numeric_limits<double>::quiet_NaN();
+  pt.lambda_L = std::numeric_limits<double>::infinity();
+  pt.rho_L = 0.5;
+  rep.curve.push_back(pt);
+  rep.critical_latencies.push_back(
+      std::numeric_limits<double>::infinity());
+
+  for (const std::string& json : {rep.to_json(), rep.to_json_line()}) {
+    // Must parse as JSON at all (bare inf/nan tokens would throw) ...
+    const JsonValue doc = JsonValue::parse(json);
+    // ... and the non-finite members must have degraded to null.
+    EXPECT_NE(json.find("\"base_runtime_ns\": null"), std::string::npos);
+    EXPECT_NE(json.find("\"lambda_l\": null"), std::string::npos);
+    EXPECT_NE(json.find("\"lambda_g\": null"), std::string::npos);
+    EXPECT_EQ(json.find("inf"), std::string::npos) << json;
+    EXPECT_EQ(json.find("nan"), std::string::npos) << json;
+    (void)doc;
+  }
+}
+
+TEST(ApiNonFinite, TableEmittersQuoteNonFiniteCells) {
+  // The table→JSON renderers type cells by "parses as a finite number":
+  // non-finite cells (unbounded tolerances) must come out as strings or
+  // null, never bare tokens.  mc summaries with unbounded samples are the
+  // natural producer.
+  api::McRequest req;
+  req.app = small_app("lulesh");
+  req.grid = {20.0, 3};
+  req.samples = 2;
+  req.seed = 3;
+  api::Engine engine;
+  const auto res = engine.mc(req);  // degenerate: tolerances unbounded iff flat
+  const std::string line = res.to_json_line();
+  (void)JsonValue::parse(line);
+  const std::string json = rendered(res, core::OutputFormat::kJson);
+  std::istringstream rows(json);
+  std::string row;
+  while (std::getline(rows, row)) {
+    EXPECT_EQ(row.find(": inf"), std::string::npos) << row;
+    EXPECT_EQ(row.find(": nan"), std::string::npos) << row;
+  }
 }
 
 // Degenerate-input hygiene of the JSON layer itself.

@@ -42,6 +42,25 @@ TEST(Params, ValidationRejectsNegatives) {
   EXPECT_NO_THROW(p.validate());
 }
 
+TEST(Params, ValidationRejectsNonFiniteValues) {
+  // NaN compares false against every bound, so without an explicit check a
+  // NaN parameter would pass validation and surface only as a null in
+  // serialized output.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  for (const double bad : {nan, inf, -inf}) {
+    for (int field = 0; field < 5; ++field) {
+      Params p;
+      (field == 0   ? p.L
+       : field == 1 ? p.o
+       : field == 2 ? p.g
+       : field == 3 ? p.G
+                    : p.O) = bad;
+      EXPECT_THROW(p.validate(), Error) << "field=" << field;
+    }
+  }
+}
+
 TEST(Params, ToStringMentionsEveryField) {
   const auto s = Params{}.to_string();
   for (const char* key : {"L=", "o=", "g=", "G=", "O=", "S="}) {

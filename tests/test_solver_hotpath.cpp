@@ -2,9 +2,11 @@
 
 #include <cmath>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "apps/registry.hpp"
+#include "core/solver_cache.hpp"
 #include "lp/param_space.hpp"
 #include "lp/parametric.hpp"
 #include "schedgen/schedgen.hpp"
@@ -236,6 +238,309 @@ TEST(SweepApi, DuplicatesAndEmptyGridsAreFine) {
   EXPECT_EQ(evals[0].value, 1'615.0);
   EXPECT_EQ(evals[1].value, 1'615.0);
   EXPECT_EQ(evals[2].value, 1'615.0);
+}
+
+// ---------------------------------------------------------------------------
+// LoweredProblem / Cursor split, anchor snapshots, and the SolverCache
+// (PR 7): replay from a published anchor must be bitwise indistinguishable
+// from a dense solve, whatever serves the query and however warm the cache.
+// ---------------------------------------------------------------------------
+
+TEST(LoweredProblem, OneLoweringServesManyFacades) {
+  const auto g = testing::running_example_graph();
+  const auto prob = std::make_shared<const LoweredProblem>(
+      g,
+      std::make_shared<LatencyParamSpace>(testing::running_example_params()));
+  const Solver a(prob);
+  const Solver b(prob);
+  EXPECT_EQ(a.lowered_ptr().get(), b.lowered_ptr().get());
+  for (const double x : {0.0, 385.0, 500.0, 5'000.0}) {
+    const auto sa = a.solve(0, x);
+    const auto sb = b.solve(0, x);
+    const auto sd = prob->solve(0, x);
+    EXPECT_EQ(sa.value, sb.value);
+    EXPECT_EQ(sa.value, sd.value);
+    EXPECT_EQ(sa.gradient, sd.gradient);
+    EXPECT_EQ(sa.lo, sd.lo);
+    EXPECT_EQ(sa.hi, sd.hi);
+  }
+  EXPECT_THROW(Solver(std::shared_ptr<const LoweredProblem>()), LpError);
+}
+
+/// Solve at each anchor point through a cursor, snapshot the anchor, and
+/// require replay_anchor to reproduce dense solves bitwise across the
+/// anchor's whole stability zone.
+void expect_replay_matches_dense(const LoweredProblem& prob, int k,
+                                 const std::vector<double>& anchors) {
+  ASSERT_TRUE(prob.flat());
+  LoweredProblem::Cursor cur;
+  for (const double x0 : anchors) {
+    const auto& sol = prob.solve(k, x0, cur);
+    LoweredProblem::AnchorState anchor;
+    prob.save_anchor(cur, anchor);
+    EXPECT_EQ(anchor.solution.value, sol.value);
+    ASSERT_TRUE(anchor.covers(k, x0));
+    std::vector<double> probes = {x0};
+    if (std::isfinite(anchor.stable_hi)) {
+      probes.push_back(x0 + 0.25 * (anchor.stable_hi - x0));
+      probes.push_back(x0 + 0.75 * (anchor.stable_hi - x0));
+    } else {
+      probes.push_back(x0 + 1.0);
+      probes.push_back(x0 + 12'345.0);
+    }
+    for (const double x : probes) {
+      if (!anchor.covers(k, x)) continue;
+      const auto ev = prob.replay_anchor(anchor, k, x);
+      const auto dense = prob.solve(k, x);
+      EXPECT_EQ(ev.value, dense.value) << "anchor=" << x0 << " x=" << x;
+      EXPECT_EQ(ev.slope, dense.gradient[static_cast<std::size_t>(k)])
+          << "anchor=" << x0 << " x=" << x;
+    }
+  }
+}
+
+TEST(AnchorReplay, BitwiseMatchesDenseOnAllRegisteredApps) {
+  for (const std::string& app : apps::app_names()) {
+    const int ranks = apps::supported_ranks(app, 8);
+    const auto g =
+        schedgen::build_graph(apps::make_app_trace(app, ranks, 0.02));
+    const auto p = loggops::NetworkConfig::cscs_testbed();
+    const LoweredProblem prob(g, std::make_shared<LatencyParamSpace>(p));
+    SCOPED_TRACE(app);
+    expect_replay_matches_dense(prob, 0,
+                                {0.0, p.L, p.L + 7'000.0, p.L + 90'000.0});
+  }
+}
+
+TEST_P(RandomConfigTest, AnchorReplayBitwiseMatchesDenseOnRandomPrograms) {
+  testing::RandomProgramConfig cfg;
+  cfg.seed = GetParam() + 555;
+  cfg.nranks = 5;
+  cfg.steps = 120;
+  const auto g = schedgen::build_graph(testing::random_trace(cfg));
+  const loggops::Params p = random_params(GetParam() * 31 + 17);
+  const LoweredProblem prob(g, std::make_shared<LatencyParamSpace>(p));
+  Rng rng(GetParam());
+  std::vector<double> anchors;
+  for (int i = 0; i < 12; ++i) {
+    anchors.push_back(rng.uniform(0.0, p.L + 150'000.0));
+  }
+  expect_replay_matches_dense(prob, 0, anchors);
+}
+
+TEST(AnchorReplay, RejectsNonCoveringAnchorsAndCsrLowerings) {
+  const auto g = testing::running_example_graph();
+  const auto p = testing::running_example_params();
+  const LoweredProblem prob(g, std::make_shared<LatencyParamSpace>(p));
+  LoweredProblem::Cursor cur;
+  prob.solve(0, 0.0, cur);
+  LoweredProblem::AnchorState anchor;
+  prob.save_anchor(cur, anchor);
+  // The first piece of the running example ends at L_c = 385: beyond the
+  // stability zone (or behind the anchor point) replay must refuse, never
+  // extrapolate.
+  EXPECT_FALSE(anchor.covers(0, 1'000'000.0));
+  EXPECT_THROW((void)prob.replay_anchor(anchor, 0, 1'000'000.0), LpError);
+  EXPECT_THROW((void)prob.replay_anchor(anchor, 0, -1.0), LpError);
+  // A never-solved cursor has no anchor to snapshot.
+  LoweredProblem::Cursor idle;
+  EXPECT_THROW(prob.save_anchor(idle, anchor), LpError);
+  // Two-term edges lower to the CSR fallback: the anchor can be saved but
+  // cursor-less replay is flat-only and must refuse.
+  const LoweredProblem csr(g,
+                           std::make_shared<LatencyBandwidthParamSpace>(p));
+  EXPECT_FALSE(csr.flat());
+  LoweredProblem::Cursor bw;
+  csr.solve(1, p.G, bw);
+  LoweredProblem::AnchorState csr_anchor;
+  csr.save_anchor(bw, csr_anchor);
+  EXPECT_THROW((void)csr.replay_anchor(csr_anchor, 1, p.G), LpError);
+}
+
+TEST(SolverCacheEntry, EvalIsBitwiseDenseColdWarmAndRepeated) {
+  const auto g = testing::running_example_graph();
+  const auto p = testing::running_example_params();
+  core::SolverCache cache;
+  const core::GraphKey key{"running-example", 1, 1.0, p.S};
+  const auto entry = cache.latency(key, g, p);
+  const Solver dense(g, std::make_shared<LatencyParamSpace>(p));
+
+  Rng rng(7);
+  std::vector<double> xs;
+  for (int i = 0; i < 64; ++i) xs.push_back(rng.uniform(0.0, 5'000.0));
+  // Repeats, the knot, and nearby points: the replay-heavy shapes.
+  xs.insert(xs.end(), {385.0, 385.0, 500.0, 500.0, 500.5, 501.0});
+
+  LoweredProblem::Cursor cur;
+  std::vector<double> first_values;
+  for (const double x : xs) {
+    const auto ev = entry->eval(0, x, cur);
+    const auto ref = dense.solve(0, x);
+    EXPECT_EQ(ev.value, ref.value) << "x=" << x;
+    EXPECT_EQ(ev.slope, ref.gradient[0]) << "x=" << x;
+    first_values.push_back(ev.value);
+  }
+  const auto cold = cache.stats();
+  EXPECT_GT(cold.anchor_solves, 0u);
+  EXPECT_LE(entry->anchor_count(), 64u);
+
+  // Warm second pass: same bytes, now served by anchor replay.
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_EQ(entry->eval(0, xs[i], cur).value, first_values[i]);
+  }
+  const auto warm = cache.stats();
+  EXPECT_GT(warm.replays, cold.replays);
+  EXPECT_EQ(warm.built, cold.built);
+}
+
+TEST(SolverCacheStats, KeysOnGraphKeyAndParamFingerprint) {
+  const auto g = testing::running_example_graph();
+  const auto p = testing::running_example_params();
+  core::SolverCache cache;
+  const core::GraphKey key{"running-example", 1, 1.0, p.S};
+  const auto a = cache.latency(key, g, p);
+  const auto b = cache.latency(key, g, p);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(a->problem().get(), b->problem().get());
+  loggops::Params p2 = p;
+  p2.L += 1.0;
+  const auto c = cache.latency(key, g, p2);
+  EXPECT_NE(a.get(), c.get());
+  // The bandwidth space is a distinct fingerprint under the same key; its
+  // CSR lowering always dense-solves but is still shared.
+  const auto bw = cache.latency_bandwidth(key, g, p);
+  EXPECT_NE(a.get(), bw.get());
+  EXPECT_FALSE(bw->problem()->flat());
+  LoweredProblem::Cursor cur;
+  const Solver dense(g, std::make_shared<LatencyBandwidthParamSpace>(p));
+  const auto ev = bw->eval(1, p.G, cur);
+  const auto ref = dense.solve(1, p.G);
+  EXPECT_EQ(ev.value, ref.value);
+  EXPECT_EQ(ev.slope, ref.gradient[1]);
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.built, 3u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_NE(cache.stats_string().find("solvers: built=3"), std::string::npos);
+}
+
+TEST(SolverCacheEntry, ConcurrentEvalsAreBitwiseDense) {
+  // 8 threads hammer one entry with overlapping repeated/nearby queries,
+  // racing anchor publication; every result must equal the dense value.
+  const auto g = testing::running_example_graph();
+  const auto p = testing::running_example_params();
+  core::SolverCache cache;
+  const auto entry =
+      cache.latency(core::GraphKey{"running-example", 1, 1.0, p.S}, g, p);
+  const Solver dense(g, std::make_shared<LatencyParamSpace>(p));
+
+  std::vector<double> xs;
+  Rng rng(99);
+  for (int i = 0; i < 200; ++i) xs.push_back(rng.uniform(0.0, 4'000.0));
+  std::vector<double> refs;
+  for (const double x : xs) refs.push_back(dense.solve(0, x).value);
+
+  constexpr int kThreads = 8;
+  std::vector<std::vector<double>> got(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      LoweredProblem::Cursor cur;
+      // Distinct starting offsets so threads race different anchors.
+      for (std::size_t i = 0; i < xs.size(); ++i) {
+        const std::size_t j = (i + static_cast<std::size_t>(t) * 25) %
+                              xs.size();
+        got[static_cast<std::size_t>(t)].push_back(
+            entry->eval(0, xs[j], cur).value);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const std::size_t j =
+          (i + static_cast<std::size_t>(t) * 25) % xs.size();
+      ASSERT_EQ(got[static_cast<std::size_t>(t)][i], refs[j])
+          << "thread=" << t << " x=" << xs[j];
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// max_param_for_budget boundary contract (PR 7 bugfix): exact knot ties,
+// budgets inside the eps band, and budgets already violated at the anchor
+// all have pinned, cursor-state-independent answers.
+// ---------------------------------------------------------------------------
+
+TEST(BudgetBoundary, KnotTiesEpsBandAndViolatedAnchors) {
+  // Running example: T(L) = max(L + 1115, 1500) with the knot at L_c = 385
+  // and base L = 500 (T = 1615).
+  const auto g = testing::running_example_graph();
+  const auto p = testing::running_example_params();
+  const Solver solver(g, std::make_shared<LatencyParamSpace>(p));
+  Solver::Workspace ws;
+
+  // Budget exactly ties the knot value: the answer is the knot (the whole
+  // flat piece meets the budget; 385 is its right end), not +inf and not
+  // the anchor.
+  const double knot = solver.max_param_for_budget_from(0, 0.0, 1'500.0, ws);
+  EXPECT_NEAR(knot, 385.0, 1e-5);
+  EXPECT_LE(solver.solve(0, knot).value, 1'500.0 + 1e-9 * (1.0 + 1'500.0));
+
+  // Budget exactly T(from): the answer is `from` itself, never below it.
+  EXPECT_EQ(solver.max_param_for_budget_from(0, 500.0, 1'615.0, ws), 500.0);
+
+  // Budget inside the eps band below T(from): still clamped to `from`
+  // (the pre-fix code could walk backwards past the anchor here).
+  const double teps = 1e-9 * (1.0 + 1'615.0);
+  const double r =
+      solver.max_param_for_budget_from(0, 500.0, 1'615.0 - 0.5 * teps, ws);
+  EXPECT_EQ(r, 500.0);
+
+  // Budget already violated beyond the eps band: a defined error, both
+  // from an explicit anchor and from the space's base point (T(500) = 1615
+  // exceeds both budgets).
+  EXPECT_THROW((void)solver.max_param_for_budget_from(0, 500.0, 1'550.0, ws),
+               LpError);
+  EXPECT_THROW((void)solver.max_param_for_budget(0, 1'000.0), LpError);
+
+  // Cursor-state independence: a cursor that just served unrelated solves
+  // and a fresh one agree bitwise at every boundary shape, knot tie
+  // included.
+  solver.solve(0, 4'999.0, ws);
+  Solver::Workspace fresh;
+  EXPECT_EQ(solver.max_param_for_budget_from(0, 0.0, 1'500.0, ws),
+            solver.max_param_for_budget_from(0, 0.0, 1'500.0, fresh));
+  for (const double budget : {1'615.0, 1'616.0, 2'000.0, 1e9}) {
+    EXPECT_EQ(solver.max_param_for_budget(0, budget, ws),
+              solver.max_param_for_budget(0, budget, fresh))
+        << "budget=" << budget;
+  }
+}
+
+TEST_P(RandomConfigTest, BudgetBoundaryAgreesAcrossCursorStates) {
+  // On random programs: results are >= the anchor, meet the budget within
+  // eps, and never depend on prior cursor state.
+  testing::RandomProgramConfig cfg;
+  cfg.seed = GetParam() + 808;
+  cfg.nranks = 5;
+  cfg.steps = 100;
+  const auto g = schedgen::build_graph(testing::random_trace(cfg));
+  const loggops::Params p = random_params(GetParam() * 53 + 29);
+  const Solver solver(g, std::make_shared<LatencyParamSpace>(p));
+  Solver::Workspace warm;
+  const double base_value = solver.solve(0, p.L, warm).value;
+  for (const double factor : {1.0, 1.0 + 1e-12, 1.001, 1.05, 1.5}) {
+    const double budget = base_value * factor;
+    const double a = solver.max_param_for_budget_from(0, p.L, budget, warm);
+    Solver::Workspace fresh;
+    const double b = solver.max_param_for_budget_from(0, p.L, budget, fresh);
+    EXPECT_EQ(a, b) << "factor=" << factor;
+    EXPECT_GE(a, p.L);
+    if (std::isfinite(a)) {
+      EXPECT_LE(solver.solve(0, a).value, budget + 1e-9 * (1.0 + budget));
+    }
+  }
 }
 
 TEST(SegmentWalk, RunningExampleAnchorsOncePerPiece) {
