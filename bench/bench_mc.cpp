@@ -1,14 +1,19 @@
 // Throughput harness for the stoch/ Monte Carlo engine: samples/sec on a
 // representative grid (the same hpcg-64 configuration BENCH_solver.json
-// pins), for the two engine paths —
+// pins), for the three engine paths —
 //
-//   * fast path: only L varies, one shared solver, per-worker workspaces;
+//   * fast path, batched: only L varies, one shared solver, lane groups of
+//     lp::kBatchWidth samples per forward pass (the PR 8 kernel);
+//   * fast path, scalar: same workload with spec.batch off — the
+//     batched-vs-scalar comparison is the headline number;
 //   * general path: o jitter + per-edge noise, one perturbed lowering per
-//     sample;
+//     sample, chunk-claimed scheduling;
 //
 // each single-threaded and at hardware concurrency.  Writes the committed
 // perf-trajectory file BENCH_mc.json (numbers are informational in CI,
-// never gating).
+// never gating).  Every section records the thread counts it actually ran
+// with, and parallel_speedup is null on 1-core hosts — a ~1.0 there would
+// read as "parallelism doesn't help" when it was never exercised.
 //
 //   $ ./bench_mc [--samples=256] [--quick] [--out=BENCH_mc.json]
 
@@ -19,6 +24,7 @@
 
 #include "apps/registry.hpp"
 #include "core/campaign.hpp"
+#include "lp/parametric.hpp"
 #include "schedgen/schedgen.hpp"
 #include "stoch/mc.hpp"
 #include "util/cli.hpp"
@@ -38,6 +44,11 @@ double run_ms(const llamp::graph::Graph& g, const llamp::loggops::Params& p,
   }
   return std::chrono::duration<double, std::milli>(t1 - t0).count();
 }
+
+struct Section {
+  double ms1 = 0.0;  ///< single-threaded wall time
+  double msn = 0.0;  ///< wall time at hardware concurrency
+};
 
 }  // namespace
 
@@ -63,27 +74,50 @@ int main(int argc, char** argv) {
   fast.delta_Ls = core::linear_grid(us(100.0), 11);
   fast.band_percents = {1.0, 2.0, 5.0};
 
+  stoch::McSpec fast_scalar = fast;
+  fast_scalar.batch = false;
+
   stoch::McSpec general = fast;
   general.o = stoch::Distribution::rel_normal(0.02);
   general.noise = {0.003, 0.0};
 
   std::printf("bench_mc: %s ranks=%d scale=%g  %zu vertices / %zu edges, "
-              "%d samples x 11 ΔL points + 3 bands, hw=%d threads\n",
+              "%d samples x 11 ΔL points + 3 bands, hw=%d threads, "
+              "batch width %zu\n",
               app.c_str(), ranks, scale, g.num_vertices(), g.num_edges(),
-              samples, hw);
+              samples, hw, lp::kBatchWidth);
 
-  const double fast_1 = run_ms(g, p, fast, 1);
-  const double fast_n = run_ms(g, p, fast, 0);
-  const double gen_1 = run_ms(g, p, general, 1);
-  const double gen_n = run_ms(g, p, general, 0);
+  const Section fast_b{run_ms(g, p, fast, 1), run_ms(g, p, fast, 0)};
+  const Section fast_s{run_ms(g, p, fast_scalar, 1),
+                       run_ms(g, p, fast_scalar, 0)};
+  const Section gen{run_ms(g, p, general, 1), run_ms(g, p, general, 0)};
 
   const auto rate = [&](double ms) { return 1e3 * samples / ms; };
-  std::printf("fast path (L-only, shared solver):   1 thread %8.1f ms "
-              "(%6.1f samples/s)   %d threads %8.1f ms (%6.1f samples/s)\n",
-              fast_1, rate(fast_1), hw, fast_n, rate(fast_n));
-  std::printf("general path (o + edge noise):       1 thread %8.1f ms "
-              "(%6.1f samples/s)   %d threads %8.1f ms (%6.1f samples/s)\n",
-              gen_1, rate(gen_1), hw, gen_n, rate(gen_n));
+  const auto print_section = [&](const char* name, const Section& s) {
+    std::printf("%s 1 thread %8.1f ms (%6.1f samples/s)   %d threads "
+                "%8.1f ms (%6.1f samples/s)\n",
+                name, s.ms1, rate(s.ms1), hw, s.msn, rate(s.msn));
+  };
+  print_section("fast path, batched (L-only):       ", fast_b);
+  print_section("fast path, scalar  (L-only):       ", fast_s);
+  print_section("general path (o + edge noise):     ", gen);
+  std::printf("batched vs scalar (1 thread): %.2fx\n",
+              fast_s.ms1 / fast_b.ms1);
+
+  // Parallel speedup is only a statement about parallelism when there was
+  // any: on a 1-core host the ratio is ~1.0 by construction, so emit null.
+  const auto speedup = [&](const Section& s) -> std::string {
+    if (hw <= 1) return "null";
+    return strformat("%.2f", s.ms1 / s.msn);
+  };
+  const auto section_json = [&](const char* desc, const Section& s) {
+    return strformat(
+        "    \"description\": \"%s\",\n"
+        "    \"hardware_threads\": %d,\n"
+        "    \"threads1_ms\": %.3f, \"threads1_samples_per_sec\": %.1f,\n"
+        "    \"threadsN_ms\": %.3f, \"threadsN_samples_per_sec\": %.1f\n",
+        desc, hw, s.ms1, rate(s.ms1), s.msn, rate(s.msn));
+  };
 
   std::ofstream os(out_path);
   os << strformat(
@@ -93,25 +127,31 @@ int main(int argc, char** argv) {
       "    \"app\": \"%s\", \"ranks\": %d, \"scale\": %g,\n"
       "    \"graph_vertices\": %zu, \"graph_edges\": %zu,\n"
       "    \"samples\": %d, \"delta_l_points\": 11, \"bands\": 3,\n"
-      "    \"hardware_threads\": %d\n"
+      "    \"hardware_threads\": %d, \"batch_width\": %zu\n"
       "  },\n"
-      "  \"fast_path_L_only\": {\n"
-      "    \"description\": \"shared solver, per-worker workspaces; only "
-      "the sampled L moves\",\n"
-      "    \"threads1_ms\": %.3f, \"threads1_samples_per_sec\": %.1f,\n"
-      "    \"threadsN_ms\": %.3f, \"threadsN_samples_per_sec\": %.1f\n"
-      "  },\n"
-      "  \"general_path_edge_noise\": {\n"
-      "    \"description\": \"per-sample perturbed-space lowering (o "
-      "jitter + per-edge folded-normal noise)\",\n"
-      "    \"threads1_ms\": %.3f, \"threads1_samples_per_sec\": %.1f,\n"
-      "    \"threadsN_ms\": %.3f, \"threadsN_samples_per_sec\": %.1f\n"
-      "  },\n"
-      "  \"parallel_speedup\": {\"fast\": %.2f, \"general\": %.2f}\n"
+      "  \"fast_path_L_only_batched\": {\n%s  },\n"
+      "  \"fast_path_L_only_scalar\": {\n%s  },\n"
+      "  \"general_path_edge_noise\": {\n%s  },\n"
+      "  \"batch_speedup_threads1\": %.2f,\n"
+      "  \"parallel_speedup\": {\"fast_batched\": %s, \"fast_scalar\": %s, "
+      "\"general\": %s}\n"
       "}\n",
       app.c_str(), ranks, scale, g.num_vertices(), g.num_edges(), samples,
-      hw, fast_1, rate(fast_1), fast_n, rate(fast_n), gen_1, rate(gen_1),
-      gen_n, rate(gen_n), fast_1 / fast_n, gen_1 / gen_n);
+      hw, lp::kBatchWidth,
+      section_json("shared solver, lane groups of batch_width samples per "
+                   "forward pass; only the sampled L moves",
+                   fast_b)
+          .c_str(),
+      section_json("shared solver, per-sample sweep + scalar band searches "
+                   "(spec.batch = false)",
+                   fast_s)
+          .c_str(),
+      section_json("per-sample perturbed-space lowering (o jitter + "
+                   "per-edge folded-normal noise), chunk-claimed scheduling",
+                   gen)
+          .c_str(),
+      fast_s.ms1 / fast_b.ms1, speedup(fast_b).c_str(),
+      speedup(fast_s).c_str(), speedup(gen).c_str());
   if (!os) {
     std::fprintf(stderr, "bench_mc: cannot write %s\n", out_path.c_str());
     return 1;

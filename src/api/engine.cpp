@@ -122,16 +122,34 @@ void McResult::render(core::OutputFormat format, std::ostream& out) const {
         spec.L.to_string().c_str(), spec.o.to_string().c_str(),
         spec.G.to_string().c_str(), spec.noise.sigma, spec.noise.bias);
   }
+  if (format == core::OutputFormat::kJson) {
+    // The config echo makes bench provenance self-describing: `batched`
+    // records whether the sample-axis kernel ran and `batch_width` its
+    // compile-time lane count.  Both are functions of the request flags
+    // alone (there is no runtime batch toggle), so the bytes stay
+    // deterministic per command line whatever the thread count.
+    out << strformat(
+        "{\"config\": {%s, \"samples\": %d, \"seed\": %llu, "
+        "\"batched\": %s, \"batch_width\": %d},\n \"summary\": %s}\n",
+        app_meta_json(app).c_str(), spec.samples,
+        static_cast<unsigned long long>(spec.seed),
+        result.batched ? "true" : "false", result.batch_width,
+        core::render_json_line(stoch::mc_summary_table(result, false))
+            .c_str());
+    return;
+  }
   out << core::render(stoch::mc_summary_table(result, human), format);
 }
 
 std::string McResult::to_json_line() const {
   return strformat(
       "{\"op\": \"mc\", %s, \"samples\": %d, \"seed\": %llu, "
+      "\"batched\": %s, \"batch_width\": %d, "
       "\"dist_L\": \"%s\", \"dist_o\": \"%s\", \"dist_G\": \"%s\", "
       "\"edge_sigma\": %s, \"edge_bias\": %s, \"summary\": %s}",
       app_meta_json(app).c_str(), spec.samples,
       static_cast<unsigned long long>(spec.seed),
+      result.batched ? "true" : "false", result.batch_width,
       json_escape_string(spec.L.to_string()).c_str(),
       json_escape_string(spec.o.to_string()).c_str(),
       json_escape_string(spec.G.to_string()).c_str(),

@@ -156,16 +156,23 @@ std::vector<LatencyAnalyzer::SweepPoint> LatencyAnalyzer::sweep(
     });
     for (std::size_t i = 0; i < n; ++i) fill(i, evals[i].value, evals[i].slope);
   } else {
-    // Unordered grids keep the dense per-point path, allocation-free via
-    // one workspace per worker.
-    const int nworkers = effective_threads(n, threads);
-    std::vector<lp::ParametricSolver::Workspace> wss(
+    // Unordered grids take the batched dense fallback: lane groups of
+    // kBatchWidth points per forward pass, one batch cursor per worker,
+    // still allocation-free in steady state and still bitwise identical to
+    // per-point dense solves (the batch kernel's contract).
+    const std::size_t groups =
+        (n + lp::kBatchWidth - 1) / lp::kBatchWidth;
+    const int nworkers = effective_threads(groups, threads);
+    std::vector<lp::ParametricSolver::BatchCursor> bcs(
         static_cast<std::size_t>(nworkers));
-    parallel_for_workers(n, threads, [&](int w, std::size_t i) {
-      const auto& sol =
-          solver_.solve(0, xs[i], wss[static_cast<std::size_t>(w)]);
-      fill(i, sol.value, sol.gradient[0]);
+    std::vector<lp::ParametricSolver::BatchPoint> pts(n);
+    parallel_for_workers(groups, threads, [&](int w, std::size_t gi) {
+      const std::size_t lo = gi * lp::kBatchWidth;
+      const std::size_t lanes = std::min(lp::kBatchWidth, n - lo);
+      solver_.solve_batch(0, xs.data() + lo, lanes,
+                          bcs[static_cast<std::size_t>(w)], pts.data() + lo);
     });
+    for (std::size_t i = 0; i < n; ++i) fill(i, pts[i].value, pts[i].slope);
   }
   return out;
 }

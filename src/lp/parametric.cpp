@@ -24,8 +24,7 @@ constexpr int kFlatParamLimit = 8;
 /// many eps away from entering the winner's tie band.
 constexpr double kStableMarginFactor = 32.0;
 
-/// Relative tolerance for value comparisons (times are O(1e10) ns).
-double value_eps(double v) { return 1e-9 * (1.0 + std::fabs(v)); }
+using detail::value_eps;
 
 /// Upper-envelope bookkeeping: given the winning affine piece
 /// (value, slope) at δ=0 and a losing candidate, tighten the interval of δ

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <memory>
@@ -10,6 +11,25 @@
 #include "lp/param_space.hpp"
 
 namespace llamp::lp {
+
+namespace detail {
+/// Relative tolerance for value comparisons (times are O(1e10) ns).  Shared
+/// by the scalar forward pass (parametric.cpp) and the batched kernel
+/// (batch.cpp), which must break near-ties identically for the batch
+/// bitwise-equivalence contract to hold.
+inline double value_eps(double v) { return 1e-9 * (1.0 + std::fabs(v)); }
+}  // namespace detail
+
+/// Sample-axis block width of the batched forward pass (doubles per lane
+/// group).  One batch pass evaluates kBatchWidth parameter points at once
+/// with stride-1 inner loops over the lane axis; the width is a power of
+/// two, sized at two widest-vector-unit registers (16 doubles = two
+/// AVX-512 registers, four AVX2 registers) so the per-edge scalar work —
+/// index loads, pointer arithmetic, the cost broadcast — amortizes over
+/// more lanes than one register would give.  Tail groups shorter than
+/// this run through last_pow2-sized sub-blocks, so any n is served
+/// exactly.
+inline constexpr std::size_t kBatchWidth = 16;
 
 /// Exact solver state for the LP class produced by Algorithm 1.  Those LPs
 /// are longest-path problems on a DAG whose edge costs are affine in the
@@ -117,6 +137,76 @@ class LoweredProblem {
     double stable_hi_ = -std::numeric_limits<double>::infinity();
     Solution solution_;
   };
+
+  /// One lane of a batched forward pass: T, the active slope, and (when
+  /// requested) the active parameter's feasibility range at that lane's
+  /// evaluation point.  Every field is bitwise identical to the matching
+  /// member of solve(active, x).{value, gradient[active], lo, hi}.
+  struct BatchPoint {
+    double value = 0.0;
+    double slope = 0.0;
+    double lo = -std::numeric_limits<double>::infinity();
+    double hi = std::numeric_limits<double>::infinity();
+  };
+
+  /// Scratch for the batched forward pass: the per-vertex finish/slope
+  /// accumulators laid out structure-of-arrays over the sample axis
+  /// (finish_[pos * width + lane]) plus the candidate buffer the range
+  /// variant replays the envelope bookkeeping from.  Same ownership rules
+  /// as Cursor: one per thread, shareable across problems, buffers only
+  /// grow — steady-state batch solves perform zero heap allocations.
+  class BatchCursor {
+   public:
+    BatchCursor() = default;
+    BatchCursor(const BatchCursor&) = delete;
+    BatchCursor& operator=(const BatchCursor&) = delete;
+    BatchCursor(BatchCursor&&) = default;
+    BatchCursor& operator=(BatchCursor&&) = default;
+
+   private:
+    friend class LoweredProblem;
+    std::vector<double> finish_;  ///< num_vertices x kBatchWidth, SoA
+    std::vector<double> slope_;
+    /// Candidate rows of the vertex currently being maximized (range
+    /// variant only): max_in_degree x kBatchWidth values and slopes.
+    std::vector<double> cand_val_;
+    std::vector<double> cand_slope_;
+    /// Lockstep budget-search lane state (max_param_for_budget_from_batch).
+    std::vector<double> search_x_;
+    std::vector<BatchPoint> search_pts_;
+  };
+
+  /// Batched forward pass: evaluate parameter `active` at xs[0..n) — one
+  /// independent scenario per lane, any order, any n — writing n entries to
+  /// `out`.  Lanes are processed in blocks of kBatchWidth (tails in
+  /// last_pow2-sized sub-blocks), the per-edge cost accumulators run
+  /// structure-of-arrays over the lane axis with a fixed block-synchronous
+  /// reduction order, and every per-lane floating-point operation replays
+  /// the scalar pass exactly — so out[i].{value, slope} is bitwise
+  /// identical to solve(active, xs[i]) at every lane (the batch equivalence
+  /// wall in test_solver_hotpath.cpp pins this across apps, spaces, and
+  /// block boundaries).  This variant skips the basis-range envelope;
+  /// out[i].lo/hi are left at -inf/+inf.  Steady state allocates nothing.
+  void solve_batch(int active, const double* xs, std::size_t n,
+                   BatchCursor& cur, BatchPoint* out) const;
+
+  /// Same pass with the upper-envelope bookkeeping enabled: out[i].lo/hi
+  /// additionally match solve(active, xs[i]).lo/hi bitwise.  Costs one
+  /// extra candidate-buffer sweep per multi-predecessor vertex; use the
+  /// plain variant when only values and slopes are consumed.
+  void solve_batch_ranges(int active, const double* xs, std::size_t n,
+                          BatchCursor& cur, BatchPoint* out) const;
+
+  /// Lockstep batched tolerance search: out[i] is bitwise identical to
+  /// max_param_for_budget_from(k, from[i], budget[i], cur) for every lane,
+  /// including the boundary clamps and the LpError conditions (an
+  /// infeasible lane throws exactly the scalar error, lowest lane first).
+  /// Lanes iterate the scalar bracketed-Newton logic in lockstep, each
+  /// iteration served by one ranged batch pass, so a block of n searches
+  /// costs max-lane-iterations passes instead of sum-over-lanes solves.
+  void max_param_for_budget_from_batch(int k, const double* from,
+                                       const double* budget, std::size_t n,
+                                       BatchCursor& cur, double* out) const;
 
   /// Evaluate with parameter `active` set to `value` and all others at
   /// their base values, reusing `cur` for all scratch state.  The returned
@@ -253,6 +343,15 @@ class LoweredProblem {
   template <typename EdgeAt>
   void forward_pass(int active, double value, Cursor& cur,
                     const EdgeAt& edge_at) const;
+  /// The W-lane batched pass (src/lp/batch.cpp); Range selects the
+  /// envelope bookkeeping, LaneCost the flat/CSR edge-cost flavor.
+  template <std::size_t W, bool Range, typename LaneCost>
+  void batch_pass(const LaneCost& cost, const double* xs,
+                  BatchCursor& cur, BatchPoint* out) const;
+  template <bool Range>
+  void solve_batch_impl(int active, const double* xs, std::size_t n,
+                        BatchCursor& cur, BatchPoint* out) const;
+  void prepare_batch(BatchCursor& cur) const;
   /// Dense solve into cur (solution, chain, stability bound).
   void solve_into(int active, double value, Cursor& cur) const;
   /// T at `x` via the cached critical path of cur's last solve.  Only valid
@@ -314,6 +413,8 @@ class ParametricSolver {
   using SweepEval = LoweredProblem::SweepEval;
   using SweepStats = LoweredProblem::SweepStats;
   using AnchorState = LoweredProblem::AnchorState;
+  using BatchCursor = LoweredProblem::BatchCursor;
+  using BatchPoint = LoweredProblem::BatchPoint;
 
   ParametricSolver(const graph::Graph& g,
                    std::shared_ptr<const ParamSpace> space)
@@ -368,6 +469,20 @@ class ParametricSolver {
   double max_param_for_budget_from(int k, double from, double budget,
                                    Workspace& ws) const {
     return prob_->max_param_for_budget_from(k, from, budget, ws);
+  }
+
+  void solve_batch(int active, const double* xs, std::size_t n,
+                   BatchCursor& cur, BatchPoint* out) const {
+    prob_->solve_batch(active, xs, n, cur, out);
+  }
+  void solve_batch_ranges(int active, const double* xs, std::size_t n,
+                          BatchCursor& cur, BatchPoint* out) const {
+    prob_->solve_batch_ranges(active, xs, n, cur, out);
+  }
+  void max_param_for_budget_from_batch(int k, const double* from,
+                                       const double* budget, std::size_t n,
+                                       BatchCursor& cur, double* out) const {
+    prob_->max_param_for_budget_from_batch(k, from, budget, n, cur, out);
   }
 
   void sweep(int k, std::span<const double> xs, Workspace& ws,

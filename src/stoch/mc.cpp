@@ -24,12 +24,22 @@ namespace {
 /// thread count can never change a single bit of the result.
 constexpr std::size_t kBlock = 1024;
 
-/// Per-worker scratch reused across every sample a worker serves.
+/// Per-worker scratch reused across every sample (or sample group) a
+/// worker serves.
 struct WorkerScratch {
   lp::ParametricSolver::Workspace ws;
   std::vector<double> xs;
   std::vector<lp::ParametricSolver::SweepEval> evals;
   std::vector<double> factors;
+  // Batched fast path: one kBatchWidth-wide lane group of samples.
+  lp::ParametricSolver::BatchCursor bc;
+  std::vector<lp::ParametricSolver::BatchPoint> pts;
+  std::vector<double> lane_L;       ///< the group's sampled L draws
+  std::vector<double> lane_xs;      ///< lane evaluation points, one ΔL at a time
+  std::vector<double> lane_from;    ///< per-lane band-search anchor (ΔL[0])
+  std::vector<double> lane_v0;      ///< per-lane T at ΔL[0]
+  std::vector<double> lane_budget;
+  std::vector<double> lane_tol;
 };
 
 }  // namespace
@@ -148,16 +158,37 @@ McResult run_mc(const graph::Graph& g, const loggops::Params& base,
   const std::size_t block = std::min(total, kBlock);
   std::vector<double> buffer(block * stride);
 
-  const int nworkers = effective_threads(block, spec.threads);
+  // On the shared-solver path the samples differ only in their L draw, so a
+  // whole lane group rides one batched forward pass per ΔL point (and one
+  // lockstep search per band) instead of a sweep + three scalar searches
+  // per sample.  Bitwise-identical output either way: solve_batch and the
+  // lockstep search match their scalar counterparts bit for bit, and the
+  // ordered reduction below never changes.
+  const bool batched = shared_solver_path && spec.batch;
+  const std::size_t ngroups =
+      (block + lp::kBatchWidth - 1) / lp::kBatchWidth;
+  const int nworkers =
+      effective_threads(batched ? ngroups : block, spec.threads);
   std::vector<WorkerScratch> scratch(static_cast<std::size_t>(nworkers));
   for (WorkerScratch& s : scratch) {
     s.xs.resize(npts);
     s.evals.resize(npts);
+    if (batched) {
+      s.pts.resize(lp::kBatchWidth);
+      s.lane_L.resize(lp::kBatchWidth);
+      s.lane_xs.resize(lp::kBatchWidth);
+      s.lane_from.resize(lp::kBatchWidth);
+      s.lane_v0.resize(lp::kBatchWidth);
+      s.lane_budget.resize(lp::kBatchWidth);
+      s.lane_tol.resize(lp::kBatchWidth);
+    }
   }
 
   McResult res;
   res.base = base;
   res.samples = spec.samples;
+  res.batched = batched;
+  res.batch_width = static_cast<int>(lp::kBatchWidth);
   res.delta_Ls = spec.delta_Ls;
   res.runtime.resize(npts);
   res.bands.resize(nbands);
@@ -165,10 +196,89 @@ McResult run_mc(const graph::Graph& g, const loggops::Params& base,
     res.bands[b].percent = spec.band_percents[b];
   }
 
+  // Ordered reduction: ascending sample index, metric-major within a
+  // sample — the one place observations meet the streaming sketches, and
+  // identical whichever evaluation path filled the buffer.
+  const auto fold_block = [&](std::size_t bn) {
+    for (std::size_t j = 0; j < bn; ++j) {
+      const double* row = buffer.data() + j * stride;
+      for (std::size_t k = 0; k < npts; ++k) res.runtime[k].add(row[k]);
+      res.lambda_L.add(row[npts]);
+      res.rho_L.add(row[npts + 1]);
+      for (std::size_t b = 0; b < nbands; ++b) {
+        res.bands[b].tolerance_delta.add(row[npts + 2 + b]);
+      }
+    }
+  };
+
   for (std::size_t block_start = 0; block_start < total;
        block_start += block) {
     const std::size_t bn = std::min(block, total - block_start);
-    parallel_for_workers(bn, spec.threads, [&](int w, std::size_t j) {
+    if (batched) {
+      const std::size_t groups = (bn + lp::kBatchWidth - 1) / lp::kBatchWidth;
+      parallel_for_workers(groups, spec.threads, [&](int w, std::size_t gi) {
+        WorkerScratch& sc = scratch[static_cast<std::size_t>(w)];
+        const std::size_t g0 = gi * lp::kBatchWidth;
+        const std::size_t lanes = std::min(lp::kBatchWidth, bn - g0);
+        // Per-lane draws: sample i's Rng and draw order are exactly the
+        // scalar path's, and L is its first draw — o/G are degenerate here,
+        // pinned in the shared operating point.
+        for (std::size_t l = 0; l < lanes; ++l) {
+          Rng rng(sample_seed(spec.seed, block_start + g0 + l));
+          sc.lane_L[l] = spec.L.sample(rng, base.L);
+        }
+        // llamp-lint: hot-path begin
+        // Steady state: one batched pass per ΔL grid point, one lockstep
+        // band search per percent, all against preallocated lane scratch.
+        for (std::size_t k = 0; k < npts; ++k) {
+          for (std::size_t l = 0; l < lanes; ++l) {
+            sc.lane_xs[l] = sc.lane_L[l] + spec.delta_Ls[k];
+          }
+          shared->solve_batch(0, sc.lane_xs.data(), lanes, sc.bc,
+                              sc.pts.data());
+          for (std::size_t l = 0; l < lanes; ++l) {
+            buffer[(g0 + l) * stride + k] = sc.pts[l].value;
+          }
+          if (k == 0) {
+            for (std::size_t l = 0; l < lanes; ++l) {
+              double* out = buffer.data() + (g0 + l) * stride;
+              sc.lane_from[l] = sc.lane_xs[l];
+              sc.lane_v0[l] = sc.pts[l].value;
+              const double lambda0 = sc.pts[l].slope;
+              out[npts] = lambda0;
+              out[npts + 1] = sc.pts[l].value > 0.0
+                                  ? sc.lane_xs[l] * lambda0 / sc.pts[l].value
+                                  : 0.0;
+            }
+          }
+        }
+        for (std::size_t b = 0; b < nbands; ++b) {
+          for (std::size_t l = 0; l < lanes; ++l) {
+            sc.lane_budget[l] =
+                sc.lane_v0[l] * (1.0 + spec.band_percents[b] / 100.0);
+          }
+          shared->max_param_for_budget_from_batch(
+              0, sc.lane_from.data(), sc.lane_budget.data(), lanes, sc.bc,
+              sc.lane_tol.data());
+          for (std::size_t l = 0; l < lanes; ++l) {
+            const double tol = sc.lane_tol[l];
+            buffer[(g0 + l) * stride + npts + 2 + b] =
+                std::isfinite(tol) ? tol - sc.lane_from[l] : tol;
+          }
+        }
+        // llamp-lint: hot-path end
+      });
+      fold_block(bn);
+      continue;
+    }
+    // The scalar path: per-sample solves, either because batching is off
+    // (spec.batch) or because each sample lowers its own perturbed space.
+    // The general edge-noise path has imbalanced per-sample cost (the drawn
+    // operating point reshapes every solve), so samples are claimed by
+    // chunked self-scheduling rather than static striding — a worker that
+    // drew expensive samples simply claims fewer.
+    parallel_for_workers_chunked(bn, spec.threads, 1, [&](int w,
+                                                          std::size_t j) {
       WorkerScratch& sc = scratch[static_cast<std::size_t>(w)];
       const std::size_t i = block_start + j;
       Rng rng(sample_seed(spec.seed, i));
@@ -227,18 +337,7 @@ McResult run_mc(const graph::Graph& g, const loggops::Params& base,
       }
       // llamp-lint: hot-path end
     });
-
-    // Ordered reduction: ascending sample index, metric-major within a
-    // sample — the one place observations meet the streaming sketches.
-    for (std::size_t j = 0; j < bn; ++j) {
-      const double* row = buffer.data() + j * stride;
-      for (std::size_t k = 0; k < npts; ++k) res.runtime[k].add(row[k]);
-      res.lambda_L.add(row[npts]);
-      res.rho_L.add(row[npts + 1]);
-      for (std::size_t b = 0; b < nbands; ++b) {
-        res.bands[b].tolerance_delta.add(row[npts + 2 + b]);
-      }
-    }
+    fold_block(bn);
   }
   return res;
 }

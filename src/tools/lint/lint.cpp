@@ -76,8 +76,8 @@ FileClass classify(std::string_view rel) {
   fc.print_exempt =
       rel.substr(0, 10) == "src/tools/" || rel == "src/util/cli.cpp";
   fc.emitter = is_emitter_path(rel);
-  fc.hot_designated =
-      rel == "src/lp/parametric.cpp" || rel == "src/stoch/mc.cpp";
+  fc.hot_designated = rel == "src/lp/parametric.cpp" ||
+                      rel == "src/lp/batch.cpp" || rel == "src/stoch/mc.cpp";
   return fc;
 }
 

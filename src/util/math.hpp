@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+
+namespace llamp::util {
+
+/// 2^floor(log2(n)) — the largest power of two <= n — computed branch-free
+/// by smearing the high bit down and keeping it (the CUDA launch-config
+/// idiom).  last_pow2(0) == 0; every other input yields a power of two.
+/// Shared by the batched solver kernel's sub-block sizing and any future
+/// launch/partition math, so the convention lives in exactly one place.
+constexpr std::uint64_t last_pow2(std::uint64_t n) {
+  n |= n >> 1;
+  n |= n >> 2;
+  n |= n >> 4;
+  n |= n >> 8;
+  n |= n >> 16;
+  n |= n >> 32;
+  return n - (n >> 1);
+}
+
+/// The smallest power of two >= n, branch-free: smear (n - 1) and add one.
+/// round_up_pow2(0) == 1 (an empty request still gets a valid block), and
+/// inputs above 2^63 would wrap — callers size blocks, not address spaces,
+/// so the precondition n <= 2^63 is asserted structurally by use.
+constexpr std::uint64_t round_up_pow2(std::uint64_t n) {
+  n = n > 0 ? n - 1 : 0;
+  n |= n >> 1;
+  n |= n >> 2;
+  n |= n >> 4;
+  n |= n >> 8;
+  n |= n >> 16;
+  n |= n >> 32;
+  return n + 1;
+}
+
+/// True iff n is a power of two (0 is not).
+constexpr bool is_pow2(std::uint64_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+static_assert(last_pow2(1) == 1 && last_pow2(2) == 2 && last_pow2(3) == 2);
+static_assert(last_pow2(8) == 8 && last_pow2(9) == 8 && last_pow2(1023) == 512);
+static_assert(round_up_pow2(0) == 1 && round_up_pow2(1) == 1);
+static_assert(round_up_pow2(3) == 4 && round_up_pow2(8) == 8);
+static_assert(round_up_pow2(9) == 16);
+static_assert(is_pow2(1) && is_pow2(64) && !is_pow2(0) && !is_pow2(12));
+
+}  // namespace llamp::util

@@ -1,6 +1,7 @@
 #include "util/parallel.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -31,6 +32,39 @@ void parallel_for_workers(std::size_t n, int threads,
         for (std::size_t i = static_cast<std::size_t>(t); i < n;
              i += static_cast<std::size_t>(nthreads)) {
           fn(t, i);
+        }
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  if (error) std::rethrow_exception(error);
+}
+
+void parallel_for_workers_chunked(
+    std::size_t n, int threads, std::size_t chunk,
+    const std::function<void(int, std::size_t)>& fn) {
+  const int nthreads = effective_threads(n, threads);
+  if (nthreads == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(0, i);
+    return;
+  }
+  if (chunk == 0) chunk = 1;
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  for (int t = 0; t < nthreads; ++t) {
+    pool.emplace_back([&, t] {
+      try {
+        for (;;) {
+          const std::size_t lo =
+              next.fetch_add(chunk, std::memory_order_relaxed);
+          if (lo >= n) return;
+          const std::size_t hi = std::min(lo + chunk, n);
+          for (std::size_t i = lo; i < hi; ++i) fn(t, i);
         }
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mutex);

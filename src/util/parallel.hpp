@@ -43,6 +43,24 @@ void parallel_for(std::size_t n, int threads,
 void parallel_for_workers(std::size_t n, int threads,
                           const std::function<void(int, std::size_t)>& fn);
 
+/// Like parallel_for_workers, but with chunked self-scheduling instead of
+/// static striding: workers repeatedly claim the next `chunk` consecutive
+/// indices from a shared atomic counter, so a worker that drew expensive
+/// indices simply claims fewer chunks while the others keep the pool busy.
+/// Use this when per-index cost is imbalanced (the Monte Carlo general
+/// edge-noise path, where resampled edge factors reshape every solve);
+/// striding remains the right default when costs are uniform, since it
+/// touches no shared state.  `chunk` == 0 is treated as 1.
+///
+/// Same determinism contract as parallel_for_workers — fn(i) must depend
+/// only on i and (per-worker) scratch whose effect on the result is
+/// index-local — under which results are independent of the thread count
+/// *and* of the race for chunks (pinned across 1/2/8 threads and TSan by
+/// test_parallel_stress.cpp).
+void parallel_for_workers_chunked(
+    std::size_t n, int threads, std::size_t chunk,
+    const std::function<void(int, std::size_t)>& fn);
+
 /// Persistent worker pool with parallel_for_workers semantics: workers are
 /// spawned once and reused across jobs, so a long-lived session (the
 /// api::Engine serving many requests) pays thread start-up once instead of

@@ -80,6 +80,51 @@ TEST(AllocationFree, SegmentWalkSweepAllocatesNothing) {
       << "steady-state sweep() allocated on the heap";
 }
 
+TEST(AllocationFree, BatchSolvesAllocateNothingAfterWarmup) {
+  // Same wall for the batched kernel: once prepare_batch has grown the
+  // cursor's lane buffers, solve_batch / solve_batch_ranges / the lockstep
+  // budget search must be heap-silent, at full blocks and at every tail
+  // width.
+  const auto g =
+      schedgen::build_graph(apps::make_app_trace("lulesh", 8, 0.02));
+  const auto p = loggops::NetworkConfig::cscs_testbed();
+  ParametricSolver solver(g, std::make_shared<LatencyParamSpace>(p));
+  ParametricSolver::BatchCursor bc;
+
+  std::vector<double> xs(kBatchWidth + 3);
+  for (std::size_t l = 0; l < xs.size(); ++l) {
+    xs[l] = p.L + 250.0 * static_cast<double>(l);
+  }
+  std::vector<ParametricSolver::BatchPoint> pts(xs.size());
+  std::vector<double> from(xs.size(), p.L);
+  std::vector<double> budgets(xs.size());
+  std::vector<double> tols(xs.size());
+  const double v0 = solver.solve(0, p.L).value;
+  for (std::size_t l = 0; l < xs.size(); ++l) {
+    budgets[l] = v0 * (1.02 + 0.01 * static_cast<double>(l));
+  }
+
+  // Warm-up: one call per entry point grows every lane buffer.
+  solver.solve_batch(0, xs.data(), xs.size(), bc, pts.data());
+  solver.solve_batch_ranges(0, xs.data(), xs.size(), bc, pts.data());
+  solver.max_param_for_budget_from_batch(0, from.data(), budgets.data(),
+                                         xs.size(), bc, tols.data());
+
+  const std::size_t before = g_allocations;
+  for (int round = 0; round < 20; ++round) {
+    for (std::size_t n : {xs.size(), kBatchWidth, std::size_t{5},
+                          std::size_t{1}}) {
+      solver.solve_batch(0, xs.data(), n, bc, pts.data());
+      solver.solve_batch_ranges(0, xs.data(), n, bc, pts.data());
+      ASSERT_GT(pts[0].value, 0.0);
+    }
+    solver.max_param_for_budget_from_batch(0, from.data(), budgets.data(),
+                                           xs.size(), bc, tols.data());
+  }
+  EXPECT_EQ(g_allocations, before)
+      << "steady-state batch kernel allocated on the heap";
+}
+
 TEST(AllocationFree, WorkspaceReuseAcrossSolversOnlyGrows) {
   // Moving a warm workspace to a *smaller* scenario must stay
   // allocation-free; only growth may allocate.

@@ -9,7 +9,9 @@
 #include <string>
 #include <vector>
 
+#include "lp/parametric.hpp"
 #include "tools/cli_driver.hpp"
+#include "util/strings.hpp"
 
 namespace llamp {
 namespace {
@@ -363,6 +365,24 @@ TEST(CliMc, EmitsEveryFormat) {
   EXPECT_EQ(json.code, 0) << json.err;
   EXPECT_TRUE(contains(json.out, "\"metric\": \"lambda_l\""));
   EXPECT_TRUE(contains(json.out, "\"mean\": "));
+  // The JSON config echo is self-describing bench provenance: it records
+  // whether the batched sample-axis kernel engaged and its lane count.
+  // L-only jitter keeps the shared operating point, so this run batches.
+  EXPECT_TRUE(contains(json.out, "\"batched\": true"));
+  EXPECT_TRUE(contains(
+      json.out,
+      strformat("\"batch_width\": %d",
+                static_cast<int>(llamp::lp::kBatchWidth))));
+}
+
+TEST(CliMc, JsonConfigEchoReportsScalarFallback) {
+  // Edge noise forces per-sample lowering, so the echo must say so.
+  const auto json = run_cli({"mc", "--app=lulesh", "--ranks=8",
+                             "--scale=0.02", "--points=3", "--dl-max-us=20",
+                             "--samples=4", "--sigma-L=0.1",
+                             "--edge-sigma=0.003", "--format=json"});
+  EXPECT_EQ(json.code, 0) << json.err;
+  EXPECT_TRUE(contains(json.out, "\"batched\": false"));
 }
 
 TEST(CliMc, SeedReproducesIdenticalBytes) {

@@ -177,6 +177,8 @@ TEST(LintRegions, BansApplyOnlyInsideRegions) {
 TEST(LintRegions, DesignatedFilesMustCarryARegion) {
   EXPECT_EQ(rules_of(lint_file("src/lp/parametric.cpp", "int x;\n")),
             std::vector<std::string>{"hot-region"});
+  EXPECT_EQ(rules_of(lint_file("src/lp/batch.cpp", "int x;\n")),
+            std::vector<std::string>{"hot-region"});
   EXPECT_EQ(rules_of(lint_file("src/stoch/mc.cpp", "int x;\n")),
             std::vector<std::string>{"hot-region"});
   EXPECT_TRUE(lint_file("src/stoch/mc.cpp",

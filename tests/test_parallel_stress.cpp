@@ -83,6 +83,97 @@ TEST(ThreadPoolStress, WorkerScratchStaysPerWorker) {
 }
 
 // ---------------------------------------------------------------------------
+// parallel_for_workers_chunked: the chunk-claiming scheduler behind the MC
+// general path.  Its determinism contract is the same as the strided
+// variant — fn(i) may depend only on i — and these suites pin it under
+// exactly the conditions that would expose a violation: a strongly
+// imbalanced per-index cost, several thread counts, and TSan (this file is
+// part of the ThreadSanitizer CI job).
+// ---------------------------------------------------------------------------
+
+// A deliberately lopsided per-index computation: indices divisible by 16
+// cost ~200x the rest, so static striding would leave most workers idle
+// while chunk claiming keeps them busy.  The result for index i is a fixed
+// sequence of FP ops depending only on i — any scheduler that leaks state
+// across indices or workers changes the bytes.
+double imbalanced_value(std::size_t i) {
+  const int iters = (i % 16 == 0) ? 4000 : 20;
+  double x = static_cast<double>(i) + 1.0;
+  for (int k = 0; k < iters; ++k) {
+    x = x * 1.0000001 + 1.0 / x;
+  }
+  return x;
+}
+
+TEST(ChunkedWorkersStress, BitwiseIdenticalAcrossThreadCounts) {
+  constexpr std::size_t kN = 1200;
+  std::vector<double> ref(kN, 0.0);
+  parallel_for_workers_chunked(kN, 1, 4, [&](int, std::size_t i) {
+    ref[i] = imbalanced_value(i);
+  });
+  for (const int threads : {2, 8}) {
+    for (const std::size_t chunk : {std::size_t{1}, std::size_t{7},
+                                    std::size_t{64}, kN + 1}) {
+      std::vector<double> got(kN, 0.0);
+      parallel_for_workers_chunked(kN, threads, chunk,
+                                   [&](int, std::size_t i) {
+                                     got[i] = imbalanced_value(i);
+                                   });
+      ASSERT_EQ(got, ref) << "threads=" << threads << " chunk=" << chunk;
+    }
+  }
+}
+
+TEST(ChunkedWorkersStress, CoversEveryIndexExactlyOnce) {
+  // Tiny chunks maximize claim contention on the shared atomic counter;
+  // a double-grant or a skipped tail would show up as a count != 1.
+  std::vector<std::atomic<int>> seen(1013);
+  parallel_for_workers_chunked(seen.size(), 8, 1, [&](int w, std::size_t i) {
+    EXPECT_GE(w, 0);
+    EXPECT_LT(w, 8);
+    seen[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& s : seen) ASSERT_EQ(s.load(), 1);
+}
+
+TEST(ChunkedWorkersStress, ZeroChunkMeansOne) {
+  std::vector<std::atomic<int>> seen(64);
+  parallel_for_workers_chunked(seen.size(), 4, 0, [&](int, std::size_t i) {
+    seen[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& s : seen) ASSERT_EQ(s.load(), 1);
+}
+
+TEST(ChunkedWorkersStress, PerWorkerScratchStaysPerWorker) {
+  // Same invariant the strided variant and ThreadPool guarantee: the worker
+  // id is unique per concurrent thread, so unsynchronized per-worker
+  // accumulators are safe (TSan verifies the claim).
+  constexpr int kWorkers = 6;
+  std::vector<long long> per_worker(kWorkers, 0);
+  parallel_for_workers_chunked(999, kWorkers, 5, [&](int w, std::size_t i) {
+    per_worker[static_cast<std::size_t>(w)] += static_cast<long long>(i) + 1;
+  });
+  long long total = 0;
+  for (const long long v : per_worker) total += v;
+  EXPECT_EQ(total, 999LL * 1000 / 2);
+}
+
+TEST(ChunkedWorkersStress, PropagatesExactlyOneException) {
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> ran{0};
+    try {
+      parallel_for_workers_chunked(256, 8, 3, [&](int, std::size_t i) {
+        ran.fetch_add(1, std::memory_order_relaxed);
+        if (i % 41 == 7) throw Error("chunk storm");
+      });
+      FAIL() << "must throw";
+    } catch (const Error& e) {
+      EXPECT_STREQ(e.what(), "chunk storm");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // GraphCache: racing first touches of one key, and mixed warm/get traffic.
 // ---------------------------------------------------------------------------
 

@@ -84,7 +84,9 @@ TEST(Rendezvous, BlockingSendGetsCompletionAndIssueEdges) {
   EXPECT_EQ(count_edges(g, EdgeKind::kSendCompletion), 1u);
   // Comm edge carries the 3-hop handshake cost.
   for (const graph::Edge& e : g.edges()) {
-    if (e.kind == EdgeKind::kComm) EXPECT_EQ(e.l_mult, 3);
+    if (e.kind == EdgeKind::kComm) {
+      EXPECT_EQ(e.l_mult, 3);
+    }
   }
 }
 
@@ -128,7 +130,9 @@ TEST(Rendezvous, ThresholdIsConfigurable) {
   opt.rendezvous_threshold = 512;
   const auto g = build_graph(tb.finish(), opt);
   for (const graph::Edge& e : g.edges()) {
-    if (e.kind == EdgeKind::kComm) EXPECT_EQ(e.l_mult, 3);
+    if (e.kind == EdgeKind::kComm) {
+      EXPECT_EQ(e.l_mult, 3);
+    }
   }
 }
 

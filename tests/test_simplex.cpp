@@ -196,7 +196,7 @@ TEST(Orientation, MaxReportsPositiveDualConvention) {
   // of objective change per unit of bound increase.
   Model m;
   m.set_sense(Sense::kMaximize);
-  const int l = m.add_var("l", 0.0, 7.0, 1.0);
+  (void)m.add_var("l", 0.0, 7.0, 1.0);
   const Solution s = SimplexSolver{}.solve(m);
   ASSERT_EQ(s.status, SolveStatus::kOptimal);
   EXPECT_NEAR(s.objective, 7.0, 1e-9);

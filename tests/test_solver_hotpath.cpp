@@ -543,6 +543,177 @@ TEST_P(RandomConfigTest, BudgetBoundaryAgreesAcrossCursorStates) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Batched sample-axis kernel (PR 8): solve_batch / solve_batch_ranges must
+// be bitwise indistinguishable from n independent dense solves — across
+// every registered app, random LogGPS configurations, the flat and CSR
+// lowerings, and every block-boundary shape (n below, at, and off multiples
+// of kBatchWidth, so the last_pow2 tail dispatch is exercised too).
+// ---------------------------------------------------------------------------
+
+/// Unordered lane values (the batch API, unlike sweep, imposes no order):
+/// random points, duplicates, and the interval ends shuffled together.
+std::vector<double> batch_grid(double lo, double hi, int points,
+                               std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> xs;
+  for (int i = 0; i < points; ++i) {
+    xs.push_back(lo + (hi - lo) * rng.uniform());
+  }
+  xs.push_back(hi);
+  xs.push_back(lo);
+  if (!xs.empty()) xs.push_back(xs.front());  // a duplicate lane
+  return xs;
+}
+
+void expect_batch_matches_dense(const Solver& solver, int k,
+                                const std::vector<double>& xs,
+                                Solver::BatchCursor& bc) {
+  std::vector<Solver::BatchPoint> plain(xs.size());
+  std::vector<Solver::BatchPoint> ranged(xs.size());
+  solver.solve_batch(k, xs.data(), xs.size(), bc, plain.data());
+  solver.solve_batch_ranges(k, xs.data(), xs.size(), bc, ranged.data());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const auto dense = solver.solve(k, xs[i]);
+    const double dslope = dense.gradient[static_cast<std::size_t>(k)];
+    EXPECT_EQ(plain[i].value, dense.value) << "k=" << k << " x=" << xs[i];
+    EXPECT_EQ(plain[i].slope, dslope) << "k=" << k << " x=" << xs[i];
+    EXPECT_EQ(ranged[i].value, dense.value) << "k=" << k << " x=" << xs[i];
+    EXPECT_EQ(ranged[i].slope, dslope) << "k=" << k << " x=" << xs[i];
+    EXPECT_EQ(ranged[i].lo, dense.lo) << "k=" << k << " x=" << xs[i];
+    EXPECT_EQ(ranged[i].hi, dense.hi) << "k=" << k << " x=" << xs[i];
+  }
+}
+
+TEST(BatchSolve, BitwiseMatchesDenseOnAllRegisteredApps) {
+  Solver::BatchCursor bc;  // shared across apps: reuse must not leak state
+  for (const std::string& app : apps::app_names()) {
+    const int ranks = apps::supported_ranks(app, 8);
+    const auto g =
+        schedgen::build_graph(apps::make_app_trace(app, ranks, 0.02));
+    const auto p = loggops::NetworkConfig::cscs_testbed();
+    Solver solver(g, std::make_shared<LatencyParamSpace>(p));
+    SCOPED_TRACE(app);
+    expect_batch_matches_dense(
+        solver, 0,
+        batch_grid(0.0, p.L + 100'000.0, 17, 0xba7c4u + g.num_vertices()),
+        bc);
+  }
+}
+
+TEST_P(RandomConfigTest, BatchBitwiseMatchesDenseAtEveryBlockBoundary) {
+  testing::RandomProgramConfig cfg;
+  cfg.seed = GetParam() + 4'242;
+  cfg.nranks = 5;
+  cfg.steps = 110;
+  const auto g = schedgen::build_graph(testing::random_trace(cfg));
+  const loggops::Params p = random_params(GetParam() * 271 + 13);
+  Solver solver(g, std::make_shared<LatencyParamSpace>(p));
+  Solver::BatchCursor bc;
+  const auto xs =
+      batch_grid(0.0, p.L + 200'000.0, 31, GetParam() * 7 + 1);
+  // Prefix lengths straddling every sub-block shape the tail dispatch can
+  // take: 1..9 covers the pow2 ladder, 15/16/17 the full-block boundary.
+  for (const std::size_t n :
+       {std::size_t{1}, std::size_t{2}, std::size_t{3}, std::size_t{4},
+        std::size_t{5}, std::size_t{6}, std::size_t{7}, std::size_t{8},
+        std::size_t{9}, std::size_t{15}, std::size_t{16}, std::size_t{17},
+        xs.size()}) {
+    SCOPED_TRACE(n);
+    expect_batch_matches_dense(
+        solver, 0, std::vector<double>(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(n)), bc);
+  }
+}
+
+TEST_P(RandomConfigTest, BatchCsrFallbackBitwiseMatchesDense) {
+  // Two-term edges (bandwidth) and the pairwise space both bypass the flat
+  // lowering; the batch kernel's CSR lane walk must match the scalar term
+  // walk bitwise.
+  testing::RandomProgramConfig cfg;
+  cfg.seed = GetParam() + 2'024;
+  cfg.nranks = 5;
+  cfg.steps = 100;
+  const auto g = schedgen::build_graph(testing::random_trace(cfg));
+  const loggops::Params p = random_params(GetParam() * 631 + 7);
+  Solver::BatchCursor bc;
+
+  Solver bw(g, std::make_shared<LatencyBandwidthParamSpace>(p));
+  expect_batch_matches_dense(bw, 1, batch_grid(0.0, p.G + 2.0, 13, 21), bc);
+
+  const auto pair_space =
+      std::make_shared<PairwiseLatencyParamSpace>(p, cfg.nranks);
+  Solver pw(g, pair_space);
+  const int k = pair_space->pair_index(0, cfg.nranks - 1);
+  expect_batch_matches_dense(pw, k,
+                             batch_grid(0.0, p.L + 80'000.0, 13, 22), bc);
+}
+
+TEST_P(RandomConfigTest, BatchBudgetSearchBitwiseMatchesScalar) {
+  testing::RandomProgramConfig cfg;
+  cfg.seed = GetParam() + 909;
+  cfg.nranks = 5;
+  cfg.steps = 100;
+  const auto g = schedgen::build_graph(testing::random_trace(cfg));
+  const loggops::Params p = random_params(GetParam() * 47 + 19);
+  const Solver solver(g, std::make_shared<LatencyParamSpace>(p));
+  const double base_value = solver.solve(0, p.L).value;
+
+  // 10 lanes (not a multiple of the block width): anchors on and off the
+  // base point, budgets from exact ties through loose, including the eps
+  // band clamp shapes of the BudgetBoundary wall.
+  std::vector<double> from;
+  std::vector<double> budget;
+  for (const double factor : {1.0, 1.0 + 1e-12, 1.001, 1.05, 1.5}) {
+    from.push_back(p.L);
+    budget.push_back(base_value * factor);
+    from.push_back(0.0);
+    budget.push_back(base_value * factor);
+  }
+  std::vector<double> batch(from.size());
+  Solver::BatchCursor bc;
+  solver.max_param_for_budget_from_batch(0, from.data(), budget.data(),
+                                         from.size(), bc, batch.data());
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    Solver::Workspace ws;
+    EXPECT_EQ(batch[i],
+              solver.max_param_for_budget_from(0, from[i], budget[i], ws))
+        << "lane=" << i << " from=" << from[i] << " budget=" << budget[i];
+  }
+}
+
+TEST(BatchSolve, ErrorsAndEdgeShapesMatchScalarContracts) {
+  const auto g = testing::running_example_graph();
+  const auto p = testing::running_example_params();
+  const Solver solver(g, std::make_shared<LatencyParamSpace>(p));
+  Solver::BatchCursor bc;
+  std::vector<double> xs = {0.0, 500.0};
+  std::vector<Solver::BatchPoint> out(xs.size());
+  // Out-of-range active parameter: same LpError as solve().
+  EXPECT_THROW(solver.solve_batch(7, xs.data(), xs.size(), bc, out.data()),
+               LpError);
+  // n = 0 is a no-op.
+  solver.solve_batch(0, xs.data(), 0, bc, out.data());
+  // An infeasible lane throws the scalar's infeasibility error even when
+  // other lanes are feasible (T(500) = 1615 > 1550).
+  std::vector<double> from = {500.0, 500.0};
+  std::vector<double> budget = {2'000.0, 1'550.0};
+  std::vector<double> tol(from.size());
+  EXPECT_THROW(solver.max_param_for_budget_from_batch(
+                   0, from.data(), budget.data(), from.size(), bc,
+                   tol.data()),
+               LpError);
+  // The paper's running example through the batch path: T(L) numbers of
+  // Fig. 4c at block width and off it.
+  std::vector<double> grid;
+  for (int i = 0; i < 11; ++i) grid.push_back(i * 100.0);
+  std::vector<Solver::BatchPoint> pts(grid.size());
+  solver.solve_batch(0, grid.data(), grid.size(), bc, pts.data());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_DOUBLE_EQ(pts[i].value, std::max(grid[i] + 1'115.0, 1'500.0));
+    EXPECT_EQ(pts[i].slope, grid[i] >= 385.0 ? 1.0 : 0.0);
+  }
+}
+
 TEST(SegmentWalk, RunningExampleAnchorsOncePerPiece) {
   // The running example has exactly two pieces (L_c = 385 ns); a 200-point
   // walk must reproduce the paper's numbers at every grid point.

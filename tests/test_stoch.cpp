@@ -316,6 +316,60 @@ TEST(StochMc, ThreadCountNeverChangesTheResult) {
   }
 }
 
+TEST(StochMc, BatchKnobNeverChangesTheResult) {
+  // spec.batch is a performance knob, never a semantics knob: an L-only
+  // run takes the lane-batched fast path when it is on and the per-sample
+  // scalar fast path when it is off, and every summary must agree bitwise
+  // — at several thread counts, and at a sample count (43) that exercises
+  // full groups of lp::kBatchWidth plus a ragged tail of sub-blocks.
+  const auto g = small_app_graph();
+  const auto p = test_params();
+  stoch::McSpec spec;
+  spec.samples = 43;
+  spec.seed = 11;
+  spec.L = stoch::Distribution::rel_normal(0.05);
+  spec.delta_Ls = {0.0, 20'000.0};
+  spec.band_percents = {1.0, 5.0};
+
+  spec.batch = false;
+  const auto scalar = stoch::run_mc(g, p, spec);
+  EXPECT_FALSE(scalar.batched);
+  EXPECT_EQ(scalar.batch_width, static_cast<int>(lp::kBatchWidth));
+
+  for (const int threads : {1, 8}) {
+    spec.batch = true;
+    spec.threads = threads;
+    const auto batched = stoch::run_mc(g, p, spec);
+    EXPECT_TRUE(batched.batched);
+    EXPECT_EQ(batched.batch_width, static_cast<int>(lp::kBatchWidth));
+    ASSERT_EQ(batched.runtime.size(), scalar.runtime.size());
+    for (std::size_t i = 0; i < scalar.runtime.size(); ++i) {
+      expect_summaries_equal(batched.runtime[i], scalar.runtime[i]);
+    }
+    expect_summaries_equal(batched.lambda_L, scalar.lambda_L);
+    expect_summaries_equal(batched.rho_L, scalar.rho_L);
+    ASSERT_EQ(batched.bands.size(), scalar.bands.size());
+    for (std::size_t b = 0; b < scalar.bands.size(); ++b) {
+      expect_summaries_equal(batched.bands[b].tolerance_delta,
+                             scalar.bands[b].tolerance_delta);
+    }
+  }
+}
+
+TEST(StochMc, GeneralPathIgnoresTheBatchKnob) {
+  // Per-edge noise forces a fresh perturbed lowering per sample — there is
+  // no shared operating point to batch over, so the knob is ignored and
+  // the result records that no batching happened.
+  const auto g = small_app_graph();
+  const auto p = test_params();
+  auto spec = noisy_spec();
+  spec.samples = 8;
+  spec.batch = true;
+  const auto res = stoch::run_mc(g, p, spec);
+  EXPECT_FALSE(res.batched);
+  EXPECT_EQ(res.batch_width, static_cast<int>(lp::kBatchWidth));
+}
+
 TEST(StochMc, SeedSelectsTheNoise) {
   const auto g = small_app_graph();
   const auto p = test_params();

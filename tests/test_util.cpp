@@ -7,6 +7,7 @@
 
 #include "util/cli.hpp"
 #include "util/error.hpp"
+#include "util/math.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -72,6 +73,61 @@ TEST(ThreadPool, PropagatesExceptionsAndSurvivesThem) {
   std::atomic<int> count{0};
   pool.for_workers(8, 0, [&](int, std::size_t) { count.fetch_add(1); });
   EXPECT_EQ(count.load(), 8);
+}
+
+// ---------------------------------------------------------------------------
+// util/math.hpp: the branch-free power-of-two helpers behind the batch
+// kernel's tail dispatch (solve_batch splits a remainder of r lanes into
+// last_pow2(r)-wide sub-blocks).
+// ---------------------------------------------------------------------------
+
+TEST(PowerOfTwo, LastPow2) {
+  EXPECT_EQ(util::last_pow2(0u), 0u);
+  EXPECT_EQ(util::last_pow2(1u), 1u);
+  EXPECT_EQ(util::last_pow2(2u), 2u);
+  EXPECT_EQ(util::last_pow2(3u), 2u);
+  EXPECT_EQ(util::last_pow2(4u), 4u);
+  EXPECT_EQ(util::last_pow2(5u), 4u);
+  EXPECT_EQ(util::last_pow2(7u), 4u);
+  EXPECT_EQ(util::last_pow2(8u), 8u);
+  EXPECT_EQ(util::last_pow2(std::size_t{1} << 62), std::size_t{1} << 62);
+  EXPECT_EQ(util::last_pow2((std::size_t{1} << 62) | 1u), std::size_t{1} << 62);
+  EXPECT_EQ(util::last_pow2(~std::size_t{0}), std::size_t{1} << 63);
+  // The exhaustive invariant on a small range: the result is the largest
+  // power of two <= n.
+  for (std::size_t n = 1; n < 300; ++n) {
+    const std::size_t p = util::last_pow2(n);
+    EXPECT_TRUE(util::is_pow2(p)) << n;
+    EXPECT_LE(p, n) << n;
+    EXPECT_GT(2 * p, n) << n;
+  }
+}
+
+TEST(PowerOfTwo, RoundUpPow2) {
+  EXPECT_EQ(util::round_up_pow2(0u), 1u);
+  EXPECT_EQ(util::round_up_pow2(1u), 1u);
+  EXPECT_EQ(util::round_up_pow2(2u), 2u);
+  EXPECT_EQ(util::round_up_pow2(3u), 4u);
+  EXPECT_EQ(util::round_up_pow2(5u), 8u);
+  EXPECT_EQ(util::round_up_pow2(8u), 8u);
+  EXPECT_EQ(util::round_up_pow2(9u), 16u);
+  EXPECT_EQ(util::round_up_pow2((std::size_t{1} << 40) + 1),
+            std::size_t{1} << 41);
+  for (std::size_t n = 1; n < 300; ++n) {
+    const std::size_t p = util::round_up_pow2(n);
+    EXPECT_TRUE(util::is_pow2(p)) << n;
+    EXPECT_GE(p, n) << n;
+    EXPECT_LT(p / 2, n) << n;
+  }
+}
+
+TEST(PowerOfTwo, IsPow2) {
+  EXPECT_FALSE(util::is_pow2(0u));
+  EXPECT_TRUE(util::is_pow2(1u));
+  EXPECT_TRUE(util::is_pow2(2u));
+  EXPECT_FALSE(util::is_pow2(3u));
+  EXPECT_TRUE(util::is_pow2(std::size_t{1} << 63));
+  EXPECT_FALSE(util::is_pow2((std::size_t{1} << 63) + 1));
 }
 
 TEST(Stats, MeanAndVariance) {
