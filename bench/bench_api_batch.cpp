@@ -238,6 +238,7 @@ int main(int argc, char** argv) {
     }
     out << "{\n"
         << "  \"benchmark\": \"api_warm_start\",\n"
+        << "  \"schema_version\": 2,\n"
         << "  \"config\": {\n"
         << "    \"app\": \"hpcg\", \"ranks\": 64, \"scale\": 0.05,\n"
         << "    \"point_queries\": " << point_stream.size()

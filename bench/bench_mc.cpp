@@ -110,19 +110,24 @@ int main(int argc, char** argv) {
     if (hw <= 1) return "null";
     return strformat("%.2f", s.ms1 / s.msn);
   };
-  const auto section_json = [&](const char* desc, const Section& s) {
+  const auto section_json = [&](const char* desc, const Section& s,
+                                bool batched) {
     return strformat(
         "    \"description\": \"%s\",\n"
         "    \"hardware_threads\": %d,\n"
+        "    \"batched\": %s, \"batch_width\": %zu,\n"
         "    \"threads1_ms\": %.3f, \"threads1_samples_per_sec\": %.1f,\n"
         "    \"threadsN_ms\": %.3f, \"threadsN_samples_per_sec\": %.1f\n",
-        desc, hw, s.ms1, rate(s.ms1), s.msn, rate(s.msn));
+        desc, hw, batched ? "true" : "false",
+        batched ? lp::kBatchWidth : std::size_t{1}, s.ms1, rate(s.ms1),
+        s.msn, rate(s.msn));
   };
 
   std::ofstream os(out_path);
   os << strformat(
       "{\n"
       "  \"benchmark\": \"mc\",\n"
+      "  \"schema_version\": 2,\n"
       "  \"config\": {\n"
       "    \"app\": \"%s\", \"ranks\": %d, \"scale\": %g,\n"
       "    \"graph_vertices\": %zu, \"graph_edges\": %zu,\n"
@@ -140,15 +145,15 @@ int main(int argc, char** argv) {
       hw, lp::kBatchWidth,
       section_json("shared solver, lane groups of batch_width samples per "
                    "forward pass; only the sampled L moves",
-                   fast_b)
+                   fast_b, /*batched=*/true)
           .c_str(),
       section_json("shared solver, per-sample sweep + scalar band searches "
                    "(spec.batch = false)",
-                   fast_s)
+                   fast_s, /*batched=*/false)
           .c_str(),
       section_json("per-sample perturbed-space lowering (o jitter + "
                    "per-edge folded-normal noise), chunk-claimed scheduling",
-                   gen)
+                   gen, /*batched=*/false)
           .c_str(),
       fast_s.ms1 / fast_b.ms1, speedup(fast_b).c_str(),
       speedup(fast_s).c_str(), speedup(gen).c_str());

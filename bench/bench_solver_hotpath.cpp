@@ -8,6 +8,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -250,11 +251,13 @@ int write_trajectory(const CaptureReporter& rep, const std::string& path) {
   std::fprintf(out,
                "{\n"
                "  \"benchmark\": \"solver_hotpath\",\n"
+               "  \"schema_version\": 2,\n"
                "  \"config\": {\n"
                "    \"app\": \"%s\", \"ranks\": %d, \"scale\": %g,\n"
                "    \"graph_vertices\": %zu, \"graph_edges\": %zu,\n"
                "    \"sweep_points\": %d, \"sweep_dl_max_us\": %g,\n"
-               "    \"segments_in_sweep_range\": %zu\n"
+               "    \"segments_in_sweep_range\": %zu,\n"
+               "    \"hardware_threads\": %u\n"
                "  },\n"
                "  \"before\": {\n"
                "    \"description\": \"seed hot path: per-edge heap term "
@@ -281,7 +284,8 @@ int write_trajectory(const CaptureReporter& rep, const std::string& path) {
                "}\n",
                kApp, kRanks, kScale, f.graph.num_vertices(),
                f.graph.num_edges(), kSweepPoints, kSweepMaxNs / 1'000.0,
-               segments, before_solve, before_sweep / 1e6, kSweepPoints,
+               segments, std::thread::hardware_concurrency(), before_solve,
+               before_sweep / 1e6, kSweepPoints,
                after_solve, after_sweep / 1e6, stats.anchor_solves,
                stats.replays,
                after_solve > 0.0 ? before_solve / after_solve : 0.0,

@@ -292,7 +292,47 @@ Engine::Engine() : Engine(Options{}) {}
 
 Engine::Engine(Options opts)
     : pool_(opts.threads),
-      workspaces_(static_cast<std::size_t>(pool_.size())) {}
+      workspaces_(static_cast<std::size_t>(pool_.size())) {
+  // Pre-register every hot-path handle once, here, so instrumentation
+  // sites are a single array-indexed relaxed add (llamp-lint's hot-metric
+  // rule rejects string lookups inside declared hot-path regions).
+  handles_.requests = metrics_.counter("engine.requests");
+  handles_.errors = metrics_.counter("engine.errors");
+  handles_.op_analyze = metrics_.counter("engine.op.analyze");
+  handles_.op_sweep = metrics_.counter("engine.op.sweep");
+  handles_.op_campaign = metrics_.counter("engine.op.campaign");
+  handles_.op_mc = metrics_.counter("engine.op.mc");
+  handles_.op_topo = metrics_.counter("engine.op.topo");
+  handles_.op_place = metrics_.counter("engine.op.place");
+  handles_.request_ns = metrics_.histogram("engine.request_ns");
+  handles_.batches = metrics_.counter("batch.batches");
+  handles_.batch_requests = metrics_.counter("batch.requests");
+  handles_.batch_request_ns = metrics_.histogram("batch.request_ns");
+  handles_.mc_fast_path = metrics_.counter("mc.fast_path");
+  handles_.mc_general_path = metrics_.counter("mc.general_path");
+  handles_.mc_batched = metrics_.counter("mc.batched_runs");
+  handles_.mc_lane_groups = metrics_.counter("mc.lane_groups");
+  handles_.mc_lane_slots = metrics_.counter("mc.lane_slots");
+  handles_.mc_lane_samples = metrics_.counter("mc.lane_samples");
+}
+
+template <typename Fn>
+auto Engine::timed(const char* op, obs::Counter& op_counter, Fn&& fn)
+    -> decltype(fn()) {
+  const obs::SpanScope span(tracer_, op);
+  const TimeNs t0 = monotonic_now();
+  handles_.requests.inc();
+  op_counter.inc();
+  try {
+    auto out = fn();
+    handles_.request_ns.record(monotonic_now() - t0);
+    return out;
+  } catch (...) {
+    handles_.errors.inc();
+    handles_.request_ns.record(monotonic_now() - t0);
+    throw;
+  }
+}
 
 ResolvedApp Engine::resolve(const AppSpec& spec) const {
   ResolvedApp r;
@@ -336,10 +376,33 @@ core::GraphKey Engine::key_for(const ResolvedApp& app) {
 }
 
 const graph::Graph& Engine::graph_for(const ResolvedApp& app) {
+  const obs::SpanScope span(tracer_, "graph");
   return cache_.get(key_for(app));
 }
 
 AnalyzeResult Engine::analyze(const AnalyzeRequest& req) {
+  return timed("analyze", handles_.op_analyze,
+               [&] { return analyze_impl(req); });
+}
+
+SweepResult Engine::sweep(const SweepRequest& req) {
+  return timed("sweep", handles_.op_sweep, [&] { return sweep_impl(req); });
+}
+
+CampaignResult Engine::campaign(const CampaignRequest& req) {
+  return timed("campaign", handles_.op_campaign,
+               [&] { return campaign_impl(req); });
+}
+
+McResult Engine::mc(const McRequest& req) {
+  return timed("mc", handles_.op_mc, [&] { return mc_impl(req); });
+}
+
+PlaceResult Engine::place(const PlaceRequest& req) {
+  return timed("place", handles_.op_place, [&] { return place_impl(req); });
+}
+
+AnalyzeResult Engine::analyze_impl(const AnalyzeRequest& req) {
   const ResolvedApp app = resolve(req.app);
   // Degenerate grids must fail before any graph is built or cached.
   (void)core::linear_grid(us(req.grid.dl_max_us), req.grid.points);
@@ -358,7 +421,7 @@ AnalyzeResult Engine::analyze(const AnalyzeRequest& req) {
   return res;
 }
 
-SweepResult Engine::sweep(const SweepRequest& req) {
+SweepResult Engine::sweep_impl(const SweepRequest& req) {
   const ResolvedApp app = resolve(req.app);
   const auto grid = core::linear_grid(us(req.grid.dl_max_us), req.grid.points);
   const graph::Graph& g = graph_for(app);
@@ -385,7 +448,7 @@ stoch::Distribution mc_distribution(const std::string& dist, double sigma,
 
 }  // namespace
 
-McResult Engine::mc(const McRequest& req) {
+McResult Engine::mc_impl(const McRequest& req) {
   const ResolvedApp app = resolve(req.app);
   const auto grid = core::linear_grid(us(req.grid.dl_max_us), req.grid.points);
   stoch::McSpec spec;
@@ -412,8 +475,24 @@ McResult Engine::mc(const McRequest& req) {
   std::shared_ptr<const lp::LoweredProblem> lowered;
   if (const auto sp = stoch::shared_operating_point(spec, app.params)) {
     lowered = solver_cache_.latency(key_for(app), g, *sp)->problem();
+    handles_.mc_fast_path.inc();
+  } else {
+    handles_.mc_general_path.inc();
   }
   res.result = stoch::run_mc(g, app.params, spec, std::move(lowered));
+  // Lane-occupancy accounting, post hoc from the result's config echo so
+  // the sampling loops stay untouched (the bench-drift bound): the batched
+  // kernel runs ceil(samples / width) groups of `width` lanes, of which
+  // `samples` are occupied — the slots-vs-samples gap is ragged-tail waste.
+  if (res.result.batched && res.result.batch_width > 0) {
+    const auto width = static_cast<std::uint64_t>(res.result.batch_width);
+    const auto samples = static_cast<std::uint64_t>(res.result.samples);
+    const std::uint64_t groups = (samples + width - 1) / width;
+    handles_.mc_batched.inc();
+    handles_.mc_lane_groups.inc(groups);
+    handles_.mc_lane_slots.inc(groups * width);
+    handles_.mc_lane_samples.inc(samples);
+  }
   return res;
 }
 
@@ -506,7 +585,7 @@ std::vector<core::ConfigVariant> campaign_configs(const CampaignRequest& req) {
 
 }  // namespace
 
-CampaignResult Engine::campaign(const CampaignRequest& req) {
+CampaignResult Engine::campaign_impl(const CampaignRequest& req) {
   core::CampaignSpec spec;
   spec.apps = req.apps;
   spec.ranks = req.ranks;
@@ -567,6 +646,11 @@ CampaignResult Engine::campaign(const CampaignRequest& req) {
 TopoResult Engine::topo(const TopoRequest& req) { return topo_on(0, req); }
 
 TopoResult Engine::topo_on(int worker, const TopoRequest& req) {
+  return timed("topo", handles_.op_topo,
+               [&] { return topo_impl(worker, req); });
+}
+
+TopoResult Engine::topo_impl(int worker, const TopoRequest& req) {
   const ResolvedApp app = resolve(req.app);
   const graph::Graph& g = graph_for(app);
   const topo::FatTree fat_tree(req.ft_radix);
@@ -620,7 +704,7 @@ TopoResult Engine::topo_on(int worker, const TopoRequest& req) {
   return res;
 }
 
-PlaceResult Engine::place(const PlaceRequest& req) {
+PlaceResult Engine::place_impl(const PlaceRequest& req) {
   const ResolvedApp app = resolve(req.app);
   const graph::Graph& g = graph_for(app);
   const topo::FatTree ft(req.ft_radix);
@@ -688,6 +772,9 @@ std::vector<Engine::Outcome> Engine::run_batch(
   // One batch at a time: the pool's job slot and the per-worker
   // workspaces are not shareable across concurrent batches.
   const std::lock_guard<std::mutex> lock(batch_mutex_);
+  const obs::SpanScope span(tracer_, "batch.run");
+  handles_.batches.inc();
+  handles_.batch_requests.inc(requests.size());
   std::vector<Outcome> outcomes(requests.size());
   // When the batch itself fans out, request-level parallelism wins: each
   // request runs its sweeps/samples single-threaded instead of spawning a
@@ -699,6 +786,7 @@ std::vector<Engine::Outcome> Engine::run_batch(
   pool_.for_workers(requests.size(), threads, [&](int worker, std::size_t i) {
     // One request's failure is its own outcome, never the batch's: the
     // remaining lines still execute and emit in order.
+    const TimeNs t0 = monotonic_now();
     try {
       outcomes[i].response = run_on(
           worker, parallel_batch ? single_threaded(requests[i]) : requests[i]);
@@ -708,8 +796,56 @@ std::vector<Engine::Outcome> Engine::run_batch(
     } catch (const std::exception& e) {
       outcomes[i].error = e.what();
     }
+    outcomes[i].elapsed_ns = monotonic_now() - t0;
   });
+  // Per-request latencies feed the batch histogram in input order from
+  // this (single) thread, not from the workers — so the quantile sketch's
+  // feed order is deterministic whatever the thread count.
+  for (const Outcome& o : outcomes) {
+    handles_.batch_request_ns.record(o.elapsed_ns);
+  }
   return outcomes;
+}
+
+// ---------------------------------------------------------------------------
+// Observability surfaces.
+// ---------------------------------------------------------------------------
+
+std::string Engine::cache_stats_string() const {
+  return cache_.stats_string() + '\n' + solver_cache_.stats_string();
+}
+
+obs::Snapshot Engine::metrics_snapshot() const {
+  obs::Snapshot snap = metrics_.snapshot();
+  // Import the subsystem tallies that live outside the registry (they
+  // predate it and their tests pin the struct forms).  Deterministic
+  // per-request-sequence values go in as counters; byte sizes and timing-
+  // or machine-valued quantities go in as gauges, matching the snapshot's
+  // determinism contract.
+  const core::GraphCache::Stats gc = cache_.stats();
+  const core::SolverCache::Stats sc = solver_cache_.stats();
+  const ThreadPool::Stats ps = pool_.stats();
+  snap.set_counter("graph_cache.built", gc.built);
+  snap.set_counter("graph_cache.hits", gc.hits);
+  snap.set_counter("solver_cache.built", sc.built);
+  snap.set_counter("solver_cache.hits", sc.hits);
+  snap.set_counter("solver_cache.anchor_solves", sc.anchor_solves);
+  snap.set_counter("solver_cache.replays", sc.replays);
+  snap.set_counter("pool.jobs", ps.jobs);
+  snap.set_counter("pool.tasks", ps.tasks);
+  snap.set_gauge("graph_cache.bytes", static_cast<double>(gc.bytes));
+  snap.set_gauge("solver_cache.anchor_bytes",
+                 static_cast<double>(sc.anchor_bytes));
+  snap.set_gauge("pool.busy_ns", static_cast<double>(ps.busy_ns));
+  snap.set_gauge("pool.size", static_cast<double>(pool_.size()));
+  snap.set_gauge("pool.slices", static_cast<double>(ps.slices));
+  return snap;
+}
+
+std::string Engine::metrics_json() const { return metrics_snapshot().to_json(); }
+
+std::string Engine::metrics_string() const {
+  return metrics_snapshot().to_string();
 }
 
 }  // namespace llamp::api

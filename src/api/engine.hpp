@@ -15,6 +15,8 @@
 #include "core/solver_cache.hpp"
 #include "loggops/params.hpp"
 #include "lp/parametric.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "stoch/mc.hpp"
 #include "util/parallel.hpp"
 #include "util/time.hpp"
@@ -171,6 +173,7 @@ class Engine {
     std::optional<Response> response;  ///< engaged on success
     std::string error;                 ///< non-empty on failure
     bool usage_error = false;          ///< UsageError vs analysis Error
+    TimeNs elapsed_ns = 0.0;           ///< wall time of this request
   };
   std::vector<Outcome> run_batch(const std::vector<Request>& requests,
                                  int threads);
@@ -185,6 +188,30 @@ class Engine {
   std::string solver_cache_stats_string() const {
     return solver_cache_.stats_string();
   }
+  /// Both caches' stats lines (shared obs::stats_line format), one per line.
+  std::string cache_stats_string() const;
+
+  // -- Observability (DESIGN.md §7).  Metrics and traces are side channels:
+  // they never feed result bytes (the metrics-on-vs-off byte-identity tests
+  // pin this), and the deterministic slices — counter values, snapshot
+  // structure — are themselves pinned for a fixed request sequence.
+
+  /// The session metrics registry.  Callers may register their own
+  /// counters at setup time (the JSONL surface counts parse errors here);
+  /// registration inside hot paths is rejected by llamp-lint.
+  obs::Registry& metrics() { return metrics_; }
+  /// The session tracer.  Disabled (and nearly free) until enable();
+  /// the CLI's --trace-out flag enables it before dispatch.
+  obs::Tracer& tracer() { return tracer_; }
+
+  /// Merged metrics snapshot as canonical single-line JSON — the payload a
+  /// future /metrics endpoint serves.  Includes the cache and pool
+  /// statistics as imported counters/gauges.
+  std::string metrics_json() const;
+  /// Human multi-line form of the same snapshot (`llamp stats`).
+  std::string metrics_string() const;
+  /// The recorded trace in Chrome trace-event JSON form (--trace-out).
+  std::string trace_json() const { return tracer_.to_chrome_json(); }
 
   ThreadPool& pool() { return pool_; }
 
@@ -197,11 +224,60 @@ class Engine {
   Response run_on(int worker, const Request& req);
   TopoResult topo_on(int worker, const TopoRequest& req);
 
+  /// Uninstrumented request bodies (the public methods wrap these in
+  /// timed(), so each request is counted and traced exactly once —
+  /// including requests dispatched through run_on on batch workers).
+  AnalyzeResult analyze_impl(const AnalyzeRequest& req);
+  SweepResult sweep_impl(const SweepRequest& req);
+  CampaignResult campaign_impl(const CampaignRequest& req);
+  McResult mc_impl(const McRequest& req);
+  TopoResult topo_impl(int worker, const TopoRequest& req);
+  PlaceResult place_impl(const PlaceRequest& req);
+
+  /// The shared request wrapper: span + latency histogram + request/error
+  /// counters around one impl call.  Defined in engine.cpp (every use
+  /// lives there).
+  template <typename Fn>
+  auto timed(const char* op, obs::Counter& op_counter, Fn&& fn)
+      -> decltype(fn());
+
+  /// Registry + imported cache/pool statistics, merged name-sorted.
+  obs::Snapshot metrics_snapshot() const;
+
+  /// Pre-registered handles (one array-indexed relaxed add per record on
+  /// the hot paths; see the registry's contract split).
+  struct MetricHandles {
+    obs::Counter requests;          ///< engine.requests
+    obs::Counter errors;            ///< engine.errors
+    obs::Counter op_analyze;        ///< engine.op.analyze ... (one per op)
+    obs::Counter op_sweep;
+    obs::Counter op_campaign;
+    obs::Counter op_mc;
+    obs::Counter op_topo;
+    obs::Counter op_place;
+    obs::Histogram request_ns;      ///< engine.request_ns
+    obs::Counter batches;           ///< batch.batches (run_batch calls)
+    obs::Counter batch_requests;    ///< batch.requests
+    obs::Histogram batch_request_ns;  ///< per-request latency in a batch
+    obs::Counter mc_fast_path;      ///< mc.fast_path (shared-solver route)
+    obs::Counter mc_general_path;   ///< mc.general_path (edge-noise route)
+    obs::Counter mc_batched;        ///< mc.batched_runs (SIMD kernel ran)
+    obs::Counter mc_lane_groups;    ///< mc.lane_groups (sample groups)
+    obs::Counter mc_lane_slots;     ///< mc.lane_slots (groups x width)
+    obs::Counter mc_lane_samples;   ///< mc.lane_samples (occupied slots)
+  };
+
   core::GraphCache cache_;
   /// Lowered solvers + anchor state, keyed (graph key, space fingerprint)
   /// beside the graph cache.  Declared after cache_ (and therefore
   /// destroyed first): entries reference session graphs.
   core::SolverCache solver_cache_;
+  /// Observability state is declared before pool_ so the pool's workers
+  /// join before the tracer and registry are destroyed — a worker must
+  /// never record into a dead lane.
+  obs::Registry metrics_;
+  obs::Tracer tracer_;
+  MetricHandles handles_;
   ThreadPool pool_;
   std::vector<lp::ParametricSolver::Workspace> workspaces_;
   /// Serializes run_batch callers: the pool runs one job at a time, and

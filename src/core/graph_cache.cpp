@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "apps/registry.hpp"
+#include "obs/metrics.hpp"
 #include "schedgen/schedgen.hpp"
 #include "util/parallel.hpp"
 
@@ -31,6 +32,7 @@ const graph::Graph& GraphCache::build_in(Slot& slot, const GraphKey& key) {
   if (!slot.graph) {
     slot.graph = build(key);
     built_.fetch_add(1, std::memory_order_relaxed);
+    bytes_.fetch_add(slot.graph->memory_bytes(), std::memory_order_relaxed);
   }
   return *slot.graph;
 }
@@ -44,6 +46,7 @@ const graph::Graph& GraphCache::get(const GraphKey& key) {
   }
   slot->graph = build(key);
   built_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(slot->graph->memory_bytes(), std::memory_order_relaxed);
   return *slot->graph;
 }
 
@@ -62,7 +65,14 @@ void GraphCache::warm(const std::vector<GraphKey>& keys, int threads) {
 
 GraphCache::Stats GraphCache::stats() const {
   return {built_.load(std::memory_order_relaxed),
-          hits_.load(std::memory_order_relaxed)};
+          hits_.load(std::memory_order_relaxed),
+          bytes_.load(std::memory_order_relaxed)};
+}
+
+std::string GraphCache::stats_string() const {
+  const Stats s = stats();
+  return obs::stats_line(
+      "graphs", {{"built", s.built}, {"hits", s.hits}, {"bytes", s.bytes}});
 }
 
 }  // namespace llamp::core

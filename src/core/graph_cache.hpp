@@ -61,6 +61,7 @@ class GraphCache {
   struct Stats {
     std::size_t built = 0;  ///< graphs constructed (cache misses)
     std::size_t hits = 0;   ///< get() calls served already-built graphs
+    std::size_t bytes = 0;  ///< summed memory_bytes() of the built graphs
   };
   /// Cumulative statistics; the repeated-request engine tests pin that a
   /// second identical request re-lowers nothing.  The counters are plain
@@ -70,6 +71,9 @@ class GraphCache {
   /// rejects); a stats() snapshot is therefore monotonic but not an
   /// instantaneous cut across both counters.
   Stats stats() const;
+  /// One-line human form via the shared obs::stats_line formatter, e.g.
+  /// "graphs: built=2 hits=9 bytes=123456".
+  std::string stats_string() const;
 
  private:
   /// One cache entry: the graph plus the lock its first-touch build runs
@@ -88,6 +92,7 @@ class GraphCache {
   std::map<GraphKey, std::shared_ptr<Slot>> graphs_;
   std::atomic<std::size_t> built_{0};
   std::atomic<std::size_t> hits_{0};
+  std::atomic<std::size_t> bytes_{0};
 };
 
 }  // namespace llamp::core

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "lp/param_space.hpp"
+#include "obs/metrics.hpp"
 #include "util/strings.hpp"
 
 namespace llamp::core {
@@ -80,6 +81,14 @@ lp::LoweredProblem::SweepEval SolverCache::Entry::eval(
       if (pos == anchors_.end() ||
           (*pos)->solution.active != fresh->solution.active ||
           (*pos)->solution.at != fresh->solution.at) {
+        // Payload accounting by element size, not vector capacity —
+        // capacities depend on the allocator's growth history, sizes only
+        // on the published anchor set (deterministic per request sequence).
+        owner_->anchor_bytes_.fetch_add(
+            sizeof(lp::LoweredProblem::AnchorState) +
+                fresh->chain.size() * sizeof(std::uint32_t) +
+                fresh->solution.gradient.size() * sizeof(double),
+            std::memory_order_relaxed);
         anchors_.insert(pos, std::move(fresh));
       }
     }
@@ -136,13 +145,17 @@ SolverCache::Stats SolverCache::stats() const {
   return {built_.load(std::memory_order_relaxed),
           hits_.load(std::memory_order_relaxed),
           anchor_solves_.load(std::memory_order_relaxed),
-          replays_.load(std::memory_order_relaxed)};
+          replays_.load(std::memory_order_relaxed),
+          anchor_bytes_.load(std::memory_order_relaxed)};
 }
 
 std::string SolverCache::stats_string() const {
   const Stats s = stats();
-  return strformat("solvers: built=%zu hits=%zu anchor_solves=%zu replays=%zu",
-                   s.built, s.hits, s.anchor_solves, s.replays);
+  return obs::stats_line("solvers", {{"built", s.built},
+                                     {"hits", s.hits},
+                                     {"anchor_solves", s.anchor_solves},
+                                     {"replays", s.replays},
+                                     {"anchor_bytes", s.anchor_bytes}});
 }
 
 }  // namespace llamp::core

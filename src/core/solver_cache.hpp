@@ -130,12 +130,15 @@ class SolverCache {
     std::size_t hits = 0;           ///< lookups served an existing lowering
     std::size_t anchor_solves = 0;  ///< eval() dense forward passes
     std::size_t replays = 0;        ///< eval() served by anchor replay
+    std::size_t anchor_bytes = 0;   ///< payload bytes of published anchors
   };
   /// Cumulative statistics, GraphCache-style relaxed atomics: monotonic
-  /// tallies, not an instantaneous cut across counters.
+  /// tallies, not an instantaneous cut across counters.  `anchor_bytes`
+  /// counts payload sizes (not vector capacities) so the tally is
+  /// deterministic for a fixed request sequence.
   Stats stats() const;
-  /// One-line human form, e.g.
-  /// "solvers: built=2 hits=9 anchor_solves=14 replays=180".
+  /// One-line human form via the shared obs::stats_line formatter, e.g.
+  /// "solvers: built=2 hits=9 anchor_solves=14 replays=180 anchor_bytes=...".
   std::string stats_string() const;
 
  private:
@@ -151,6 +154,7 @@ class SolverCache {
   std::atomic<std::size_t> hits_{0};
   std::atomic<std::size_t> anchor_solves_{0};
   std::atomic<std::size_t> replays_{0};
+  std::atomic<std::size_t> anchor_bytes_{0};
 };
 
 }  // namespace llamp::core

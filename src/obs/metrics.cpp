@@ -1,0 +1,287 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/json.hpp"
+#include "util/strings.hpp"
+
+namespace llamp::obs {
+namespace detail {
+
+std::size_t next_shard_slot() {
+  static std::atomic<std::size_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t histogram_bucket(double v) {
+  // Bucket 0 holds v <= 1 (and any negative); bucket b >= 1 holds
+  // [2^(b-1), 2^b); the last bucket overflows.  frexp is exact at the
+  // power-of-two edges, where a std::log2 round trip could land either
+  // side depending on the libm.
+  if (!(v > 1.0)) return 0;
+  int exp = 0;
+  (void)std::frexp(v, &exp);  // v = m * 2^exp with m in [0.5, 1)
+  return std::min(static_cast<std::size_t>(exp), kHistogramBuckets - 1);
+}
+
+namespace {
+
+void atomic_add(std::atomic<double>& a, double d) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void HistogramCell::record(double v) {
+  HistogramShard& s = shards[thread_shard_slot() % shards.size()];
+  if (!std::isfinite(v)) {
+    s.nonfinite.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  s.buckets[histogram_bucket(v)].fetch_add(1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(s.sum, v);
+  atomic_min(s.min_v, v);
+  atomic_max(s.max_v, v);
+  {
+    const std::lock_guard<std::mutex> lock(s.p2_mutex);
+    s.p50.add(v);
+    s.p95.add(v);
+    s.p99.add(v);
+  }
+}
+
+}  // namespace detail
+
+void Gauge::add(double d) {
+  if (cell_ == nullptr) return;
+  detail::atomic_add(cell_->value, d);
+}
+
+Registry::Registry(Options opts)
+    : shards_(opts.shards > 0 ? static_cast<std::size_t>(opts.shards) : 8) {}
+
+Counter Registry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& cell = counters_[name];
+  if (!cell) cell = std::make_unique<detail::CounterCell>(shards_);
+  return Counter(cell.get());
+}
+
+Gauge Registry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& cell = gauges_[name];
+  if (!cell) cell = std::make_unique<detail::GaugeCell>();
+  return Gauge(cell.get());
+}
+
+Histogram Registry::histogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& cell = histograms_[name];
+  if (!cell) cell = std::make_unique<detail::HistogramCell>(shards_);
+  return Histogram(cell.get());
+}
+
+namespace {
+
+/// Quantile estimate from merged log₂ bucket counts: linear interpolation
+/// on rank inside the covering bucket.  Deterministic given the merged
+/// counts (which are themselves shard- and thread-count independent).
+double bucket_quantile(const std::vector<std::uint64_t>& buckets,
+                       std::uint64_t n, double q) {
+  if (n == 0) return 0.0;
+  const double target = q * static_cast<double>(n);
+  double cum = 0.0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    const double c = static_cast<double>(buckets[b]);
+    if (c == 0.0) continue;
+    if (cum + c >= target) {
+      if (b == 0) return 1.0;  // the "<= 1" bucket: report its upper edge
+      const double lo = std::ldexp(1.0, static_cast<int>(b) - 1);
+      if (b == detail::kHistogramBuckets - 1) return lo;  // overflow
+      const double hi = std::ldexp(1.0, static_cast<int>(b));
+      return lo + (hi - lo) * ((target - cum) / c);
+    }
+    cum += c;
+  }
+  return 0.0;  // unreachable: the loop covers rank n
+}
+
+}  // namespace
+
+Snapshot Registry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snap;
+  for (const auto& [name, cell] : counters_) {
+    std::uint64_t total = 0;
+    for (const auto& shard : cell->shards) {
+      total += shard.v.load(std::memory_order_relaxed);
+    }
+    snap.counters.emplace_back(name, total);
+  }
+  for (const auto& [name, cell] : gauges_) {
+    snap.gauges.emplace_back(name,
+                             cell->value.load(std::memory_order_relaxed));
+  }
+  for (const auto& [name, cell] : histograms_) {
+    HistogramSnapshot h;
+    h.name = name;
+    h.buckets.assign(detail::kHistogramBuckets, 0);
+    double min_v = std::numeric_limits<double>::infinity();
+    double max_v = -std::numeric_limits<double>::infinity();
+    const detail::HistogramShard* populated = nullptr;
+    std::size_t populated_shards = 0;
+    for (const auto& shard : cell->shards) {
+      const std::uint64_t c = shard.count.load(std::memory_order_relaxed);
+      h.count += c;
+      h.nonfinite += shard.nonfinite.load(std::memory_order_relaxed);
+      if (c == 0) continue;
+      ++populated_shards;
+      populated = &shard;
+      h.sum += shard.sum.load(std::memory_order_relaxed);
+      min_v = std::min(min_v, shard.min_v.load(std::memory_order_relaxed));
+      max_v = std::max(max_v, shard.max_v.load(std::memory_order_relaxed));
+      for (std::size_t b = 0; b < detail::kHistogramBuckets; ++b) {
+        h.buckets[b] += shard.buckets[b].load(std::memory_order_relaxed);
+      }
+    }
+    if (h.count > 0) {
+      h.min = min_v;
+      h.max = max_v;
+    }
+    if (populated_shards == 1) {
+      // One populated shard means one deterministic feed order: report the
+      // precise P² estimates (exact up to five observations, the
+      // util/stats contract).
+      const std::lock_guard<std::mutex> p2(populated->p2_mutex);
+      h.p50 = populated->p50.value();
+      h.p95 = populated->p95.value();
+      h.p99 = populated->p99.value();
+    } else if (populated_shards > 1) {
+      // Concurrent feeds merge at bucket resolution: the estimates depend
+      // only on the merged counts, never on which thread fed which shard.
+      h.p50 = bucket_quantile(h.buckets, h.count, 0.50);
+      h.p95 = bucket_quantile(h.buckets, h.count, 0.95);
+      h.p99 = bucket_quantile(h.buckets, h.count, 0.99);
+    }
+    snap.histograms.push_back(std::move(h));
+  }
+  return snap;
+}
+
+void Snapshot::set_counter(const std::string& name, std::uint64_t v) {
+  const auto pos = std::lower_bound(
+      counters.begin(), counters.end(), name,
+      [](const auto& a, const std::string& b) { return a.first < b; });
+  if (pos != counters.end() && pos->first == name) {
+    pos->second = v;
+  } else {
+    counters.insert(pos, {name, v});
+  }
+}
+
+void Snapshot::set_gauge(const std::string& name, double v) {
+  const auto pos = std::lower_bound(
+      gauges.begin(), gauges.end(), name,
+      [](const auto& a, const std::string& b) { return a.first < b; });
+  if (pos != gauges.end() && pos->first == name) {
+    pos->second = v;
+  } else {
+    gauges.insert(pos, {name, v});
+  }
+}
+
+std::string Snapshot::to_json() const {
+  std::string out = "{\"schema_version\": 1, \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    out += strformat("%s\"%s\": %llu", first ? "" : ", ",
+                     json_escape_string(name).c_str(),
+                     static_cast<unsigned long long>(v));
+    first = false;
+  }
+  out += "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    out += strformat("%s\"%s\": %s", first ? "" : ", ",
+                     json_escape_string(name).c_str(),
+                     json_double(v).c_str());
+    first = false;
+  }
+  out += "}, \"histograms\": {";
+  first = true;
+  for (const HistogramSnapshot& h : histograms) {
+    out += strformat(
+        "%s\"%s\": {\"count\": %llu, \"nonfinite\": %llu, \"sum\": %s, "
+        "\"min\": %s, \"max\": %s, \"p50\": %s, \"p95\": %s, \"p99\": %s}",
+        first ? "" : ", ", json_escape_string(h.name).c_str(),
+        static_cast<unsigned long long>(h.count),
+        static_cast<unsigned long long>(h.nonfinite),
+        json_double(h.sum).c_str(), json_double(h.min).c_str(),
+        json_double(h.max).c_str(), json_double(h.p50).c_str(),
+        json_double(h.p95).c_str(), json_double(h.p99).c_str());
+    first = false;
+  }
+  out += "}}";
+  return out;
+}
+
+std::string Snapshot::to_string() const {
+  std::string out;
+  if (!counters.empty()) {
+    out += "counters:\n";
+    for (const auto& [name, v] : counters) {
+      out += strformat("  %-32s %llu\n", name.c_str(),
+                       static_cast<unsigned long long>(v));
+    }
+  }
+  if (!gauges.empty()) {
+    out += "gauges:\n";
+    for (const auto& [name, v] : gauges) {
+      out += strformat("  %-32s %g\n", name.c_str(), v);
+    }
+  }
+  if (!histograms.empty()) {
+    out += "histograms:\n";
+    for (const HistogramSnapshot& h : histograms) {
+      const double mean =
+          h.count > 0 ? h.sum / static_cast<double>(h.count) : 0.0;
+      out += strformat(
+          "  %-32s count=%llu mean=%.1f p50=%.1f p95=%.1f p99=%.1f "
+          "min=%.1f max=%.1f\n",
+          h.name.c_str(), static_cast<unsigned long long>(h.count), mean,
+          h.p50, h.p95, h.p99, h.min, h.max);
+    }
+  }
+  return out;
+}
+
+std::string stats_line(
+    const std::string& label,
+    const std::vector<std::pair<std::string, std::uint64_t>>& fields) {
+  std::string out = label + ":";
+  for (const auto& [key, value] : fields) {
+    out += strformat(" %s=%llu", key.c_str(),
+                     static_cast<unsigned long long>(value));
+  }
+  return out;
+}
+
+}  // namespace llamp::obs

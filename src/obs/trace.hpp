@@ -1,0 +1,108 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace llamp::obs {
+
+/// Request tracing (DESIGN.md §7): lightweight spans recorded into
+/// per-thread lanes and emitted as Chrome trace-event JSON (load the file
+/// into chrome://tracing or Perfetto).
+///
+/// Model: a span is (name, begin, end, parent) where begin/end come from
+/// util/time's monotonic clock relative to enable() and parent is the
+/// enclosing open span *on the same thread* (spans nest per thread,
+/// matching the engine's execution model: a request runs on one worker).
+/// Recording is wire-cheap: a disabled tracer costs one relaxed load per
+/// SpanScope; an enabled one appends to a thread-local lane with no lock
+/// after the lane's first registration.
+///
+/// Timings are wall-clock and therefore nondeterministic by nature — the
+/// trace is a side channel like the metrics registry, and must never feed
+/// result bytes (the metrics-on-vs-off byte-identity tests pin this).
+///
+/// Thread-safety: concurrent recording from any number of threads is safe
+/// (each thread owns its lane).  to_chrome_json()/span_count()/clear() may
+/// run concurrently with *registration* of new lanes, but the caller must
+/// ensure no span is being recorded while they read — the engine emits
+/// after its requests complete, which satisfies this by construction.
+class Tracer {
+ public:
+  struct Span {
+    const char* name = nullptr;  ///< static string (span sites pass literals)
+    TimeNs begin = 0.0;          ///< relative to enable()
+    TimeNs end = 0.0;
+    std::int64_t parent = -1;    ///< index in the same lane; -1 = root
+  };
+
+  Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Start recording; the moment of the call is the trace's time origin.
+  /// Enabling an already-enabled tracer keeps the original origin.
+  void enable();
+  void disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Drop every recorded span (lanes stay registered).
+  void clear();
+
+  std::size_t span_count() const;
+
+  /// The Chrome trace-event form: {"traceEvents": [...]} with one complete
+  /// ("ph": "X") event per span, "tid" = lane id, timestamps/durations in
+  /// microseconds, the parent span index under "args".  Parses with any
+  /// JSON reader (the obs tests pin it through util/json) and loads
+  /// directly into chrome://tracing.
+  std::string to_chrome_json() const;
+
+  /// Per-thread span buffer (public only so the implementation's
+  /// thread-local cache can name it; not part of the API surface).
+  struct Lane {
+    int tid = 0;
+    std::vector<Span> spans;
+    std::vector<std::size_t> open;  ///< stack of open span indices
+  };
+
+ private:
+  friend class SpanScope;
+
+  /// The calling thread's lane, registering it on first use.  Cached
+  /// thread-locally per (thread, tracer) — repeat calls are two loads.
+  Lane* lane();
+
+  std::uint64_t id_;  ///< distinguishes tracers for the thread-local cache
+  std::atomic<bool> enabled_{false};
+  std::atomic<TimeNs> origin_{0.0};
+  mutable std::mutex mutex_;  ///< guards lanes_ registration/iteration
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::vector<std::thread::id> lane_threads_;  ///< aligned with lanes_
+};
+
+/// RAII span: begins on construction, ends on destruction.  A no-op when
+/// the tracer is disabled, so instrumentation sites cost one relaxed load
+/// in the common (untraced) case.
+class SpanScope {
+ public:
+  /// `name` must outlive the tracer (pass a string literal).
+  SpanScope(Tracer& tracer, const char* name);
+  ~SpanScope();
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+ private:
+  Tracer* tracer_ = nullptr;       ///< null when recording is off
+  Tracer::Lane* lane_ = nullptr;
+  std::size_t index_ = 0;
+};
+
+}  // namespace llamp::obs

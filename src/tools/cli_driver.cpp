@@ -6,6 +6,7 @@
 #include <limits>
 #include <optional>
 #include <ostream>
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -52,6 +53,10 @@ subcommands:
             Dragonfly per-wire-class tolerance breakdown
   place     compare block, volume-greedy, and LLAMP Algorithm-3 rank
             placements on a Fat Tree
+  stats     print one engine session's metrics summary — request counters,
+            cache and pool statistics, latency quantiles; optionally
+            execute a JSONL request file first so the summary describes a
+            real workload
   apps      list the registered proxy applications
 
 `llamp`, `llamp help`, and `llamp <subcommand> --help` print this text and
@@ -79,6 +84,19 @@ analyze/sweep/mc/campaign options:
 batch options:
   --file=PATH       JSONL request file; '-' reads stdin (default -)
   --threads=N       request-level parallelism, <= 0 = hardware concurrency
+  --metrics         print the session metrics summary to stderr after the
+                    response stream (stdout stays pure JSONL)
+
+observability options (every engine subcommand):
+  --trace-out=PATH  record request tracing spans and write them as Chrome
+                    trace-event JSON on exit (chrome://tracing / Perfetto)
+
+stats options:
+  --file=PATH       JSONL request file to execute first; '-' reads stdin
+                    (default: none — report the empty session)
+  --threads=N       request-level parallelism for --file
+  --format=F        table (default) or json (the machine snapshot; the
+                    payload a /metrics endpoint would serve)
 
 mc options (all stochastic paths share --seed; identical seeds reproduce
 identical bytes whatever --threads):
@@ -380,7 +398,8 @@ int cmd_apps(std::ostream& out) {
   return 0;
 }
 
-int cmd_batch(const Cli& cli, api::Engine& engine, std::ostream& out) {
+int cmd_batch(const Cli& cli, api::Engine& engine, std::ostream& out,
+              std::ostream& err) {
   const std::string file = cli.get("file", "-");
   const int threads = int_flag(cli, "threads", 0);
   api::BatchOutcome outcome;
@@ -391,15 +410,47 @@ int cmd_batch(const Cli& cli, api::Engine& engine, std::ostream& out) {
     if (!in) throw UsageError("batch: cannot open '" + file + "'");
     outcome = api::serve_jsonl(engine, in, out, threads);
   }
+  // The metrics summary goes to stderr: stdout is the JSONL response
+  // stream and must stay machine-parseable line by line.
+  if (cli.get_bool("metrics", false)) err << engine.metrics_string();
   // Per-request failures are reported in-band as {"error": ...} lines;
   // the process exit code still flags that the batch was not fully clean.
   return outcome.failures == 0 ? 0 : 1;
 }
 
+int cmd_stats(const Cli& cli, api::Engine& engine, std::ostream& out) {
+  // Optionally replay a JSONL request file through the session first; the
+  // responses are discarded (this subcommand reports the instrumentation,
+  // `llamp batch` serves the responses).
+  if (cli.has("file")) {
+    const std::string file = cli.get("file", "-");
+    const int threads = int_flag(cli, "threads", 0);
+    std::ostringstream discard;
+    if (file == "-") {
+      api::serve_jsonl(engine, std::cin, discard, threads);
+    } else {
+      std::ifstream in(file);
+      if (!in) throw UsageError("stats: cannot open '" + file + "'");
+      api::serve_jsonl(engine, in, discard, threads);
+    }
+  }
+  const core::OutputFormat format =
+      output_format(cli, /*allow_csv_flag=*/false);
+  if (format == core::OutputFormat::kCsv) {
+    throw UsageError("stats: csv output is not supported");
+  }
+  if (format == core::OutputFormat::kJson) {
+    out << engine.metrics_json() << '\n';
+  } else {
+    out << engine.metrics_string();
+  }
+  return 0;
+}
+
 /// Boolean flags: these never take a following value, so a token after them
 /// must not be folded — it is a stray positional the validation below should
 /// reject, not the flag's value.
-constexpr std::string_view kBoolKeys[] = {"csv"};
+constexpr std::string_view kBoolKeys[] = {"csv", "metrics"};
 
 /// The subcommands take no positional arguments, so both `--key=value` and
 /// `--key value` are accepted: a bare non-boolean `--key` followed by a
@@ -440,7 +491,8 @@ constexpr std::string_view kCampaignKeys[] = {
 constexpr std::string_view kMcKeys[] = {
     "samples",  "seed",    "sigma-L",    "sigma-o",   "sigma-G", "dist-L",
     "dist-o",   "dist-G",  "edge-sigma", "edge-bias", "bands"};
-constexpr std::string_view kBatchKeys[] = {"file", "threads"};
+constexpr std::string_view kBatchKeys[] = {"file", "threads", "metrics"};
+constexpr std::string_view kStatsKeys[] = {"file", "threads", "format"};
 
 /// Reject misspelled options and stray positionals: a typo'd flag must be a
 /// usage error, not a silent fall-back to the default value.  Returns an
@@ -451,18 +503,24 @@ std::string first_bad_arg(const std::string& sub,
   const auto add = [&](auto& keys) {
     known.insert(known.end(), std::begin(keys), std::end(keys));
   };
-  if (sub != "apps" && sub != "campaign" && sub != "batch") add(kCommonKeys);
+  if (sub != "apps" && sub != "campaign" && sub != "batch" &&
+      sub != "stats") {
+    add(kCommonKeys);
+  }
   if (sub == "analyze" || sub == "sweep" || sub == "mc") add(kGridKeys);
   if (sub == "mc") add(kMcKeys);
   if (sub == "sweep") known.push_back("csv");
   if (sub == "topo") add(kTopoKeys);
   if (sub == "place") add(kPlaceKeys);
   if (sub == "batch") add(kBatchKeys);
+  if (sub == "stats") add(kStatsKeys);
   if (sub == "campaign") {
     add(kCampaignKeys);
     add(kGridKeys);
     add(kTopoKeys);
   }
+  // Every engine subcommand can record a trace (apps never runs one).
+  if (sub != "apps") known.push_back("trace-out");
 
   for (const std::string& arg : args) {
     if (!starts_with(arg, "--")) return arg;  // stray positional
@@ -521,7 +579,7 @@ int run(int argc, const char* const* argv, std::ostream& out,
   }
   if (sub != "analyze" && sub != "sweep" && sub != "campaign" &&
       sub != "mc" && sub != "batch" && sub != "topo" && sub != "place" &&
-      sub != "apps") {
+      sub != "stats" && sub != "apps") {
     err << "llamp: unknown subcommand '" << sub << "'\n\n" << kUsage;
     return 2;
   }
@@ -552,15 +610,45 @@ int run(int argc, const char* const* argv, std::ostream& out,
     // free parallel_for semantics: the requested count wins even above the
     // hardware concurrency); the other subcommands run on a 1-worker pool.
     api::Engine engine(api::Engine::Options{
-        .threads = sub == "batch" ? int_flag(cli, "threads", 0) : 1});
-    if (sub == "analyze") return cmd_analyze(cli, engine, out);
-    if (sub == "sweep") return cmd_sweep(cli, engine, out);
-    if (sub == "campaign") return cmd_campaign(cli, engine, out);
-    if (sub == "mc") return cmd_mc(cli, engine, out);
-    if (sub == "batch") return cmd_batch(cli, engine, out);
-    if (sub == "topo") return cmd_topo(cli, engine, out);
-    if (sub == "place") return cmd_place(cli, engine, out);
-    return cmd_apps(out);
+        .threads = (sub == "batch" || sub == "stats")
+                       ? int_flag(cli, "threads", 0)
+                       : 1});
+    // --trace-out: the file opens before any work runs (a bad path must
+    // fail fast, not after a long campaign), recording is enabled for the
+    // whole dispatch, and the trace is written after it completes —
+    // including batch runs with in-band failures (rc 1).
+    std::ofstream trace_file;
+    if (cli.has("trace-out")) {
+      const std::string trace_path = cli.get("trace-out", "");
+      if (trace_path.empty()) throw UsageError("empty --trace-out path");
+      trace_file.open(trace_path);
+      if (!trace_file) {
+        throw UsageError("cannot open --trace-out '" + trace_path + "'");
+      }
+      engine.tracer().enable();
+    }
+    int rc = 0;
+    if (sub == "analyze") {
+      rc = cmd_analyze(cli, engine, out);
+    } else if (sub == "sweep") {
+      rc = cmd_sweep(cli, engine, out);
+    } else if (sub == "campaign") {
+      rc = cmd_campaign(cli, engine, out);
+    } else if (sub == "mc") {
+      rc = cmd_mc(cli, engine, out);
+    } else if (sub == "batch") {
+      rc = cmd_batch(cli, engine, out, err);
+    } else if (sub == "topo") {
+      rc = cmd_topo(cli, engine, out);
+    } else if (sub == "place") {
+      rc = cmd_place(cli, engine, out);
+    } else if (sub == "stats") {
+      rc = cmd_stats(cli, engine, out);
+    } else {
+      rc = cmd_apps(out);
+    }
+    if (trace_file.is_open()) trace_file << engine.trace_json() << '\n';
+    return rc;
   } catch (const UsageError& e) {
     return report_error(sub, e.what(), /*usage=*/true, json, out, err);
   } catch (const Error& e) {

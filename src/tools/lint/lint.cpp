@@ -32,6 +32,7 @@ constexpr const char* kDetRand = "det-rand";
 constexpr const char* kDetClock = "det-clock";
 constexpr const char* kDetUnordered = "det-unordered";
 constexpr const char* kHotAlloc = "hot-alloc";
+constexpr const char* kHotMetric = "hot-metric";
 constexpr const char* kHotRegion = "hot-region";
 constexpr const char* kPragmaOnce = "hyg-pragma-once";
 constexpr const char* kUsingNamespace = "hyg-using-namespace";
@@ -264,6 +265,20 @@ bool called_with(std::string_view code, std::size_t end,
   return false;
 }
 
+/// True when the identifier ending at `end` is called with a string
+/// literal as its first argument, e.g. `counter("name")`.  The stripper
+/// blanks literal bodies but keeps their quote characters, so the check is
+/// one '(' followed by one '"'.
+bool called_with_string_literal(std::string_view code, std::size_t end) {
+  std::size_t i = end;
+  while (i < code.size() &&
+         std::isspace(static_cast<unsigned char>(code[i]))) {
+    ++i;
+  }
+  if (i >= code.size() || code[i] != '(') return false;
+  return next_nonspace(code, i + 1) == '"';
+}
+
 /// The identifier scope-qualifying the token at `begin` (empty when it is
 /// not `X::`-qualified), e.g. "steady_clock" for the `now` of
 /// `steady_clock::now()`.
@@ -430,6 +445,9 @@ const std::vector<RuleInfo>& rule_catalogue() {
       {"hot-alloc",
        "allocation in a '// llamp-lint: hot-path' region (new/make_unique/"
        "make_shared/push_back/emplace_back/resize/reserve/std::string)"},
+      {"hot-metric",
+       "metric registration (counter(\"name\")-style string lookup) in a "
+       "hot-path region; record through a pre-registered handle"},
       {"hot-region",
        "hot-path region marker hygiene (unterminated/unmatched begin-end, "
        "designated file without a region)"},
@@ -587,6 +605,17 @@ std::vector<Finding> lint_file(const std::string& relpath,
         } else if (tok == "string" && std_qualified(code, begin)) {
           raw.push_back({relpath, line, kHotAlloc,
                          "std::string construction in a hot-path region"});
+        } else if ((tok == "counter" || tok == "gauge" ||
+                    tok == "histogram") &&
+                   called_with_string_literal(code, end)) {
+          // The registry's contract split (obs/metrics.hpp): by-name
+          // lookup locks and may allocate; hot paths must record through
+          // a handle registered at setup time.
+          raw.push_back({relpath, line, kHotMetric,
+                         "'" + std::string(tok) +
+                             "(\"...\")' registers a metric by name in a "
+                             "hot-path region; use a pre-registered "
+                             "handle"});
         }
       }
       prev_ident = std::string(tok);

@@ -116,6 +116,7 @@ void ThreadPool::worker_loop(int worker) {
       job = job_;
     }
     if (worker < job.nworkers) {
+      const TimeNs t0 = monotonic_now();
       try {
         for (std::size_t i = static_cast<std::size_t>(worker); i < job.n;
              i += static_cast<std::size_t>(job.nworkers)) {
@@ -125,6 +126,7 @@ void ThreadPool::worker_loop(int worker) {
         const std::lock_guard<std::mutex> lock(mutex_);
         if (!error_) error_ = std::current_exception();
       }
+      note_slice(t0);
       {
         const std::lock_guard<std::mutex> lock(mutex_);
         --remaining_;
@@ -134,12 +136,31 @@ void ThreadPool::worker_loop(int worker) {
   }
 }
 
+void ThreadPool::note_slice(TimeNs t0) {
+  slices_.fetch_add(1, std::memory_order_relaxed);
+  busy_ns_.fetch_add(static_cast<std::uint64_t>(monotonic_now() - t0),
+                     std::memory_order_relaxed);
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  Stats s;
+  s.jobs = jobs_.load(std::memory_order_relaxed);
+  s.tasks = tasks_.load(std::memory_order_relaxed);
+  s.slices = slices_.load(std::memory_order_relaxed);
+  s.busy_ns = busy_ns_.load(std::memory_order_relaxed);
+  return s;
+}
+
 void ThreadPool::for_workers(std::size_t n, int max_workers,
                              const std::function<void(int, std::size_t)>& fn) {
   const int cap = max_workers > 0 ? std::min(max_workers, size()) : size();
   const int nworkers = effective_threads(n, cap);
+  jobs_.fetch_add(1, std::memory_order_relaxed);
+  tasks_.fetch_add(n, std::memory_order_relaxed);
   if (nworkers == 1) {
+    const TimeNs t0 = monotonic_now();
     for (std::size_t i = 0; i < n; ++i) fn(0, i);
+    note_slice(t0);
     return;
   }
   {
@@ -153,6 +174,7 @@ void ThreadPool::for_workers(std::size_t n, int max_workers,
   // The caller is worker 0; its exceptions line up with the workers' via
   // the shared error slot so the first failure wins deterministically
   // enough for reporting (the job always drains before rethrow).
+  const TimeNs t0 = monotonic_now();
   try {
     for (std::size_t i = 0; i < n;
          i += static_cast<std::size_t>(nworkers)) {
@@ -162,6 +184,7 @@ void ThreadPool::for_workers(std::size_t n, int max_workers,
     const std::lock_guard<std::mutex> lock(mutex_);
     if (!error_) error_ = std::current_exception();
   }
+  note_slice(t0);
   std::unique_lock<std::mutex> lock(mutex_);
   done_.wait(lock, [&] { return remaining_ == 0; });
   if (error_) {

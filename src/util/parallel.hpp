@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -8,6 +9,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/time.hpp"
 
 namespace llamp {
 
@@ -95,8 +98,24 @@ class ThreadPool {
   void for_each(std::size_t n, int max_workers,
                 const std::function<void(std::size_t)>& fn);
 
+  /// Cumulative pool statistics for the observability surfaces.  `jobs`
+  /// and `tasks` are deterministic for a fixed call sequence (one job per
+  /// for_workers call, one task per index) and so may be pinned; `slices`
+  /// and `busy_ns` depend on the fan-out width and the wall clock — they
+  /// feed worker-occupancy gauges, never result bytes.  Relaxed monotonic
+  /// tallies, GraphCache-style: not an instantaneous cut across fields.
+  struct Stats {
+    std::uint64_t jobs = 0;     ///< for_workers/for_each calls
+    std::uint64_t tasks = 0;    ///< indices executed across all jobs
+    std::uint64_t slices = 0;   ///< timed per-worker job slices
+    std::uint64_t busy_ns = 0;  ///< summed wall time inside job slices
+  };
+  Stats stats() const;
+
  private:
   void worker_loop(int worker);
+  /// Fold one finished job slice (started at `t0`) into the tallies.
+  void note_slice(TimeNs t0);
 
   struct Job {
     std::size_t n = 0;
@@ -113,6 +132,10 @@ class ThreadPool {
   int remaining_ = 0;             ///< workers still running the current job
   bool stop_ = false;
   std::exception_ptr error_;
+  std::atomic<std::uint64_t> jobs_{0};
+  std::atomic<std::uint64_t> tasks_{0};
+  std::atomic<std::uint64_t> slices_{0};
+  std::atomic<std::uint64_t> busy_ns_{0};
 };
 
 }  // namespace llamp

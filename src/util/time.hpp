@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 
 namespace llamp {
@@ -20,5 +21,20 @@ constexpr TimeNs sec(double v) { return v * 1e9; }
 constexpr double to_us(TimeNs t) { return t / 1e3; }
 constexpr double to_ms(TimeNs t) { return t / 1e6; }
 constexpr double to_sec(TimeNs t) { return t / 1e9; }
+
+/// The one steady-clock read in the toolchain (llamp-lint's det-clock rule
+/// sanctions clock reads only here and in bench code).  Observability
+/// callers — span timestamps, latency histograms, worker-occupancy
+/// accounting — go through this so every timing is in the same TimeNs
+/// domain, and so the determinism wall stays auditable: grep for
+/// monotonic_now() to find every place a result could accidentally absorb
+/// wall time.  Timings must only ever reach side-channel outputs (metrics,
+/// traces), never golden-pinned result bytes.
+inline TimeNs monotonic_now() {
+  return static_cast<TimeNs>(
+      std::chrono::duration<double, std::nano>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 }  // namespace llamp

@@ -1,0 +1,27 @@
+// Fixture: the hot-metric rule — by-name metric registration inside a
+// hot-path region; recording through a pre-registered handle is fine.
+
+namespace fixture {
+
+struct Counter {
+  void inc() {}
+};
+struct Registry {
+  Counter counter(const char* name);
+  Counter gauge(const char* name);
+  Counter histogram(const char* name);
+};
+
+// Registration at setup time is the supported pattern.
+inline Counter make_handle(Registry& reg) { return reg.counter("setup.ok"); }
+
+// llamp-lint: hot-path begin
+inline void record(Registry& reg, Counter& handle, const char* name) {
+  handle.inc();                     // recording through a handle is fine
+  reg.counter("hot.lookup").inc();  // seeded: by-name counter lookup
+  reg.histogram("hot.hist");        // seeded: by-name histogram lookup
+  reg.gauge(name);  // a forwarded (non-literal) name is not a registration
+}
+// llamp-lint: hot-path end
+
+}  // namespace fixture

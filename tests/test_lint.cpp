@@ -174,6 +174,30 @@ TEST(LintRegions, BansApplyOnlyInsideRegions) {
   EXPECT_EQ(fs[0].line, 3);
 }
 
+TEST(LintRegions, MetricLookupsBannedInsideRegions) {
+  // By-name registration (a string-literal first argument) is the tell; a
+  // pre-registered handle or a forwarded name is fine, and outside a
+  // region the lookup is the supported setup-time pattern.
+  const std::string src =
+      "void setup(Registry& r) { h = r.counter(\"ok\"); }\n"
+      "// llamp-lint: hot-path begin\n"
+      "void hot(Registry& r, Counter& h) {\n"
+      "  h.inc();\n"
+      "  r.counter(\"bad\").inc();\n"
+      "  r.gauge(\"bad\");\n"
+      "  r.histogram  (\"bad\");\n"
+      "  r.histogram(name);\n"
+      "}\n"
+      "// llamp-lint: hot-path end\n";
+  const auto fs = lint_file("src/lp/x.cpp", src);
+  EXPECT_EQ(rules_of(fs), (std::vector<std::string>{"hot-metric", "hot-metric",
+                                                    "hot-metric"}));
+  ASSERT_EQ(fs.size(), 3u);
+  EXPECT_EQ(fs[0].line, 5);
+  EXPECT_EQ(fs[1].line, 6);
+  EXPECT_EQ(fs[2].line, 7);
+}
+
 TEST(LintRegions, DesignatedFilesMustCarryARegion) {
   EXPECT_EQ(rules_of(lint_file("src/lp/parametric.cpp", "int x;\n")),
             std::vector<std::string>{"hot-region"});

@@ -1,6 +1,7 @@
-// Concurrency stress for the two long-lived shared structures behind the
+// Concurrency stress for the long-lived shared structures behind the
 // api::Engine: util/parallel::ThreadPool (persistent workers reused across
-// jobs) and core::GraphCache (build-once graphs behind per-key locks).
+// jobs), core::GraphCache (build-once graphs behind per-key locks), and
+// the obs registry/tracer (sharded metric cells, per-thread span lanes).
 // These suites are the primary target of the ThreadSanitizer CI job — they
 // are written to maximize contention, not coverage: many tiny jobs, many
 // threads racing one key, exceptions thrown mid-job.
@@ -9,10 +10,14 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "core/graph_cache.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 
@@ -171,6 +176,84 @@ TEST(ChunkedWorkersStress, PropagatesExactlyOneException) {
       EXPECT_STREQ(e.what(), "chunk storm");
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// obs::Registry under contention: sharded counter cells and histogram
+// shards are the engine's only metrics synchronization, so TSan gets the
+// worst case — every thread hammering one handle — and the merged snapshot
+// must still sum exactly.
+// ---------------------------------------------------------------------------
+
+TEST(ObsRegistryStress, ConcurrentIncrementsMergeExactly) {
+  for (const int shards : {1, 4}) {
+    obs::Registry reg(obs::Registry::Options{.shards = shards});
+    obs::Counter hot = reg.counter("hot");
+    obs::Histogram lat = reg.histogram("lat");
+    ThreadPool pool(8);
+    constexpr std::size_t kTasks = 64;
+    constexpr int kPerTask = 500;
+    for (int round = 0; round < 4; ++round) {
+      pool.for_workers(kTasks, 0, [&](int, std::size_t i) {
+        for (int k = 0; k < kPerTask; ++k) {
+          hot.inc();
+          lat.record(static_cast<double>(i % 7) + 1.0);
+        }
+      });
+    }
+    const obs::Snapshot snap = reg.snapshot();
+    constexpr std::uint64_t kExpected = 4ull * kTasks * kPerTask;
+    ASSERT_EQ(snap.counters.size(), 1u);
+    EXPECT_EQ(snap.counters[0].second, kExpected) << "shards=" << shards;
+    ASSERT_EQ(snap.histograms.size(), 1u);
+    EXPECT_EQ(snap.histograms[0].count, kExpected) << "shards=" << shards;
+    std::uint64_t bucket_total = 0;
+    for (const std::uint64_t b : snap.histograms[0].buckets) bucket_total += b;
+    EXPECT_EQ(bucket_total, kExpected);
+  }
+}
+
+TEST(ObsRegistryStress, RegistrationRacesRecording) {
+  // Late registration (a surface registering its own counter mid-session)
+  // must coexist with hot recording on other handles: registration takes
+  // the registry mutex, recording never does.
+  obs::Registry reg;
+  obs::Counter hot = reg.counter("hot");
+  ThreadPool pool(6);
+  pool.for_workers(600, 0, [&](int, std::size_t i) {
+    if (i % 50 == 0) {
+      obs::Counter fresh =
+          reg.counter("late." + std::to_string(i / 50));
+      fresh.inc();
+    }
+    hot.inc();
+  });
+  const obs::Snapshot snap = reg.snapshot();
+  std::uint64_t hot_total = 0;
+  std::uint64_t late_names = 0;
+  for (const auto& [name, v] : snap.counters) {
+    if (name == "hot") hot_total = v;
+    if (name.rfind("late.", 0) == 0) {
+      ++late_names;
+      EXPECT_EQ(v, 1u) << name;
+    }
+  }
+  EXPECT_EQ(hot_total, 600u);
+  EXPECT_EQ(late_names, 12u);
+}
+
+TEST(ObsTraceStress, ConcurrentSpansLandInPerThreadLanes) {
+  obs::Tracer tracer;
+  tracer.enable();
+  ThreadPool pool(6);
+  constexpr std::size_t kTasks = 300;
+  pool.for_workers(kTasks, 0, [&](int, std::size_t) {
+    const obs::SpanScope outer(tracer, "outer");
+    const obs::SpanScope inner(tracer, "inner");
+  });
+  EXPECT_EQ(tracer.span_count(), 2 * kTasks);
+  tracer.clear();
+  EXPECT_EQ(tracer.span_count(), 0u);
 }
 
 // ---------------------------------------------------------------------------
