@@ -1,0 +1,220 @@
+// Load generator for the `llamp serve` daemon: an in-process Server on an
+// ephemeral loopback port, driven over real sockets by the serve::Client.
+// Headline numbers are cold vs warm request rates and p50/p99 latencies
+// for the analysis route (cold = first request on a fresh engine, paying
+// the graph build + lowering; warm = steady-state cache hits), plus the
+// wire-layer ceiling measured on the inline /healthz route (no analysis
+// work at all) and a concurrent-connections section (requests still
+// execute one at a time on the executor — the concurrency cost being
+// measured is the poll loop's, not the engine's).  Writes the committed
+// perf-trajectory file BENCH_serve.json (informational in CI, never
+// gating).
+//
+//   $ ./bench_serve [--requests=200] [--clients=4] [--quick]
+//                   [--out=BENCH_serve.json]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/engine.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+#include "util/cli.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+constexpr const char* kAnalyzeBody =
+    "{\"app\": {\"name\": \"lulesh\", \"ranks\": 8, \"scale\": 0.05}, "
+    "\"grid\": {\"dl_max_us\": 20, \"points\": 3}}";
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Summary {
+  double total_ms = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  std::size_t requests = 0;
+  double req_per_sec() const {
+    return total_ms > 0.0 ? 1e3 * static_cast<double>(requests) / total_ms
+                          : 0.0;
+  }
+};
+
+Summary summarize(std::vector<double> lat_ms, double total_ms) {
+  Summary s;
+  s.requests = lat_ms.size();
+  s.total_ms = total_ms;
+  if (lat_ms.empty()) return s;
+  std::sort(lat_ms.begin(), lat_ms.end());
+  const auto at = [&](double q) {
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(lat_ms.size() - 1) + 0.5);
+    return lat_ms[std::min(idx, lat_ms.size() - 1)];
+  };
+  s.p50_ms = at(0.50);
+  s.p99_ms = at(0.99);
+  return s;
+}
+
+/// `n` requests on one keep-alive connection; per-request latencies.
+Summary drive(std::uint16_t port, const char* method, const char* path,
+              const char* body, int n) {
+  llamp::serve::Client client("127.0.0.1", port);
+  std::vector<double> lat;
+  lat.reserve(static_cast<std::size_t>(n));
+  const double t0 = now_ms();
+  for (int i = 0; i < n; ++i) {
+    const double r0 = now_ms();
+    const auto res = client.request(method, path, body);
+    lat.push_back(now_ms() - r0);
+    if (res.status != 200) {
+      std::fprintf(stderr, "bench_serve: %s %s -> %d\n", method, path,
+                   res.status);
+      std::exit(1);
+    }
+  }
+  return summarize(std::move(lat), now_ms() - t0);
+}
+
+std::string section_json(const char* desc, const Summary& s) {
+  return llamp::strformat(
+      "    \"description\": \"%s\",\n"
+      "    \"requests\": %zu, \"req_per_sec\": %.1f,\n"
+      "    \"p50_ms\": %.3f, \"p99_ms\": %.3f\n",
+      desc, s.requests, s.req_per_sec(), s.p50_ms, s.p99_ms);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace llamp;
+  const Cli cli(argc, argv);
+  const bool quick = cli.get_bool("quick", false);
+  const int requests =
+      static_cast<int>(cli.get_int("requests", quick ? 30 : 200));
+  const int clients = static_cast<int>(cli.get_int("clients", 4));
+  const std::string out_path = cli.get("out", "BENCH_serve.json");
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+
+  api::Engine engine(api::Engine::Options{.threads = 1});
+  serve::Server::Options opts;
+  opts.port = 0;  // ephemeral
+  serve::Server server(opts, serve::engine_routes(engine));
+  server.start();
+  const std::uint16_t port = server.port();
+  std::printf("bench_serve: daemon on 127.0.0.1:%u, %d warm requests, "
+              "%d concurrent clients, hw=%d threads\n",
+              unsigned{port}, requests, clients, hw);
+
+  // Cold: the very first analysis request on the fresh engine pays the
+  // graph build, the lowering, and the anchor solve.
+  const Summary cold = drive(port, "POST", "/v1/analyze", kAnalyzeBody, 1);
+  // Warm: the steady state every later identical request sees.
+  const Summary warm =
+      drive(port, "POST", "/v1/analyze", kAnalyzeBody, requests);
+  // Wire ceiling: the inline route does no analysis work, so this is the
+  // parser + poll loop + serializer, nothing else.
+  const Summary wire = drive(port, "GET", "/healthz", "", requests);
+
+  // Concurrent connections, warm cache: every client drives its own
+  // keep-alive connection; the executor still runs requests one at a
+  // time, so this prices connection multiplexing, not engine parallelism.
+  std::vector<Summary> per_client(static_cast<std::size_t>(clients));
+  const double c0 = now_ms();
+  {
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&per_client, c, port, requests, clients] {
+        per_client[static_cast<std::size_t>(c)] =
+            drive(port, "POST", "/v1/analyze", kAnalyzeBody,
+                  std::max(1, requests / clients));
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  Summary concurrent;
+  concurrent.total_ms = now_ms() - c0;
+  // Aggregate quantiles conservatively: report the worst client's p50/p99
+  // (the fairness number under connection multiplexing).
+  for (const Summary& s : per_client) {
+    concurrent.requests += s.requests;
+    concurrent.p50_ms = std::max(concurrent.p50_ms, s.p50_ms);
+    concurrent.p99_ms = std::max(concurrent.p99_ms, s.p99_ms);
+  }
+
+  server.request_shutdown();
+  server.join();
+  const serve::Server::Stats st = server.stats();
+
+  std::printf("cold:       1 request   %8.3f ms\n", cold.p50_ms);
+  std::printf("warm:       %4zu req    %8.1f req/s   p50 %.3f ms  p99 %.3f ms\n",
+              warm.requests, warm.req_per_sec(), warm.p50_ms, warm.p99_ms);
+  std::printf("healthz:    %4zu req    %8.1f req/s   p50 %.3f ms  p99 %.3f ms\n",
+              wire.requests, wire.req_per_sec(), wire.p50_ms, wire.p99_ms);
+  std::printf("concurrent: %4zu req    %8.1f req/s   worst-client p50 %.3f ms"
+              "  p99 %.3f ms  (%d connections)\n",
+              concurrent.requests, concurrent.req_per_sec(),
+              concurrent.p50_ms, concurrent.p99_ms, clients);
+  std::printf("server stats: %llu connections, %llu requests, %llu responses\n",
+              static_cast<unsigned long long>(st.connections),
+              static_cast<unsigned long long>(st.requests),
+              static_cast<unsigned long long>(st.responses));
+
+  std::ofstream os(out_path);
+  os << strformat(
+      "{\n"
+      "  \"benchmark\": \"serve\",\n"
+      "  \"schema_version\": 2,\n"
+      "  \"config\": {\n"
+      "    \"route\": \"/v1/analyze\", \"app\": \"lulesh\", \"ranks\": 8, "
+      "\"scale\": 0.05,\n"
+      "    \"grid_points\": 3, \"warm_requests\": %d, "
+      "\"concurrent_clients\": %d,\n"
+      "    \"engine_threads\": 1, \"hardware_threads\": %d\n"
+      "  },\n"
+      "  \"cold\": {\n%s  },\n"
+      "  \"warm\": {\n%s  },\n"
+      "  \"healthz_inline\": {\n%s  },\n"
+      "  \"concurrent_warm\": {\n%s  },\n"
+      "  \"warm_speedup_over_cold\": %.1f,\n"
+      "  \"bytes_verified\": \"response bodies byte-identical across "
+      "keep-alive reuse, fresh connections, and concurrent clients "
+      "(tests/test_serve.cpp wire-determinism wall)\"\n"
+      "}\n",
+      requests, clients, hw,
+      section_json("first request on a fresh engine: graph build + "
+                   "lowering + anchor solve, over the wire",
+                   cold)
+          .c_str(),
+      section_json("steady-state identical requests on one keep-alive "
+                   "connection: both caches hit",
+                   warm)
+          .c_str(),
+      section_json("inline route on the IO thread: parser + poll loop + "
+                   "serializer only",
+                   wire)
+          .c_str(),
+      section_json("warm requests from concurrent connections; executor "
+                   "serializes, quantiles are the worst client's",
+                   concurrent)
+          .c_str(),
+      warm.p50_ms > 0.0 ? cold.p50_ms / warm.p50_ms : 0.0);
+  if (!os) {
+    std::fprintf(stderr, "bench_serve: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -1,0 +1,84 @@
+#!/usr/bin/env sh
+# Walk every `llamp serve` endpoint and error class against a temporary
+# daemon, then drain it with SIGTERM and check the clean exit.
+#
+#   examples/serve_requests.sh [path/to/llamp]
+#
+# Needs only POSIX sh and curl.  The daemon binds an ephemeral port
+# (--port 0) and the script reads the port back from the readiness line,
+# so it never collides with anything already listening.  Exit 0 means
+# every expectation held; the first failure prints what went wrong.
+set -eu
+
+LLAMP="${1:-./build/llamp}"
+LOG="$(mktemp)"
+BODY='{"app": {"name": "lulesh", "ranks": 8, "scale": 0.05}, "grid": {"dl_max_us": 20, "points": 3}}'
+
+fail() { echo "serve_requests: FAIL: $*" >&2; exit 1; }
+
+# curl wrapper: status <expected> <curl args...> prints the body, fails on
+# an unexpected HTTP status.
+status() {
+  want="$1"; shift
+  got="$(curl -s -o "$LOG.body" -w '%{http_code}' "$@")" ||
+    fail "curl $* did not complete"
+  [ "$got" = "$want" ] || {
+    cat "$LOG.body" >&2
+    fail "expected HTTP $want, got $got ($*)"
+  }
+  cat "$LOG.body"
+}
+
+"$LLAMP" serve --port 0 > "$LOG" 2>&1 &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true' EXIT
+
+# Wait for the readiness line and extract the ephemeral port.
+PORT=""
+i=0
+while [ $i -lt 100 ]; do
+  PORT="$(sed -n 's/^llamp serve: listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$LOG")"
+  [ -n "$PORT" ] && break
+  kill -0 "$PID" 2>/dev/null || { cat "$LOG" >&2; fail "daemon exited early"; }
+  i=$((i + 1)); sleep 0.1
+done
+[ -n "$PORT" ] || fail "no readiness line after 10s"
+URL="http://127.0.0.1:$PORT"
+echo "== daemon on $URL"
+
+echo "== GET /healthz (build metadata + cache stats)"
+status 200 "$URL/healthz" | grep -q '"status": "ok"' || fail "healthz body"
+
+echo "== POST /v1/analyze (canonical batch request body)"
+status 200 -d "$BODY" "$URL/v1/analyze" | grep -q '"op": "analyze"' ||
+  fail "analyze body"
+
+echo "== POST /v1/sweep (the \"op\" field is optional on HTTP routes)"
+status 200 -d "$BODY" "$URL/v1/sweep" > /dev/null
+
+echo "== GET /metrics (engine snapshot with scrape sequence)"
+status 200 "$URL/metrics" | grep -q '"engine.metrics_seq"' || fail "metrics body"
+
+echo "== error classes"
+# 404 http: unknown route.
+status 404 "$URL/v1/nope" | grep -q '"kind": "http"' || fail "404 kind"
+# 405 http: wrong method on a known route.
+status 405 "$URL/v1/analyze" > /dev/null
+# 400 usage: body that does not parse as a request.
+status 400 -d '{"app": 3}' "$URL/v1/analyze" | grep -q '"kind": "usage"' ||
+  fail "400 kind"
+# 400 usage: spelled "op" contradicting the path.
+status 400 -d '{"op": "mc", "app": {"name": "lulesh"}}' "$URL/v1/analyze" \
+  > /dev/null
+# 413 http: Content-Length over the body limit, rejected from headers alone.
+status 413 -H 'Content-Length: 99999999' -H 'Expect:' -d '' \
+  "$URL/v1/analyze" > /dev/null
+
+echo "== SIGTERM drain"
+kill -TERM "$PID"
+trap - EXIT
+wait "$PID" || fail "daemon exited non-zero after SIGTERM"
+grep -q '^llamp serve: drained' "$LOG" || { cat "$LOG" >&2; fail "no drain line"; }
+tail -n 1 "$LOG"
+rm -f "$LOG" "$LOG.body"
+echo "serve_requests: OK"

@@ -314,6 +314,13 @@ Engine::Engine(Options opts)
   handles_.mc_lane_groups = metrics_.counter("mc.lane_groups");
   handles_.mc_lane_slots = metrics_.counter("mc.lane_slots");
   handles_.mc_lane_samples = metrics_.counter("mc.lane_samples");
+  start_time_ = monotonic_now();
+}
+
+std::uint64_t Engine::uptime_ns() const {
+  const TimeNs now = monotonic_now();
+  return now > start_time_ ? static_cast<std::uint64_t>(now - start_time_)
+                           : 0u;
 }
 
 template <typename Fn>
@@ -833,6 +840,11 @@ obs::Snapshot Engine::metrics_snapshot() const {
   snap.set_counter("solver_cache.replays", sc.replays);
   snap.set_counter("pool.jobs", ps.jobs);
   snap.set_counter("pool.tasks", ps.tasks);
+  // Scrape bookkeeping: the sequence number orders snapshots of one
+  // session (monotonic from 1; a restart resets it), uptime stamps them.
+  snap.set_counter("engine.metrics_seq",
+                   metrics_seq_.fetch_add(1, std::memory_order_relaxed) + 1);
+  snap.set_gauge("engine.uptime_ns", static_cast<double>(uptime_ns()));
   snap.set_gauge("graph_cache.bytes", static_cast<double>(gc.bytes));
   snap.set_gauge("solver_cache.anchor_bytes",
                  static_cast<double>(sc.anchor_bytes));

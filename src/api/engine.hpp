@@ -1,6 +1,8 @@
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <mutex>
 #include <optional>
@@ -213,6 +215,11 @@ class Engine {
   /// The recorded trace in Chrome trace-event JSON form (--trace-out).
   std::string trace_json() const { return tracer_.to_chrome_json(); }
 
+  /// Nanoseconds since this engine was constructed (monotonic clock).
+  /// Feeds /healthz and the engine.uptime_ns snapshot gauge — a timing
+  /// value, so it never appears in result bytes.
+  std::uint64_t uptime_ns() const;
+
   ThreadPool& pool() { return pool_; }
 
  private:
@@ -283,6 +290,12 @@ class Engine {
   /// Serializes run_batch callers: the pool runs one job at a time, and
   /// the per-worker workspaces must not be shared across batches.
   std::mutex batch_mutex_;
+  /// Construction instant (uptime_ns's zero point).
+  TimeNs start_time_ = 0.0;
+  /// Scrape sequence: bumped once per metrics_snapshot(), so consumers of
+  /// /metrics can order scrapes and detect a daemon restart (the number
+  /// resets to 1).  Mutable: taking a snapshot is logically const.
+  mutable std::atomic<std::uint64_t> metrics_seq_{0};
 };
 
 }  // namespace llamp::api

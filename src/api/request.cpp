@@ -474,12 +474,9 @@ std::string to_json(const Request& req) {
   return std::visit(Visitor{}, req);
 }
 
-Request parse_request(std::string_view json) {
-  const JsonValue doc = JsonValue::parse(json);
-  const Obj obj(doc, "request");
-  const JsonValue* op = doc.find("op");
-  if (!op) throw UsageError("json: request is missing \"op\"");
-  const std::string name = op->as_string("request.op");
+namespace {
+
+Request dispatch_op(const std::string& name, const Obj& obj) {
   if (name == "analyze") return parse_analyze_like<AnalyzeRequest>(obj);
   if (name == "sweep") return parse_analyze_like<SweepRequest>(obj);
   if (name == "campaign") return parse_campaign(obj);
@@ -488,6 +485,30 @@ Request parse_request(std::string_view json) {
   if (name == "place") return parse_place(obj);
   throw UsageError("json: unknown op \"" + name +
                    "\" (want analyze, sweep, campaign, mc, topo, or place)");
+}
+
+}  // namespace
+
+Request parse_request(std::string_view json) {
+  const JsonValue doc = JsonValue::parse(json);
+  const Obj obj(doc, "request");
+  const JsonValue* op = doc.find("op");
+  if (!op) throw UsageError("json: request is missing \"op\"");
+  return dispatch_op(op->as_string("request.op"), obj);
+}
+
+Request parse_request_for_op(std::string_view op, std::string_view json) {
+  const JsonValue doc = JsonValue::parse(json);
+  const Obj obj(doc, "request");
+  const std::string name(op);
+  if (const JsonValue* tag = doc.find("op")) {
+    const std::string spelled = tag->as_string("request.op");
+    if (spelled != name) {
+      throw UsageError("json: request \"op\" is \"" + spelled +
+                       "\" but this endpoint is \"" + name + "\"");
+    }
+  }
+  return dispatch_op(name, obj);
 }
 
 }  // namespace llamp::api

@@ -143,4 +143,9 @@ std::string to_json(const Request& req);
 /// UsageError.
 Request parse_request(std::string_view json);
 
+/// Parse a request whose op is fixed by the caller (an HTTP route: the
+/// path names the op, so the body's "op" field is optional).  A present
+/// "op" must match `op`; everything else is `parse_request` semantics.
+Request parse_request_for_op(std::string_view op, std::string_view json);
+
 }  // namespace llamp::api

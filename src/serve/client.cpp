@@ -1,0 +1,157 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace llamp::serve {
+namespace {
+
+std::string ascii_lower(std::string s) {
+  for (char& c : s) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return s;
+}
+
+}  // namespace
+
+const std::string* Client::Result::header(const std::string& name) const {
+  for (const auto& [k, v] : headers) {
+    if (k == name) return &v;
+  }
+  return nullptr;
+}
+
+Client::Client(const std::string& host, std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) throw Error("client: cannot create socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    throw Error("client: bad address '" + host + "'");
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const int err = errno;
+    ::close(fd_);
+    throw Error(strformat("client: cannot connect to %s:%u (errno %d)",
+                          host.c_str(), unsigned{port}, err));
+  }
+  const int one = 1;
+  (void)::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  // A wedged server should fail the caller, not hang it.
+  timeval timeout{};
+  timeout.tv_sec = 30;
+  (void)::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Client::Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+void Client::send_raw(const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) throw Error("client: send failed");
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void Client::shutdown_send() { (void)::shutdown(fd_, SHUT_WR); }
+
+std::string Client::read_until_close() {
+  std::string out;
+  char buf[16384];
+  while (true) {
+    const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  return out;
+}
+
+Client::Result Client::request(const std::string& method,
+                               const std::string& path,
+                               const std::string& body,
+                               const std::vector<std::string>& extra_headers) {
+  std::string req = method + " " + path + " HTTP/1.1\r\n";
+  req += "Host: llamp\r\n";
+  if (method == "POST" || !body.empty()) {
+    req += strformat("Content-Length: %zu\r\n", body.size());
+  }
+  for (const std::string& h : extra_headers) req += h + "\r\n";
+  req += "\r\n";
+  req += body;
+  send_raw(req);
+
+  // Read the response: headers, then Content-Length body bytes.
+  std::string in;
+  char buf[16384];
+  std::size_t header_end = std::string::npos;
+  while (header_end == std::string::npos) {
+    const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) throw Error("client: connection closed before response");
+    in.append(buf, static_cast<std::size_t>(n));
+    header_end = in.find("\r\n\r\n");
+  }
+  header_end += 4;
+
+  Result res;
+  const std::string head = in.substr(0, header_end);
+  const std::size_t line_end = head.find("\r\n");
+  const std::string status_line = head.substr(0, line_end);
+  if (status_line.size() < 12 || status_line.compare(0, 5, "HTTP/") != 0) {
+    throw Error("client: malformed status line '" + status_line + "'");
+  }
+  res.status = std::atoi(status_line.c_str() + 9);
+
+  std::size_t pos = line_end + 2;
+  while (pos < head.size()) {
+    const std::size_t eol = head.find("\r\n", pos);
+    if (eol == std::string::npos || eol == pos) break;
+    const std::string line = head.substr(pos, eol - pos);
+    const std::size_t colon = line.find(':');
+    if (colon != std::string::npos) {
+      res.headers.emplace_back(ascii_lower(line.substr(0, colon)),
+                               trim(line.substr(colon + 1)));
+    }
+    pos = eol + 2;
+  }
+
+  std::size_t content_length = 0;
+  if (const std::string* cl = res.header("content-length")) {
+    content_length = static_cast<std::size_t>(std::atoll(cl->c_str()));
+  }
+  res.body = in.substr(header_end);
+  while (res.body.size() < content_length) {
+    const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) throw Error("client: connection closed mid-body");
+    res.body.append(buf, static_cast<std::size_t>(n));
+  }
+  if (res.body.size() > content_length) {
+    throw Error("client: unexpected bytes after response body");
+  }
+  return res;
+}
+
+}  // namespace llamp::serve

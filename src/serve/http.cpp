@@ -1,0 +1,248 @@
+#include "serve/http.hpp"
+
+#include <algorithm>
+
+#include "util/json.hpp"
+#include "util/strings.hpp"
+
+namespace llamp::serve {
+namespace {
+
+/// Lowercase ASCII only: header names are token characters, and applying
+/// tolower to arbitrary bytes would be locale-dependent.
+std::string ascii_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return out;
+}
+
+std::string_view trim_ows(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool is_token_char(char c) {
+  // RFC 9110 token characters; enough to validate methods and header names.
+  if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+      (c >= '0' && c <= '9')) {
+    return true;
+  }
+  return std::string_view("!#$%&'*+-.^_`|~").find(c) != std::string_view::npos;
+}
+
+ParseResult protocol_error(int status, std::string message) {
+  ParseResult r;
+  r.status = ParseResult::Status::kError;
+  r.error_status = status;
+  r.error_message = std::move(message);
+  return r;
+}
+
+/// One header-section line: [begin, end) without its terminator, and the
+/// offset just past the terminator.  Accepts CRLF and bare LF.
+struct LineView {
+  std::string_view text;
+  std::size_t next = 0;
+  bool complete = false;
+};
+
+LineView next_line(std::string_view in, std::size_t from) {
+  LineView lv;
+  const std::size_t nl = in.find('\n', from);
+  if (nl == std::string_view::npos) return lv;
+  std::size_t end = nl;
+  if (end > from && in[end - 1] == '\r') --end;
+  lv.text = in.substr(from, end - from);
+  lv.next = nl + 1;
+  lv.complete = true;
+  return lv;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::header(std::string_view name) const {
+  for (const auto& [k, v] : headers) {
+    if (k == name) return &v;
+  }
+  return nullptr;
+}
+
+bool HttpRequest::keep_alive() const {
+  const std::string* conn = header("connection");
+  if (conn != nullptr) {
+    // Connection is a comma-separated option list; match options, not
+    // substrings ("close" must not match a hypothetical "not-close").
+    for (const auto& field : split(*conn, ',')) {
+      const std::string opt = ascii_lower(trim(field));
+      if (opt == "close") return false;
+      if (opt == "keep-alive") return true;
+    }
+  }
+  return version_minor >= 1;
+}
+
+ParseResult parse_http_request(std::string_view in, const HttpLimits& limits) {
+  // Locate the end of the header section first: parsing decisions must
+  // never depend on how the bytes were chunked across reads.
+  std::size_t header_end = std::string_view::npos;  // offset past blank line
+  {
+    std::size_t from = 0;
+    while (true) {
+      const LineView lv = next_line(in, from);
+      if (!lv.complete) break;
+      if (lv.text.empty() && from > 0) {
+        header_end = lv.next;
+        break;
+      }
+      from = lv.next;
+    }
+  }
+  if (header_end == std::string_view::npos) {
+    if (in.size() > limits.max_header_bytes) {
+      return protocol_error(400, "request header section too large");
+    }
+    return {};
+  }
+  if (header_end > limits.max_header_bytes) {
+    return protocol_error(400, "request header section too large");
+  }
+
+  ParseResult result;
+  HttpRequest& req = result.request;
+
+  // Request line: METHOD SP TARGET SP HTTP/1.<minor>
+  const LineView request_line = next_line(in, 0);
+  {
+    const std::string_view line = request_line.text;
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+    if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+        line.find(' ', sp2 + 1) != std::string_view::npos) {
+      return protocol_error(400, "malformed request line");
+    }
+    const std::string_view method = line.substr(0, sp1);
+    const std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const std::string_view version = line.substr(sp2 + 1);
+    if (method.empty() ||
+        !std::all_of(method.begin(), method.end(), is_token_char)) {
+      return protocol_error(400, "malformed request line");
+    }
+    if (target.empty() || target.front() != '/') {
+      return protocol_error(400, "request target must be origin-form");
+    }
+    if (version == "HTTP/1.1") {
+      req.version_minor = 1;
+    } else if (version == "HTTP/1.0") {
+      req.version_minor = 0;
+    } else {
+      return protocol_error(400, "unsupported HTTP version");
+    }
+    req.method = std::string(method);
+    req.target = std::string(target);
+  }
+
+  // Header fields.
+  std::size_t from = request_line.next;
+  while (true) {
+    const LineView lv = next_line(in, from);
+    from = lv.next;
+    if (lv.text.empty()) break;  // the blank separator line
+    const std::string_view line = lv.text;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return protocol_error(400, "malformed header field");
+    }
+    const std::string_view name = line.substr(0, colon);
+    if (!std::all_of(name.begin(), name.end(), is_token_char)) {
+      return protocol_error(400, "malformed header field");
+    }
+    const std::string_view value = trim_ows(line.substr(colon + 1));
+    for (const char c : value) {
+      if (static_cast<unsigned char>(c) < 0x20 && c != '\t') {
+        return protocol_error(400, "control character in header value");
+      }
+    }
+    req.headers.emplace_back(ascii_lower(name), std::string(value));
+  }
+
+  // Body framing: Content-Length only.
+  if (req.header("transfer-encoding") != nullptr) {
+    return protocol_error(400, "transfer codings are not supported "
+                               "(send a Content-Length body)");
+  }
+  std::size_t content_length = 0;
+  {
+    const std::string* cl = nullptr;
+    for (const auto& [k, v] : req.headers) {
+      if (k != "content-length") continue;
+      if (cl != nullptr && v != *cl) {
+        return protocol_error(400, "conflicting Content-Length headers");
+      }
+      cl = &v;
+    }
+    if (cl != nullptr) {
+      if (cl->empty() ||
+          cl->find_first_not_of("0123456789") != std::string::npos ||
+          cl->size() > 15) {
+        return protocol_error(400, "malformed Content-Length");
+      }
+      content_length = static_cast<std::size_t>(std::stoull(*cl));
+    } else if (req.method == "POST" || req.method == "PUT") {
+      return protocol_error(400, "missing Content-Length");
+    }
+  }
+  if (content_length > limits.max_body_bytes) {
+    return protocol_error(
+        413, strformat("request body of %zu bytes exceeds the %zu-byte "
+                       "limit",
+                       content_length, limits.max_body_bytes));
+  }
+  if (in.size() - header_end < content_length) return {};  // body incomplete
+
+  req.body = std::string(in.substr(header_end, content_length));
+  result.status = ParseResult::Status::kRequest;
+  result.consumed = header_end + content_length;
+  return result;
+}
+
+const char* status_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Content Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+  }
+  return "Unknown";
+}
+
+std::string serialize_response(const HttpResponse& res) {
+  std::string out =
+      strformat("HTTP/1.1 %d %s\r\n", res.status, status_reason(res.status));
+  out += "Content-Type: " + res.content_type + "\r\n";
+  out += strformat("Content-Length: %zu\r\n", res.body.size());
+  for (const std::string& h : res.extra_headers) out += h + "\r\n";
+  out += res.keep_alive ? "Connection: keep-alive\r\n"
+                        : "Connection: close\r\n";
+  out += "\r\n";
+  out += res.body;
+  return out;
+}
+
+std::string error_body(const std::string& kind, const std::string& message) {
+  return strformat("{\"error\": {\"kind\": \"%s\", \"message\": \"%s\"}}\n",
+                   json_escape_string(kind).c_str(),
+                   json_escape_string(message).c_str());
+}
+
+}  // namespace llamp::serve

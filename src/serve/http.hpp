@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace llamp::serve {
+
+/// The wire layer of `llamp serve` (DESIGN.md §8): a from-scratch HTTP/1.1
+/// request parser and response serializer, dependency-free and fully
+/// deterministic — the same input bytes always parse to the same request
+/// and the same response always serializes to the same bytes (no Date
+/// header, no connection-dependent framing).  Bytes arriving here come
+/// from untrusted sockets, so every malformed construct maps to a precise
+/// 4xx status instead of a crash, and both the header section and the
+/// declared body length are hard-capped.
+
+/// One parsed request.  Header names are lowercased at parse time (HTTP
+/// header names are case-insensitive); values keep their bytes with
+/// surrounding whitespace trimmed.
+struct HttpRequest {
+  std::string method;   ///< as sent (method names are case-sensitive)
+  std::string target;   ///< request target, e.g. "/v1/analyze"
+  int version_minor = 1;  ///< HTTP/1.<minor>: 0 or 1
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// First value of `name` (lowercase), or nullptr when absent.
+  const std::string* header(std::string_view name) const;
+  /// Keep-alive resolution: HTTP/1.1 defaults to keep-alive unless
+  /// "Connection: close"; HTTP/1.0 defaults to close unless
+  /// "Connection: keep-alive".
+  bool keep_alive() const;
+};
+
+/// Incremental parse over a connection's read buffer.
+struct ParseResult {
+  enum class Status {
+    kNeedMore,  ///< incomplete; keep reading (nothing consumed)
+    kRequest,   ///< one full request parsed; `consumed` bytes eaten
+    kError,     ///< protocol error; respond `error_status` and close
+  };
+  Status status = Status::kNeedMore;
+  HttpRequest request;        ///< engaged when kRequest
+  std::size_t consumed = 0;   ///< bytes of `in` holding the request
+  int error_status = 0;       ///< 400 or 413 when kError
+  std::string error_message;  ///< human detail for the error body
+};
+
+struct HttpLimits {
+  std::size_t max_header_bytes = 16 * 1024;    ///< request line + headers
+  std::size_t max_body_bytes = 4 * 1024 * 1024;  ///< declared Content-Length
+};
+
+/// Try to parse one request from the front of `in` (the connection's
+/// accumulated read buffer).  Never consumes on kNeedMore, so callers
+/// simply re-invoke as bytes arrive; on kRequest the caller erases
+/// `consumed` bytes and re-invokes for pipelined requests.  Framing rules:
+/// CRLF line endings, with bare LF tolerated (some test clients and
+/// `printf | nc` senders use it); bodies are Content-Length only —
+/// Transfer-Encoding of any kind is rejected (400), a POST without
+/// Content-Length is rejected (400), and a Content-Length beyond
+/// `limits.max_body_bytes` is rejected (413) *before* the body is read,
+/// so an oversized upload never buffers.
+ParseResult parse_http_request(std::string_view in, const HttpLimits& limits);
+
+/// Reason phrase for the status codes the server emits (200, 400, 404,
+/// 405, 413, 500, 503).
+const char* status_reason(int status);
+
+/// One response, serialized deterministically.
+struct HttpResponse {
+  int status = 200;
+  std::string body;
+  std::string content_type = "application/json";
+  bool keep_alive = true;
+  /// Extra headers, emitted verbatim in order ("Retry-After: 1",
+  /// "Allow: POST").  Names and values must be header-safe.
+  std::vector<std::string> extra_headers;
+};
+
+/// Serialize: status line, Content-Type, Content-Length, extra headers,
+/// Connection, CRLF, body.  Identical inputs produce identical bytes.
+std::string serialize_response(const HttpResponse& res);
+
+/// The canonical in-band error body: {"error": {"kind": K, "message": M}}
+/// plus a trailing newline, matching the batch surface's error objects.
+std::string error_body(const std::string& kind, const std::string& message);
+
+}  // namespace llamp::serve

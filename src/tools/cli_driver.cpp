@@ -1,6 +1,8 @@
 #include "tools/cli_driver.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <limits>
@@ -16,6 +18,9 @@
 #include "api/request.hpp"
 #include "apps/registry.hpp"
 #include "core/report.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+#include "util/build_info.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
 #include "util/json.hpp"
@@ -23,8 +28,6 @@
 
 namespace llamp::tools {
 namespace {
-
-constexpr const char* kVersion = "llamp 0.5.0";
 
 constexpr const char* kUsage = R"(llamp — LP-based MPI latency-tolerance analysis (conf_sc_ShenHCSDGWH24)
 
@@ -57,6 +60,12 @@ subcommands:
             cache and pool statistics, latency quantiles; optionally
             execute a JSONL request file first so the summary describes a
             real workload
+  serve     run the analysis engine as an HTTP/1.1 daemon on loopback:
+            POST /v1/{analyze,sweep,campaign,mc,topo,place} take the batch
+            request JSON ("op" optional — the path names it) and return
+            the batch result line; GET /healthz and GET /metrics answer
+            even mid-campaign; SIGTERM/SIGINT drain in-flight requests and
+            exit 0
   apps      list the registered proxy applications
 
 `llamp`, `llamp help`, and `llamp <subcommand> --help` print this text and
@@ -90,6 +99,15 @@ batch options:
 observability options (every engine subcommand):
   --trace-out=PATH  record request tracing spans and write them as Chrome
                     trace-event JSON on exit (chrome://tracing / Perfetto)
+
+serve options:
+  --port=N          listen port on 127.0.0.1 (default 8080; 0 = ephemeral,
+                    the bound port is printed on the listen line)
+  --threads=N       engine pool size for intra-request parallelism,
+                    <= 0 = hardware concurrency (requests themselves run
+                    one at a time — responses are deterministic whatever N)
+  --max-inflight=N  queued analysis requests admitted at once; the next
+                    request gets 503 + Retry-After (default 64)
 
 stats options:
   --file=PATH       JSONL request file to execute first; '-' reads stdin
@@ -447,6 +465,67 @@ int cmd_stats(const Cli& cli, api::Engine& engine, std::ostream& out) {
   return 0;
 }
 
+/// The daemon draining on SIGTERM/SIGINT: the handler may only touch
+/// async-signal-safe state, and Server::request_shutdown() is exactly that
+/// (an atomic store plus one write(2) to the loop's wakeup pipe).
+std::atomic<serve::Server*> g_serve_server{nullptr};
+
+extern "C" void serve_signal_handler(int /*signo*/) {
+  if (serve::Server* s = g_serve_server.load(std::memory_order_acquire)) {
+    s->request_shutdown();
+  }
+}
+
+int cmd_serve(const Cli& cli, api::Engine& engine, std::ostream& out) {
+  serve::Server::Options opts;
+  const long long port = cli.get_int("port", 8080);
+  if (port < 0 || port > 65535) {
+    throw UsageError(strformat("need --port in [0, 65535] (got %lld)", port));
+  }
+  opts.port = static_cast<std::uint16_t>(port);
+  opts.max_inflight = int_flag(cli, "max-inflight", opts.max_inflight);
+  if (opts.max_inflight < 1) {
+    throw UsageError(
+        strformat("need --max-inflight >= 1 (got %d)", opts.max_inflight));
+  }
+
+  serve::Server server(opts, serve::engine_routes(engine));
+  server.start();
+
+  // Handlers are installed only while this server exists; the previous
+  // dispositions come back before the stats line prints.
+  g_serve_server.store(&server, std::memory_order_release);
+  struct sigaction action {};
+  action.sa_handler = serve_signal_handler;
+  sigemptyset(&action.sa_mask);
+  struct sigaction old_term {};
+  struct sigaction old_int {};
+  sigaction(SIGTERM, &action, &old_term);
+  sigaction(SIGINT, &action, &old_int);
+
+  // The listen line is the daemon's readiness signal (CI and the bench
+  // wait for it), and with --port=0 it is how the caller learns the port.
+  out << "llamp serve: listening on 127.0.0.1:" << server.port() << "\n";
+  out.flush();
+
+  server.join();
+
+  sigaction(SIGTERM, &old_term, nullptr);
+  sigaction(SIGINT, &old_int, nullptr);
+  g_serve_server.store(nullptr, std::memory_order_release);
+
+  const serve::Server::Stats st = server.stats();
+  out << strformat(
+      "llamp serve: drained (connections %llu, requests %llu, "
+      "responses %llu, rejected %llu, protocol_errors %llu)\n",
+      static_cast<unsigned long long>(st.connections),
+      static_cast<unsigned long long>(st.requests),
+      static_cast<unsigned long long>(st.responses),
+      static_cast<unsigned long long>(st.rejected),
+      static_cast<unsigned long long>(st.protocol_errors));
+  return 0;
+}
+
 /// Boolean flags: these never take a following value, so a token after them
 /// must not be folded — it is a stray positional the validation below should
 /// reject, not the flag's value.
@@ -493,6 +572,7 @@ constexpr std::string_view kMcKeys[] = {
     "dist-o",   "dist-G",  "edge-sigma", "edge-bias", "bands"};
 constexpr std::string_view kBatchKeys[] = {"file", "threads", "metrics"};
 constexpr std::string_view kStatsKeys[] = {"file", "threads", "format"};
+constexpr std::string_view kServeKeys[] = {"port", "threads", "max-inflight"};
 
 /// Reject misspelled options and stray positionals: a typo'd flag must be a
 /// usage error, not a silent fall-back to the default value.  Returns an
@@ -504,7 +584,7 @@ std::string first_bad_arg(const std::string& sub,
     known.insert(known.end(), std::begin(keys), std::end(keys));
   };
   if (sub != "apps" && sub != "campaign" && sub != "batch" &&
-      sub != "stats") {
+      sub != "stats" && sub != "serve") {
     add(kCommonKeys);
   }
   if (sub == "analyze" || sub == "sweep" || sub == "mc") add(kGridKeys);
@@ -514,6 +594,7 @@ std::string first_bad_arg(const std::string& sub,
   if (sub == "place") add(kPlaceKeys);
   if (sub == "batch") add(kBatchKeys);
   if (sub == "stats") add(kStatsKeys);
+  if (sub == "serve") add(kServeKeys);
   if (sub == "campaign") {
     add(kCampaignKeys);
     add(kGridKeys);
@@ -574,12 +655,12 @@ int run(int argc, const char* const* argv, std::ostream& out,
     return 0;
   }
   if (sub == "--version" || sub == "version") {
-    out << kVersion << '\n';
+    out << version_line() << '\n';
     return 0;
   }
   if (sub != "analyze" && sub != "sweep" && sub != "campaign" &&
       sub != "mc" && sub != "batch" && sub != "topo" && sub != "place" &&
-      sub != "stats" && sub != "apps") {
+      sub != "stats" && sub != "serve" && sub != "apps") {
     err << "llamp: unknown subcommand '" << sub << "'\n\n" << kUsage;
     return 2;
   }
@@ -609,8 +690,10 @@ int run(int argc, const char* const* argv, std::ostream& out,
     // fans requests out, so its pool is sized from --threads (matching the
     // free parallel_for semantics: the requested count wins even above the
     // hardware concurrency); the other subcommands run on a 1-worker pool.
+    // serve sizes the pool from --threads too: the daemon runs requests
+    // one at a time, the pool is each request's inner parallelism.
     api::Engine engine(api::Engine::Options{
-        .threads = (sub == "batch" || sub == "stats")
+        .threads = (sub == "batch" || sub == "stats" || sub == "serve")
                        ? int_flag(cli, "threads", 0)
                        : 1});
     // --trace-out: the file opens before any work runs (a bad path must
@@ -644,6 +727,8 @@ int run(int argc, const char* const* argv, std::ostream& out,
       rc = cmd_place(cli, engine, out);
     } else if (sub == "stats") {
       rc = cmd_stats(cli, engine, out);
+    } else if (sub == "serve") {
+      rc = cmd_serve(cli, engine, out);
     } else {
       rc = cmd_apps(out);
     }

@@ -1,0 +1,47 @@
+#include "util/build_info.hpp"
+
+#include "util/strings.hpp"
+
+namespace llamp {
+namespace {
+
+std::string compiler_string() {
+#if defined(__clang__)
+  return strformat("clang %d.%d.%d", __clang_major__, __clang_minor__,
+                   __clang_patchlevel__);
+#elif defined(__GNUC__)
+  return strformat("gcc %d.%d.%d", __GNUC__, __GNUC_MINOR__,
+                   __GNUC_PATCHLEVEL__);
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace
+
+const BuildInfo& build_info() {
+  static const BuildInfo info = [] {
+    BuildInfo b;
+    b.version = "llamp 0.6.0";
+    b.compiler = compiler_string();
+    // CMake passes the build type for this one translation unit; a build
+    // outside CMake (or with an empty type) reports "unknown" rather than
+    // guessing.
+#ifdef LLAMP_BUILD_TYPE
+    b.build_type = LLAMP_BUILD_TYPE;
+    if (b.build_type.empty()) b.build_type = "unknown";
+#else
+    b.build_type = "unknown";
+#endif
+    return b;
+  }();
+  return info;
+}
+
+std::string version_line() {
+  const BuildInfo& b = build_info();
+  return strformat("%s (%s, %s)", b.version.c_str(), b.compiler.c_str(),
+                   b.build_type.c_str());
+}
+
+}  // namespace llamp

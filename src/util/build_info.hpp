@@ -1,0 +1,22 @@
+#pragma once
+
+#include <string>
+
+namespace llamp {
+
+/// Build identification, shared verbatim between `llamp --version` and the
+/// serve daemon's /healthz payload so a deployed daemon is identifiable
+/// (which binary, which compiler, which build type) without shelling into
+/// its container.
+struct BuildInfo {
+  std::string version;     ///< "llamp 0.6.0"
+  std::string compiler;    ///< "gcc 13.2.0" / "clang 16.0.6"
+  std::string build_type;  ///< CMake build type, "unknown" outside CMake
+};
+
+const BuildInfo& build_info();
+
+/// The `llamp --version` line: "llamp 0.6.0 (gcc 13.2.0, Release)".
+std::string version_line();
+
+}  // namespace llamp

@@ -136,7 +136,11 @@ TEST(CliSmoke, VersionFlag) {
   for (const char* spelling : {"--version", "version"}) {
     const auto r = run_cli({spelling});
     EXPECT_EQ(r.code, 0);
-    EXPECT_TRUE(contains(r.out, "llamp 0.5"));
+    EXPECT_TRUE(contains(r.out, "llamp 0.6"));
+    // Build metadata rides along: "llamp 0.6.0 (gcc 13.2.0, Release)".
+    // /healthz reuses these fields verbatim (pinned in test_serve.cpp).
+    EXPECT_TRUE(contains(r.out, "("));
+    EXPECT_TRUE(contains(r.out, ", "));
     EXPECT_TRUE(r.err.empty());
   }
 }

@@ -292,6 +292,26 @@ TEST(ObsEngine, CountersAreDeterministicAcrossSessions) {
   EXPECT_EQ(counter_of(a, "graph_cache.hits"), 1u);
 }
 
+TEST(ObsEngine, SnapshotCarriesUptimeAndScrapeSequence) {
+  api::Engine engine(api::Engine::Options{.threads = 1});
+  const std::string first = engine.metrics_json();
+  const std::string second = engine.metrics_json();
+  // The scrape sequence is monotonic from 1 within a session, so /metrics
+  // consumers can order snapshots and detect a daemon restart.
+  EXPECT_EQ(counter_of(first, "engine.metrics_seq"), 1u);
+  EXPECT_EQ(counter_of(second, "engine.metrics_seq"), 2u);
+  // Uptime is a gauge (timing value, never result bytes) and grows.
+  const auto uptime_of = [](const std::string& json) {
+    const JsonValue doc = JsonValue::parse(json);
+    const JsonValue* v = doc.find("gauges")->find("engine.uptime_ns");
+    EXPECT_NE(v, nullptr);
+    return v == nullptr ? 0.0 : v->as_number("engine.uptime_ns");
+  };
+  EXPECT_GT(uptime_of(first), 0.0);
+  EXPECT_GE(uptime_of(second), uptime_of(first));
+  EXPECT_GE(static_cast<double>(engine.uptime_ns()), uptime_of(second));
+}
+
 TEST(ObsEngine, ErrorsAreCountedAndRethrown) {
   api::Engine engine(api::Engine::Options{.threads = 1});
   api::AnalyzeRequest bad = small_analyze();
